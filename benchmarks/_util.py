@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Each experiment prints its series as a plain-text table (the paper,
+being pure theory, has no tables of its own — see DESIGN.md section 2
+for the experiment index) and also writes it under
+``benchmarks/results/`` so EXPERIMENTS.md can quote the measured
+numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis import Table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record_table(filename: str, table: Table) -> None:
+    """Print the table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    rendered = table.render()
+    print("\n" + rendered)
+    path = os.path.join(RESULTS_DIR, filename)
+    with open(path, "a") as handle:
+        handle.write(rendered + "\n\n")
+
+
+def reset_result(filename: str) -> None:
+    """Truncate a result file at the start of its experiment."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    with open(path, "w"):
+        pass

@@ -1,0 +1,90 @@
+"""E1 — (epsilon, phi) expander decomposition quality (Theorems 2.1/2.6).
+
+Claim under test: for every epsilon, the decomposition cuts at most an
+epsilon fraction of the edges and every cluster carries a certified
+conductance lower bound of at least phi, across all the minor-free
+graph families the paper names.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.decomposition import (
+    expander_decomposition,
+    verify_expander_decomposition,
+)
+from repro.generators import (
+    delaunay_planar_graph,
+    grid_graph,
+    k_tree,
+    toroidal_grid_graph,
+    triangulated_grid_graph,
+)
+
+from _util import record_table, reset_result
+
+FAMILIES = [
+    ("grid", lambda n: grid_graph(int(n ** 0.5), int(n ** 0.5))),
+    ("tri-grid", lambda n: triangulated_grid_graph(int(n ** 0.5), int(n ** 0.5))),
+    ("delaunay", lambda n: delaunay_planar_graph(n, seed=11)),
+    ("k-tree(3)", lambda n: k_tree(n, 3, seed=12)),
+    ("torus", lambda n: toroidal_grid_graph(int(n ** 0.5), int(n ** 0.5))),
+]
+
+EPSILONS = [0.1, 0.2, 0.3, 0.4]
+
+
+def test_e01_cut_budget_and_certificates(benchmark):
+    reset_result("E01.txt")
+    table = Table(
+        "E1: expander decomposition (cut fraction <= eps, certified phi)",
+        ["family", "n", "m", "eps", "phi", "clusters", "cut_frac",
+         "min_cert", "max|V_i|"],
+    )
+    for name, make in FAMILIES:
+        for epsilon in EPSILONS:
+            g = make(256)
+            dec = expander_decomposition(g, epsilon, seed=0)
+            report = verify_expander_decomposition(dec)
+            table.add_row(
+                name, g.n, g.m, epsilon, dec.phi, dec.k,
+                report["cut_fraction"], report["min_certificate"],
+                int(report["max_cluster_size"]),
+            )
+            assert report["cut_fraction"] <= epsilon
+            assert report["min_certificate"] >= dec.phi
+    record_table("E01.txt", table)
+
+    g = delaunay_planar_graph(256, seed=11)
+    benchmark.pedantic(
+        lambda: expander_decomposition(g, 0.2, seed=0), rounds=3, iterations=1
+    )
+
+
+def test_e01_phi_sweep_controls_cluster_size(benchmark):
+    """Larger phi => smaller clusters (the Lemma 2.3 size force)."""
+    table = Table(
+        "E1b: explicit phi sweep on delaunay(300)",
+        ["phi", "clusters", "cut_frac", "max|V_i|", "min_cert"],
+    )
+    g = delaunay_planar_graph(300, seed=13)
+    previous_max = float("inf")
+    maxima = []
+    for phi in (0.01, 0.03, 0.06, 0.1):
+        dec = expander_decomposition(
+            g, 0.99, phi=phi, seed=0, enforce_budget=False
+        )
+        largest = max(len(c) for c in dec.clusters)
+        maxima.append(largest)
+        table.add_row(
+            phi, dec.k, dec.cut_fraction(), largest, dec.min_certificate()
+        )
+    record_table("E01.txt", table)
+    assert maxima[-1] <= maxima[0]
+    benchmark.pedantic(
+        lambda: expander_decomposition(
+            g, 0.99, phi=0.05, seed=0, enforce_budget=False
+        ),
+        rounds=3,
+        iterations=1,
+    )

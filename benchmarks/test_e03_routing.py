@@ -1,0 +1,100 @@
+"""E3 — Random-walk information gathering (Lemma 2.4).
+
+Claims under test: every vertex's messages reach the high-degree
+leader; per-round per-edge congestion stays O(log n); and the reverse
+phase returns a distinct answer to every vertex.  The BFS-tree
+exchange is the comparison point: fewer raw rounds, but congestion at
+the leader's edges grows with the cluster size instead of log n.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import Table
+from repro.decomposition import expander_decomposition
+from repro.generators import delaunay_planar_graph, k_tree
+from repro.routing import gather_topology
+
+from _util import record_table, reset_result
+
+
+def test_e03_walk_vs_tree_transport(benchmark):
+    reset_result("E03.txt")
+    table = Table(
+        "E3: gathering G[V_i] to the leader, walk (Lemma 2.4) vs tree",
+        ["cluster", "n_i", "m_i", "transport", "rounds", "eff_rounds",
+         "max_congestion", "max_bits", "success"],
+    )
+    g = delaunay_planar_graph(200, seed=31)
+    dec = expander_decomposition(g, 0.9, phi=0.04, seed=0, enforce_budget=False)
+    clusters = sorted(dec.clusters, key=len, reverse=True)[:3]
+    congestion_log_bound = 12 * math.log2(g.n)
+
+    for i, cluster in enumerate(clusters):
+        sub = g.subgraph(cluster)
+        for transport in ("walk", "tree"):
+            result = gather_topology(
+                sub,
+                phi=max(dec.phi, dec.certificates[dec.clusters.index(cluster)]),
+                seed=7,
+                network_n=g.n,
+                transport=transport,
+            )
+            table.add_row(
+                i, sub.n, sub.m, transport,
+                result.metrics.rounds, result.metrics.effective_rounds,
+                result.metrics.max_edge_congestion,
+                result.metrics.max_message_bits,
+                result.success,
+            )
+            assert result.success
+            assert result.topology_complete(sub)
+            if transport == "walk":
+                # Lemma 2.4's congestion claim.
+                assert result.metrics.max_edge_congestion <= congestion_log_bound
+    record_table("E03.txt", table)
+
+    sub = g.subgraph(clusters[0])
+    benchmark.pedantic(
+        lambda: gather_topology(sub, phi=0.05, seed=7, network_n=g.n),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_e03_delivery_rate_vs_walk_length(benchmark):
+    """Shorter walks fail detectably; the calibrated length succeeds."""
+    from repro.routing import walk_exchange
+
+    table = Table(
+        "E3b: delivery vs forward walk length (k-tree cluster, n=80)",
+        ["forward_steps", "delivered", "undelivered", "success"],
+    )
+    g = k_tree(80, 3, seed=32)
+    leader = max(g.vertices(), key=g.degree)
+    requests = {v: [(v, 1)] for v in g.vertices()}
+    outcomes = []
+    for steps in (4, 16, 64, 256, 1024):
+        result = walk_exchange(
+            g, leader, requests, phi=0.1, forward_steps=steps, seed=8
+        )
+        table.add_row(
+            steps,
+            len(result.requests_delivered),
+            len(result.undelivered),
+            result.success,
+        )
+        outcomes.append(result.success)
+    record_table("E03.txt", table)
+    # Monotone shape: long enough walks succeed, tiny ones do not.
+    assert not outcomes[0]
+    assert outcomes[-1]
+
+    benchmark.pedantic(
+        lambda: walk_exchange(
+            g, leader, requests, phi=0.1, forward_steps=256, seed=8
+        ),
+        rounds=2,
+        iterations=1,
+    )

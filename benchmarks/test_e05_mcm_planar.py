@@ -1,0 +1,106 @@
+"""E5 — (1 - epsilon)-approximate MCM on planar networks (Theorem 3.2).
+
+Claims under test: the star-elimination preprocessing (i) preserves the
+maximum matching size exactly, (ii) makes the optimum Omega(n) (Lemma
+3.1), and (iii) the framework pipeline achieves ratio >= 1 - epsilon.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.generators import (
+    delaunay_planar_graph,
+    random_planar_graph,
+    star_graph,
+)
+from repro.graph import Graph
+from repro.matching import (
+    distributed_mcm_planar,
+    eliminate_stars,
+    max_cardinality_matching,
+)
+
+from _util import record_table, reset_result
+
+
+def starry_planar(n: int, seed: int) -> Graph:
+    """Planar graph with pendant stars attached — the adversarial case
+    where M* is far from Omega(n) before preprocessing."""
+    g = delaunay_planar_graph(n, seed=seed)
+    nxt = n
+    for v in range(0, n, 3):
+        for _ in range(4):
+            g.add_edge(v, nxt)
+            nxt += 1
+    return g
+
+
+def test_e05_preprocessing_lemma_3_1(benchmark):
+    reset_result("E05.txt")
+    table = Table(
+        "E5: star elimination (MCM preserved, optimum becomes Omega(n))",
+        ["instance", "n", "n_reduced", "MCM", "MCM_reduced",
+         "MCM/n before", "MCM/n after"],
+    )
+    instances = [
+        ("delaunay(90)", delaunay_planar_graph(90, seed=51)),
+        ("sparse planar", random_planar_graph(90, edge_fraction=0.5, seed=52)),
+        ("starry planar", starry_planar(60, seed=53)),
+        ("pure star", star_graph(30)),
+    ]
+    for name, g in instances:
+        reduced, _removed = eliminate_stars(g)
+        before = len(max_cardinality_matching(g))
+        after = len(max_cardinality_matching(reduced))
+        assert before == after  # elimination preserves M*
+        table.add_row(
+            name, g.n, reduced.n, before, after,
+            before / g.n, after / max(1, reduced.n),
+        )
+        if reduced.n:
+            # Lemma 3.1 linearity (constant 1/8 is comfortable).
+            assert after >= reduced.n / 8
+    record_table("E05.txt", table)
+
+    g = starry_planar(60, seed=53)
+    benchmark.pedantic(lambda: eliminate_stars(g), rounds=3, iterations=1)
+
+
+def test_e05_theorem_3_2_ratio(benchmark):
+    table = Table(
+        "E5b: distributed planar MCM ratios",
+        ["instance", "eps", "opt", "distributed", "ratio", "clusters"],
+    )
+    instances = [
+        ("delaunay(100)", delaunay_planar_graph(100, seed=54)),
+        ("sparse planar(120)", random_planar_graph(120, edge_fraction=0.6, seed=55)),
+        ("starry planar(60)", starry_planar(60, seed=56)),
+    ]
+    for name, g in instances:
+        opt = len(max_cardinality_matching(g))
+        for epsilon in (0.2, 0.4):
+            result, fw = distributed_mcm_planar(g, epsilon, seed=57)
+            ratio = result.size / opt
+            table.add_row(
+                name, epsilon, opt, result.size, ratio,
+                len(fw.clusters) if fw else 0,
+            )
+            assert ratio >= 1 - epsilon
+    # A forced multi-cluster run (explicit phi): the interesting regime
+    # where inter-cluster optimum edges are actually lost.
+    g = delaunay_planar_graph(100, seed=54)
+    opt = len(max_cardinality_matching(g))
+    result, fw = distributed_mcm_planar(
+        g, 0.9, linearity_constant=1.0, phi=0.06, seed=57
+    )
+    table.add_row(
+        "delaunay(100), phi=0.06", 0.9, opt, result.size,
+        result.size / opt, len(fw.clusters),
+    )
+    assert result.size >= 0.7 * opt
+    record_table("E05.txt", table)
+
+    g = delaunay_planar_graph(100, seed=54)
+    benchmark.pedantic(
+        lambda: distributed_mcm_planar(g, 0.3, seed=57), rounds=2, iterations=1
+    )

@@ -1,0 +1,82 @@
+"""E6 — (1 - epsilon)-approximate MWM on H-minor-free networks (Thm 1.1).
+
+Claims under test: across weight scales W (the adversarial axis the
+paper highlights — a few edges can carry most of the weight), the
+iterated framework algorithm reaches ratio >= 1 - epsilon of the exact
+weighted blossom optimum and dominates the greedy 1/2-approximation.
+The iteration count is the poly(1/eps) knob.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.generators import (
+    delaunay_planar_graph,
+    k_tree,
+    random_integer_weights,
+)
+from repro.matching import (
+    distributed_mwm,
+    greedy_weight_matching,
+    matching_weight,
+    max_weight_matching,
+)
+
+from _util import record_table, reset_result
+
+
+def test_e06_weight_scale_sweep(benchmark):
+    reset_result("E06.txt")
+    table = Table(
+        "E6: MWM ratio across weight scales W (eps = 0.25)",
+        ["family", "W", "opt", "framework", "ratio", "greedy_ratio"],
+    )
+    epsilon = 0.25
+    for family, base in [
+        ("delaunay(70)", delaunay_planar_graph(70, seed=61)),
+        ("k-tree(70)", k_tree(70, 3, seed=62)),
+    ]:
+        for w in (10, 100, 1000):
+            g = random_integer_weights(base, w, seed=63 + w)
+            opt = matching_weight(g, max_weight_matching(g))
+            result = distributed_mwm(g, epsilon, iterations=3, seed=64)
+            greedy = matching_weight(g, greedy_weight_matching(g))
+            ratio = result.weight / opt
+            table.add_row(family, w, opt, result.weight, ratio, greedy / opt)
+            assert ratio >= 1 - epsilon
+    record_table("E06.txt", table)
+
+    g = random_integer_weights(delaunay_planar_graph(70, seed=61), 100, seed=65)
+    benchmark.pedantic(
+        lambda: distributed_mwm(g, 0.25, iterations=2, seed=64),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_e06_iterations_converge(benchmark):
+    """Weight is monotone in the iteration count (the scaling stand-in)."""
+    table = Table(
+        "E6b: iteration sweep with forced multi-cluster decomposition "
+        "(delaunay 90, W=200, eps=0.3, phi=0.06)",
+        ["iterations", "weight", "ratio"],
+    )
+    g = random_integer_weights(delaunay_planar_graph(90, seed=66), 200, seed=67)
+    opt = matching_weight(g, max_weight_matching(g))
+    weights = []
+    for iterations in (1, 2, 4, 6):
+        result = distributed_mwm(
+            g, 0.9, iterations=iterations, phi=0.06, seed=68,
+            enforce_budget=False,
+        )
+        weights.append(result.weight)
+        table.add_row(iterations, result.weight, result.weight / opt)
+    record_table("E06.txt", table)
+    assert all(a <= b + 1e-9 for a, b in zip(weights, weights[1:]))
+    assert weights[-1] >= 0.7 * opt
+
+    benchmark.pedantic(
+        lambda: distributed_mwm(g, 0.3, iterations=4, seed=68),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,88 @@
+"""E7 — (1 - epsilon) agreement-max correlation clustering (Theorem 1.3).
+
+Claims under test: the framework clustering scores at least
+(1 - epsilon) * gamma(G), chargeable because gamma(G) >= |E|/2 (the
+Section 3.3 bound, realized by the trivial baselines); on planted
+community workloads it also dominates both trivial clusterings and
+approaches the noise-free consistency ceiling.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.correlation import (
+    best_trivial_clustering,
+    distributed_correlation_clustering,
+    local_search_correlation,
+)
+from repro.generators import (
+    delaunay_planar_graph,
+    k_tree,
+    planted_signs,
+)
+
+from _util import record_table, reset_result
+
+
+def test_e07_noise_sweep(benchmark):
+    reset_result("E07.txt")
+    table = Table(
+        "E7: correlation clustering on planted communities (eps = 0.3)",
+        ["family", "noise", "|E|", "trivial", "framework",
+         "centralized_ls", "frac_of_|E|"],
+    )
+    epsilon = 0.3
+    for family, g in [
+        ("delaunay(90)", delaunay_planar_graph(90, seed=71)),
+        ("k-tree(90)", k_tree(90, 3, seed=72)),
+    ]:
+        for noise in (0.0, 0.1, 0.25):
+            signs, _truth = planted_signs(g, 3, noise=noise, seed=73)
+            _, trivial = best_trivial_clustering(g, signs)
+            _, central = local_search_correlation(g, signs, seed=74)
+            result = distributed_correlation_clustering(
+                g, signs, epsilon, seed=75
+            )
+            table.add_row(
+                family, noise, g.m, trivial, result.score, central,
+                result.score / g.m,
+            )
+            # Theorem 1.3 with gamma(G) >= |E|/2.
+            assert result.score >= (1 - epsilon) * g.m / 2
+            # Must dominate what a single vertex could do alone.
+            assert result.score >= trivial - 2
+    record_table("E07.txt", table)
+
+    g = delaunay_planar_graph(90, seed=71)
+    signs, _ = planted_signs(g, 3, noise=0.1, seed=73)
+    benchmark.pedantic(
+        lambda: distributed_correlation_clustering(g, signs, 0.3, seed=75),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_e07_noise_free_consistency(benchmark):
+    """Zero noise => the planted clustering is perfectly consistent and
+    the framework should score (1 - eps)-close to |E|."""
+    table = Table(
+        "E7b: noise-free score vs |E|",
+        ["seed", "|E|", "score", "fraction"],
+    )
+    fractions = []
+    for seed in range(3):
+        g = delaunay_planar_graph(80, seed=seed)
+        signs, _ = planted_signs(g, 2, noise=0.0, seed=seed)
+        result = distributed_correlation_clustering(g, signs, 0.2, seed=seed)
+        table.add_row(seed, g.m, result.score, result.score / g.m)
+        fractions.append(result.score / g.m)
+    record_table("E07.txt", table)
+    assert min(fractions) >= 0.8
+
+    g = delaunay_planar_graph(80, seed=0)
+    signs, _ = planted_signs(g, 2, noise=0.0, seed=0)
+    benchmark.pedantic(
+        lambda: distributed_correlation_clustering(g, signs, 0.2, seed=0),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,118 @@
+"""E8 — Distributed property testing (Theorem 1.4).
+
+Claims under test: one-sided completeness (graphs in the property are
+always accepted) and soundness on epsilon-far instances (some vertex
+rejects), for four minor-closed union-closed properties.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.generators import (
+    complete_graph,
+    delaunay_planar_graph,
+    gnp_random_graph,
+    maximal_outerplanar_graph,
+    random_tree,
+    series_parallel_graph,
+)
+from repro.graph import Graph
+from repro.property_testing import (
+    FOREST,
+    OUTERPLANAR,
+    PLANARITY,
+    SERIES_PARALLEL,
+    distributed_property_test,
+)
+
+from _util import record_table, reset_result
+
+
+def disjoint_copies(pattern: Graph, copies: int) -> Graph:
+    g = Graph()
+    offset = 0
+    for _ in range(copies):
+        for v in pattern.vertices():
+            g.add_vertex(v + offset)
+        for u, v in pattern.edges():
+            g.add_edge(u + offset, v + offset)
+        offset += pattern.n
+    return g
+
+
+CASES = [
+    # (property, in-instance, far-instance, epsilon)
+    (PLANARITY, lambda: delaunay_planar_graph(120, seed=81),
+     lambda: disjoint_copies(complete_graph(6), 10), 0.05),
+    (FOREST, lambda: random_tree(100, seed=82),
+     lambda: disjoint_copies(complete_graph(3), 20), 0.2),
+    (SERIES_PARALLEL, lambda: series_parallel_graph(90, seed=83),
+     lambda: disjoint_copies(complete_graph(4), 15), 0.1),
+    (OUTERPLANAR, lambda: maximal_outerplanar_graph(80, seed=84),
+     lambda: disjoint_copies(complete_graph(4), 15), 0.1),
+]
+
+
+def test_e08_completeness_and_soundness(benchmark):
+    reset_result("E08.txt")
+    table = Table(
+        "E8: property tester verdicts (one-sided error)",
+        ["property", "instance", "n", "epsilon", "accepted", "rejecters"],
+    )
+    for prop, make_in, make_far, epsilon in CASES:
+        g_in = make_in()
+        result_in = distributed_property_test(g_in, prop, epsilon, seed=85)
+        table.add_row(
+            prop.name, "member", g_in.n, epsilon, result_in.accepted, 0
+        )
+        assert result_in.accepted  # completeness, probability one
+
+        g_far = make_far()
+        result_far = distributed_property_test(g_far, prop, epsilon, seed=86)
+        rejecters = sum(1 for ok in result_far.verdicts.values() if not ok)
+        table.add_row(
+            prop.name, "eps-far", g_far.n, epsilon,
+            result_far.accepted, rejecters,
+        )
+        assert not result_far.accepted  # soundness
+        assert rejecters >= 1
+    record_table("E08.txt", table)
+
+    g = delaunay_planar_graph(120, seed=81)
+    benchmark.pedantic(
+        lambda: distributed_property_test(g, PLANARITY, 0.1, seed=85),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_e08_mixed_instance_localizes_rejection(benchmark):
+    """Planar bulk + K6 islands: only the islands need reject."""
+    table = Table(
+        "E8b: localization of rejection (planar bulk + K6 islands)",
+        ["islands", "accepted", "rejecters", "island_rejecters"],
+    )
+    base = delaunay_planar_graph(100, seed=87)
+    for islands in (2, 6):
+        g = disjoint_copies(complete_graph(6), islands)
+        for v in base.vertices():
+            g.add_vertex(v + 10_000)
+        for u, v in base.edges():
+            g.add_edge(u + 10_000, v + 10_000)
+        result = distributed_property_test(g, PLANARITY, 0.03, seed=88)
+        rejecters = {v for v, ok in result.verdicts.items() if not ok}
+        island_rejecters = sum(1 for v in rejecters if v < 10_000)
+        table.add_row(
+            islands, result.accepted, len(rejecters), island_rejecters
+        )
+        assert not result.accepted
+        assert island_rejecters >= 1
+    record_table("E08.txt", table)
+
+    benchmark.pedantic(
+        lambda: distributed_property_test(
+            disjoint_copies(complete_graph(6), 6), PLANARITY, 0.03, seed=88
+        ),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,92 @@
+"""E9 — Low-diameter decomposition with D = O(1/epsilon) (Theorem 1.5).
+
+Claims under test: the Theorem 1.5 pipeline meets the epsilon edge
+budget with cluster diameter O(1/epsilon) — improving the generic ball
+carving's O(log m / epsilon) — and the cycle instance witnesses that
+D = Theta(1/epsilon) is optimal.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.decomposition import (
+    ball_carving_ldd,
+    chop_ldd,
+    mpx_ldd,
+    theorem_1_5_ldd,
+    verify_ldd,
+)
+from repro.generators import (
+    cycle_graph,
+    delaunay_planar_graph,
+    grid_graph,
+    k_tree,
+)
+
+from _util import record_table, reset_result
+
+
+def test_e09_epsilon_sweep(benchmark):
+    reset_result("E09.txt")
+    table = Table(
+        "E9: LDD diameter x epsilon (cut budget always <= eps)",
+        ["graph", "eps", "algorithm", "clusters", "cut_frac",
+         "max_diam", "diam*eps"],
+    )
+    instances = [
+        ("cycle(200)", cycle_graph(200)),
+        ("grid(14x14)", grid_graph(14, 14)),
+        ("delaunay(150)", delaunay_planar_graph(150, seed=91)),
+        ("k-tree(120)", k_tree(120, 3, seed=92)),
+    ]
+    for name, g in instances:
+        for epsilon in (0.15, 0.3, 0.5):
+            for algo_name, run in (
+                ("ball", lambda: ball_carving_ldd(g, epsilon, seed=93)),
+                ("thm1.5", lambda: theorem_1_5_ldd(g, epsilon, seed=93)),
+                ("mpx", lambda: mpx_ldd(g, epsilon, seed=93)[0]),
+            ):
+                ldd = run()
+                diam = float(ldd.max_diameter())
+                table.add_row(
+                    name, epsilon, algo_name, len(ldd.clusters),
+                    ldd.cut_fraction(), int(diam), diam * epsilon,
+                )
+                if algo_name == "mpx":
+                    # MPX's budget is in expectation only; just record.
+                    continue
+                report = verify_ldd(ldd)
+                assert report["cut_fraction"] <= epsilon
+                if algo_name == "thm1.5":
+                    # D = O(1/eps): the normalized product is bounded.
+                    assert diam * epsilon <= 30
+    record_table("E09.txt", table)
+
+    g = delaunay_planar_graph(150, seed=91)
+    benchmark.pedantic(
+        lambda: theorem_1_5_ldd(g, 0.3, seed=93), rounds=2, iterations=1
+    )
+
+
+def test_e09_cycle_optimality(benchmark):
+    """On the cycle, fewer than eps*n cut edges force arcs of length
+    >= 1/eps: D = Omega(1/eps) is unavoidable (the paper's remark)."""
+    table = Table(
+        "E9b: cycle witnesses D = Theta(1/eps)",
+        ["eps", "cut_frac", "max_diam", "lower_bound 1/(2 eps)"],
+    )
+    g = cycle_graph(240)
+    for epsilon in (0.1, 0.2, 0.4):
+        ldd = theorem_1_5_ldd(g, epsilon, seed=94)
+        diam = ldd.max_diameter()
+        lower = 1 / (2 * epsilon)
+        table.add_row(epsilon, ldd.cut_fraction(), diam, lower)
+        assert ldd.cut_fraction() <= epsilon
+        # Any valid LDD must have some cluster of diameter >= ~1/eps - 1.
+        if ldd.cut_fraction() > 0:
+            assert diam >= lower - 1
+    record_table("E09.txt", table)
+
+    benchmark.pedantic(
+        lambda: theorem_1_5_ldd(g, 0.2, seed=94), rounds=2, iterations=1
+    )

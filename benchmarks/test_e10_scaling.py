@@ -1,0 +1,97 @@
+"""E10 — Round/congestion scaling of the framework across n.
+
+Claim under test: for fixed epsilon, the framework's measured CONGEST
+cost (rounds, effective rounds, message bits) grows polylogarithmically
+times poly(1/phi) rather than linearly with n for the message *sizes*,
+and every message stays within the O(log n)-bit budget.  Rounds are
+dominated by the random-walk phase, whose length tracks the measured
+cluster mixing times — the phi^{-O(1)} polylog(n) shape of Theorem 2.6.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import Table
+from repro.congest.message import MessageBudget
+from repro.core.framework import partition_minor_free, run_framework
+from repro.generators import delaunay_planar_graph
+
+from _util import record_table, reset_result
+
+
+def degree_solver(sub, leader, notes):
+    return {v: sub.degree(v) for v in sub.vertices()}
+
+
+def test_e10_scaling_sweep(benchmark):
+    reset_result("E10.txt")
+    table = Table(
+        "E10: framework cost vs n (delaunay, eps = 0.3, phi = 0.05)",
+        ["n", "clusters", "rounds", "eff_rounds", "messages",
+         "max_bits", "budget_bits", "congestion"],
+    )
+    rows = []
+    for n in (64, 128, 256, 384, 512):
+        g = delaunay_planar_graph(n, seed=101)
+        result = run_framework(
+            g, 0.9, solver=degree_solver, phi=0.05, seed=102
+        )
+        budget = MessageBudget(g.n).bits
+        metrics = result.metrics
+        table.add_row(
+            n, len(result.clusters), metrics.rounds,
+            metrics.effective_rounds, metrics.total_messages,
+            metrics.max_message_bits, budget, metrics.max_edge_congestion,
+        )
+        rows.append((n, metrics))
+        # The model invariant: never exceed the O(log n) budget.
+        assert metrics.max_message_bits <= budget
+    record_table("E10.txt", table)
+
+    # Shape: message size grows like log n, not n.
+    first_n, first = rows[0]
+    last_n, last = rows[-1]
+    assert last.max_message_bits <= first.max_message_bits * (
+        2 * math.log2(last_n) / math.log2(first_n)
+    )
+    # Rounds grow far slower than the n ratio squared (walks are
+    # phi^{-O(1)} polylog, and phi is fixed across the sweep).
+    assert last.rounds <= first.rounds * (last_n / first_n) ** 2
+
+    g = delaunay_planar_graph(128, seed=101)
+    benchmark.pedantic(
+        lambda: run_framework(g, 0.9, solver=degree_solver, phi=0.05, seed=102),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_e10_epsilon_cost_tradeoff(benchmark):
+    """Smaller epsilon => smaller phi => longer walks: the poly(1/eps)
+    factor of Theorem 2.6, made visible."""
+    table = Table(
+        "E10b: rounds vs phi (delaunay 128)",
+        ["phi", "clusters", "rounds", "eff_rounds"],
+    )
+    g = delaunay_planar_graph(128, seed=103)
+    rounds = []
+    for phi in (0.1, 0.05, 0.02):
+        result = partition_minor_free(
+            g, 0.9, solver=degree_solver, phi=phi, seed=104,
+            enforce_budget=False,
+        )
+        table.add_row(
+            phi, len(result.clusters), result.metrics.rounds,
+            result.metrics.effective_rounds,
+        )
+        rounds.append(result.metrics.rounds)
+    record_table("E10.txt", table)
+    # Coarser clusters (smaller phi) mix slower: rounds increase.
+    assert rounds[-1] >= rounds[0]
+
+    benchmark.pedantic(
+        lambda: run_framework(g, 0.9, solver=degree_solver, phi=0.05, seed=104),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,73 @@
+"""E11 — Hypercube tightness of the expander-decomposition trade-off.
+
+Claim under test (Section 2, citing [4]): after removing any constant
+fraction of a hypercube's edges, some remaining component has
+conductance O(1/log n) — so phi = Omega(eps / log n) is the best
+possible decomposition guarantee.  We measure the certified
+conductances of decomposition clusters across dimensions and check the
+1/d decay, contrasted with a minor-free family whose clusters stay
+small (where phi is limited by cluster size, not by dimension).
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import Table
+from repro.decomposition import expander_decomposition
+from repro.generators import hypercube_graph
+from repro.spectral import conductance_lower_bound, spectral_gap
+
+from _util import record_table, reset_result
+
+
+def test_e11_conductance_decay(benchmark):
+    reset_result("E11.txt")
+    table = Table(
+        "E11: hypercube Q_d, best big-cluster conductance vs 1/d",
+        ["d", "n", "eps", "cut_frac", "big_clusters",
+         "best_big_cluster_phi", "2/d reference"],
+    )
+    for d in (4, 5, 6, 7):
+        g = hypercube_graph(d)
+        epsilon = 0.25
+        dec = expander_decomposition(
+            g, epsilon, seed=0, enforce_budget=False
+        )
+        big = [c for c in dec.clusters if len(c) > 2 ** (d - 2)]
+        best = 0.0
+        for cluster in big:
+            sub = g.subgraph(cluster)
+            best = max(best, conductance_lower_bound(sub))
+        table.add_row(
+            d, g.n, epsilon, dec.cut_fraction(), len(big), best, 2.0 / d
+        )
+        # The shape: no big piece certifies substantially more than
+        # Theta(1/d) conductance.
+        if big:
+            assert best <= 4.0 / d
+    record_table("E11.txt", table)
+
+    g = hypercube_graph(6)
+    benchmark.pedantic(
+        lambda: expander_decomposition(g, 0.25, seed=0, enforce_budget=False),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_e11_whole_cube_gap_matches_theory(benchmark):
+    """lambda_2 of Q_d's normalized Laplacian is exactly 2/d."""
+    table = Table(
+        "E11b: spectral gap of Q_d",
+        ["d", "lambda_2", "2/d"],
+    )
+    for d in (3, 4, 5, 6):
+        g = hypercube_graph(d)
+        gap = spectral_gap(g)
+        table.add_row(d, gap, 2.0 / d)
+        assert gap == pytest.approx(2.0 / d, rel=1e-6)
+    record_table("E11.txt", table)
+
+    g = hypercube_graph(6)
+    benchmark.pedantic(lambda: spectral_gap(g), rounds=3, iterations=1)

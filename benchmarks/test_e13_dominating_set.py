@@ -1,0 +1,88 @@
+"""E13 (extension) — (1 + epsilon)-approximate minimum dominating set.
+
+The paper positions its framework as the way to move the LOCAL-model
+(1 + epsilon) MDS line (Czygrinow et al.) to CONGEST.  Claim under
+test: on bounded-degree minor-free networks, the union of per-cluster
+optimal dominating sets is within (1 + epsilon) of optimum, vs the
+greedy ln-n baseline.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.dominating_set import (
+    distributed_mds,
+    exact_mds,
+    greedy_mds,
+    is_dominating_set,
+)
+from repro.generators import (
+    delaunay_planar_graph,
+    grid_graph,
+    toroidal_grid_graph,
+)
+
+from _util import record_table, reset_result
+
+
+def test_e13_ratio_on_bounded_degree(benchmark):
+    reset_result("E13.txt")
+    table = Table(
+        "E13: dominating set ratios (bounded-degree minor-free)",
+        ["instance", "eps", "opt", "framework", "ratio", "greedy_ratio"],
+    )
+    instances = [
+        ("grid(8x8)", grid_graph(8, 8)),
+        ("torus(7x7)", toroidal_grid_graph(7, 7)),
+        ("delaunay(60)", delaunay_planar_graph(60, seed=131)),
+    ]
+    for name, g in instances:
+        opt = len(exact_mds(g))
+        greedy = len(greedy_mds(g))
+        for epsilon in (0.2, 0.4):
+            result = distributed_mds(g, epsilon, seed=132)
+            assert is_dominating_set(g, result.dominating_set)
+            ratio = result.size / opt
+            table.add_row(
+                name, epsilon, opt, result.size, ratio, greedy / opt
+            )
+            assert ratio <= 1 + epsilon
+    record_table("E13.txt", table)
+
+    g = grid_graph(8, 8)
+    benchmark.pedantic(
+        lambda: distributed_mds(g, 0.3, seed=132), rounds=2, iterations=1
+    )
+
+
+def test_e13_multi_cluster_regime(benchmark):
+    """Forced multi-cluster run: the regime where cut edges cost."""
+    table = Table(
+        "E13b: forced multi-cluster MDS (delaunay 100, phi=0.06)",
+        ["clusters", "best_known", "framework", "ratio"],
+    )
+    from repro.core.framework import partition_minor_free
+    from repro.dominating_set.exact import solve_mds
+
+    g = delaunay_planar_graph(100, seed=133)
+
+    def solver(sub, leader, notes):
+        chosen = solve_mds(sub)
+        return {v: (1 if v in chosen else 0) for v in sub.vertices()}
+
+    framework = partition_minor_free(
+        g, 0.9, phi=0.06, seed=134, solver=solver, enforce_budget=False
+    )
+    dominating = {v for v, take in framework.answers.items() if take == 1}
+    assert is_dominating_set(g, dominating)
+    # Exact MDS at n=100 is beyond the solver's budget; compare against
+    # the best-known centralized solution instead.
+    best_known = len(solve_mds(g, node_budget=400_000))
+    table.add_row(
+        len(framework.clusters), best_known, len(dominating),
+        len(dominating) / best_known,
+    )
+    record_table("E13.txt", table)
+    assert len(dominating) <= 2.0 * best_known  # loose sanity, hard regime
+
+    benchmark.pedantic(lambda: solve_mds(g), rounds=2, iterations=1)

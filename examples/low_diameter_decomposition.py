@@ -1,0 +1,48 @@
+"""Optimal low-diameter decomposition (Theorem 1.5).
+
+Scenario: a planar mesh wants to self-organize into regions of small
+hop-diameter (for local coordination / aggregation), cutting as few
+links as possible.  Theorem 1.5 composes the expander-decomposition
+framework with a sequential LDD run at each leader, reaching the
+optimal D = O(1/epsilon) — compare with generic ball carving's
+O(log m / epsilon).
+
+Run:  python examples/low_diameter_decomposition.py
+"""
+
+from repro import generators, theorem_1_5_ldd, verify_ldd
+from repro.analysis import Table
+from repro.decomposition import ball_carving_ldd
+
+
+def main() -> None:
+    mesh = generators.triangulated_grid_graph(13, 13)
+    print(f"mesh: {mesh.n} nodes, {mesh.m} links")
+
+    table = Table(
+        "low-diameter decompositions",
+        ["epsilon", "algorithm", "regions", "cut fraction",
+         "max region diameter", "diameter * epsilon"],
+    )
+    for epsilon in (0.2, 0.35, 0.5):
+        for name, run in (
+            ("Theorem 1.5", lambda: theorem_1_5_ldd(mesh, epsilon, seed=1)),
+            ("ball carving", lambda: ball_carving_ldd(mesh, epsilon, seed=1)),
+        ):
+            ldd = run()
+            report = verify_ldd(ldd)
+            table.add_row(
+                epsilon, name, int(report["clusters"]),
+                report["cut_fraction"], int(report["max_diameter"]),
+                report["max_diameter"] * epsilon,
+            )
+    table.print()
+    print(
+        "\nshape check: for Theorem 1.5 the 'diameter * epsilon' column "
+        "stays O(1) as epsilon shrinks — the optimal trade-off; a cycle "
+        "network shows no algorithm can do better (see benchmarks/E09)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Distributed planarity testing (Theorem 1.4).
+
+Scenario: a mesh network believes its topology is planar (it was
+deployed on a surface); nodes want to verify this in-network, with
+small messages, and localize the violation if one exists.  We test a
+healthy planar deployment and then one corrupted with K_6 "shortcut
+bundles" that make it epsilon-far from planar.
+
+Run:  python examples/property_testing_demo.py
+"""
+
+from repro import generators
+from repro.analysis import Table
+from repro.graph import Graph
+from repro.property_testing import PLANARITY, distributed_property_test
+
+
+def corrupted_deployment(seed: int) -> Graph:
+    """Planar bulk plus disjoint K_6 'shortcut bundles' (each needs an
+    edge change to become planar => epsilon-far for small epsilon)."""
+    g = generators.delaunay_planar_graph(90, seed=seed)
+    offset = 10_000
+    for island in range(8):
+        base = offset + island * 6
+        for i in range(6):
+            for j in range(i + 1, 6):
+                g.add_edge(base + i, base + j)
+    return g
+
+
+def main() -> None:
+    table = Table(
+        "planarity tester verdicts",
+        ["deployment", "n", "m", "verdict", "rejecting vertices"],
+    )
+
+    healthy = generators.delaunay_planar_graph(120, seed=3)
+    result = distributed_property_test(healthy, PLANARITY, epsilon=0.1, seed=3)
+    rejecters = [v for v, ok in result.verdicts.items() if not ok]
+    table.add_row(
+        "healthy (planar)", healthy.n, healthy.m,
+        "Accept" if result.accepted else "Reject", len(rejecters),
+    )
+    assert result.accepted  # one-sided error: planar always accepts
+
+    corrupted = corrupted_deployment(seed=3)
+    result = distributed_property_test(
+        corrupted, PLANARITY, epsilon=0.05, seed=3
+    )
+    rejecters = [v for v, ok in result.verdicts.items() if not ok]
+    table.add_row(
+        "corrupted (+K6 bundles)", corrupted.n, corrupted.m,
+        "Accept" if result.accepted else "Reject", len(rejecters),
+    )
+    assert not result.accepted
+
+    table.print()
+    localized = [v for v in rejecters if v >= 10_000]
+    print(
+        f"\nrejection localized to the corrupted bundles: "
+        f"{len(localized)}/{len(rejecters)} rejecting vertices are bundle nodes"
+    )
+    for index, verdict in sorted(result.cluster_verdicts.items()):
+        if verdict.startswith("reject"):
+            print(f"  cluster {index}: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

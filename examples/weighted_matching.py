@@ -1,0 +1,61 @@
+"""Weighted matching under adversarial weights (Theorem 1.1).
+
+Scenario: a marketplace on a treewidth-bounded overlay (a partial
+3-tree) where edge weights span three orders of magnitude — the regime
+the paper singles out as hard, because an expander decomposition that
+cuts "few" edges can still cut most of the *weight*.  The iterated
+framework re-optimizes across randomized cluster boundaries so heavy
+edges stuck on a boundary get reconsidered.
+
+Run:  python examples/weighted_matching.py
+"""
+
+from repro import generators
+from repro.analysis import Table
+from repro.matching import (
+    distributed_mwm,
+    greedy_weight_matching,
+    matching_weight,
+    max_weight_matching,
+)
+
+
+def main() -> None:
+    overlay = generators.k_tree(80, 3, seed=9)
+    network = generators.random_integer_weights(overlay, 1000, seed=9)
+    print(
+        f"overlay: {network.n} nodes, {network.m} edges, "
+        f"weights 1..1000 (3-tree, K5-minor-free)"
+    )
+
+    epsilon = 0.25
+    optimum = matching_weight(network, max_weight_matching(network))
+    greedy = matching_weight(network, greedy_weight_matching(network))
+
+    table = Table(
+        "weighted matching quality",
+        ["algorithm", "weight", "ratio vs optimum"],
+    )
+    table.add_row("exact weighted blossom", optimum, 1.0)
+    for iterations in (1, 3, 5):
+        result = distributed_mwm(
+            network, epsilon, iterations=iterations, seed=9
+        )
+        table.add_row(
+            f"framework x{iterations} iterations", result.weight,
+            result.weight / optimum,
+        )
+    table.add_row("greedy (1/2-approx)", greedy, greedy / optimum)
+    table.print()
+
+    final = distributed_mwm(network, epsilon, iterations=5, seed=9)
+    assert final.weight >= (1 - epsilon) * optimum
+    print(
+        f"\nguarantee met: {final.weight:.0f} >= "
+        f"(1 - {epsilon}) * {optimum:.0f}"
+    )
+    print("CONGEST cost (all iterations):", final.metrics().summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro — reproduction of Chang & Su, "Narrowing the LOCAL-CONGEST Gaps
+in Sparse Networks via Expander Decompositions" (PODC 2022).
+
+The package builds the system the paper describes: a CONGEST-model
+simulator, (epsilon, phi) expander decompositions with certificates,
+random-walk cluster routing, the Theorem 2.6 partition-gather-solve
+framework, and every application the paper proves theorems about --
+matching, independent set, correlation clustering, property testing,
+and low-diameter decomposition -- each with sequential exact baselines.
+
+Quickstart::
+
+    from repro import generators, run_framework
+
+    g = generators.delaunay_planar_graph(200, seed=0)
+    result = run_framework(
+        g, epsilon=0.2,
+        solver=lambda sub, leader: {v: sub.degree(v) for v in sub.vertices()},
+        seed=0,
+    )
+    print(result.metrics.summary())
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+per-theorem experiment results.
+"""
+
+from . import generators
+from .core.framework import (
+    FrameworkResult,
+    PartitionResult,
+    partition_minor_free,
+    run_framework,
+)
+from .decomposition.expander import (
+    ExpanderDecomposition,
+    expander_decomposition,
+    verify_expander_decomposition,
+)
+from .decomposition.low_diameter import (
+    LowDiameterDecomposition,
+    theorem_1_5_ldd,
+    verify_ldd,
+)
+from .graph import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "generators",
+    "run_framework",
+    "partition_minor_free",
+    "FrameworkResult",
+    "PartitionResult",
+    "expander_decomposition",
+    "verify_expander_decomposition",
+    "ExpanderDecomposition",
+    "theorem_1_5_ldd",
+    "verify_ldd",
+    "LowDiameterDecomposition",
+    "__version__",
+]

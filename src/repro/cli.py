@@ -1,0 +1,278 @@
+"""Command-line interface: run any of the paper's algorithms on
+generated networks.
+
+Examples::
+
+    python -m repro decompose --family delaunay --n 200 --phi 0.05
+    python -m repro maxis --family ktree --n 100 --eps 0.3
+    python -m repro mwm --n 80 --max-weight 500 --iterations 4
+    python -m repro test-property --property planar --far
+    python -m repro ldd --algorithm thm15 --eps 0.25
+    python -m repro triangles --family trigrid --n 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import Table
+from .graph import Graph
+
+
+def _build_graph(args) -> Graph:
+    from . import generators
+
+    n = args.n
+    side = max(2, int(round(n ** 0.5)))
+    if args.family == "delaunay":
+        return generators.delaunay_planar_graph(n, seed=args.seed)
+    if args.family == "grid":
+        return generators.grid_graph(side, side)
+    if args.family == "trigrid":
+        return generators.triangulated_grid_graph(side, side)
+    if args.family == "ktree":
+        return generators.k_tree(n, 3, seed=args.seed)
+    if args.family == "torus":
+        return generators.toroidal_grid_graph(side, side)
+    if args.family == "cycle":
+        return generators.cycle_graph(n)
+    raise SystemExit(f"unknown family {args.family!r}")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--family", default="delaunay",
+                        choices=["delaunay", "grid", "trigrid", "ktree",
+                                 "torus", "cycle"],
+                        help="graph family to generate")
+    parser.add_argument("--n", type=int, default=100, help="vertex count")
+    parser.add_argument("--eps", type=float, default=0.3,
+                        help="approximation / budget parameter epsilon")
+    parser.add_argument("--phi", type=float, default=None,
+                        help="explicit conductance target (default: theory)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def _print_metrics(metrics) -> None:
+    print("CONGEST:", metrics.summary())
+
+
+def cmd_decompose(args) -> int:
+    from .decomposition import expander_decomposition, verify_expander_decomposition
+
+    g = _build_graph(args)
+    dec = expander_decomposition(
+        g, args.eps, phi=args.phi, seed=args.seed, enforce_budget=False
+    )
+    report = verify_expander_decomposition(dec)
+    table = Table(
+        f"expander decomposition of {args.family}({g.n})",
+        ["cluster", "size", "certified phi"],
+    )
+    for i, (cluster, cert) in enumerate(zip(dec.clusters, dec.certificates)):
+        table.add_row(i, len(cluster), cert)
+    table.print()
+    print(f"\ncut fraction: {report['cut_fraction']:.4f} (budget {dec.epsilon})")
+    return 0
+
+
+def cmd_maxis(args) -> int:
+    from .independent_set import distributed_maxis, solve_maxis
+
+    g = _build_graph(args)
+    result = distributed_maxis(g, args.eps, phi=args.phi, seed=args.seed)
+    best = len(solve_maxis(g))
+    print(f"independent set: {result.size} (best known {best}, "
+          f"ratio {result.size / max(1, best):.3f})")
+    _print_metrics(result.framework.metrics)
+    return 0
+
+
+def cmd_mcm(args) -> int:
+    from .matching import distributed_mcm_planar, max_cardinality_matching
+
+    g = _build_graph(args)
+    result, fw = distributed_mcm_planar(g, args.eps, phi=args.phi,
+                                        seed=args.seed)
+    opt = len(max_cardinality_matching(g))
+    print(f"matching: {result.size} (optimum {opt}, "
+          f"ratio {result.size / max(1, opt):.3f})")
+    if fw is not None:
+        _print_metrics(result.metrics())
+    return 0
+
+
+def cmd_mwm(args) -> int:
+    from .generators import random_integer_weights
+    from .matching import (
+        distributed_mwm,
+        matching_weight,
+        max_weight_matching,
+    )
+
+    g = random_integer_weights(_build_graph(args), args.max_weight,
+                               seed=args.seed)
+    result = distributed_mwm(
+        g, args.eps, iterations=args.iterations, phi=args.phi,
+        seed=args.seed, enforce_budget=False,
+    )
+    opt = matching_weight(g, max_weight_matching(g))
+    print(f"matching weight: {result.weight:.0f} (optimum {opt:.0f}, "
+          f"ratio {result.weight / max(1.0, opt):.3f})")
+    _print_metrics(result.metrics())
+    return 0
+
+
+def cmd_correlation(args) -> int:
+    from .correlation import distributed_correlation_clustering
+    from .generators import planted_signs
+
+    g = _build_graph(args)
+    signs, _ = planted_signs(g, args.communities, noise=args.noise,
+                             seed=args.seed)
+    result = distributed_correlation_clustering(
+        g, signs, args.eps, phi=args.phi, seed=args.seed
+    )
+    print(f"agreement score: {result.score} of |E| = {g.m} "
+          f"({result.score / max(1, g.m):.3f})")
+    _print_metrics(result.framework.metrics)
+    return 0
+
+
+def cmd_mds(args) -> int:
+    from .dominating_set import distributed_mds, solve_mds
+
+    g = _build_graph(args)
+    result = distributed_mds(g, args.eps, phi=args.phi, seed=args.seed)
+    best = len(solve_mds(g))
+    print(f"dominating set: {result.size} (best known {best}, "
+          f"ratio {result.size / max(1, best):.3f})")
+    _print_metrics(result.framework.metrics)
+    return 0
+
+
+def cmd_test_property(args) -> int:
+    from .generators import complete_graph
+    from .property_testing import (
+        FOREST,
+        OUTERPLANAR,
+        PLANARITY,
+        SERIES_PARALLEL,
+        distributed_property_test,
+    )
+
+    properties = {
+        "planar": PLANARITY,
+        "forest": FOREST,
+        "sp": SERIES_PARALLEL,
+        "outerplanar": OUTERPLANAR,
+    }
+    prop = properties[args.property]
+    if args.far:
+        pattern = complete_graph(prop.forbidden_clique + 1)
+        g = Graph()
+        offset = 0
+        for _ in range(max(2, args.n // pattern.n)):
+            for v in pattern.vertices():
+                g.add_vertex(v + offset)
+            for u, v in pattern.edges():
+                g.add_edge(u + offset, v + offset)
+            offset += pattern.n
+    else:
+        g = _build_graph(args)
+    result = distributed_property_test(g, prop, args.eps, seed=args.seed)
+    verdict = "Accept" if result.accepted else "Reject"
+    rejecters = sum(1 for ok in result.verdicts.values() if not ok)
+    print(f"property {prop.name!r} on n={g.n}: {verdict} "
+          f"({rejecters} rejecting vertices)")
+    return 0 if result.accepted == (not args.far) else 1
+
+
+def cmd_ldd(args) -> int:
+    from .decomposition import (
+        ball_carving_ldd,
+        chop_ldd,
+        mpx_ldd,
+        theorem_1_5_ldd,
+    )
+
+    g = _build_graph(args)
+    if args.algorithm == "thm15":
+        ldd = theorem_1_5_ldd(g, args.eps, seed=args.seed)
+    elif args.algorithm == "ball":
+        ldd = ball_carving_ldd(g, args.eps, seed=args.seed)
+    elif args.algorithm == "chop":
+        ldd = chop_ldd(g, args.eps, seed=args.seed)
+    else:
+        ldd, _sim = mpx_ldd(g, args.eps, seed=args.seed)
+    print(f"{args.algorithm}: {len(ldd.clusters)} clusters, "
+          f"cut fraction {ldd.cut_fraction():.4f}, "
+          f"max diameter {ldd.max_diameter()}")
+    return 0
+
+
+def cmd_triangles(args) -> int:
+    from .subgraphs import distributed_triangle_listing, list_triangles
+
+    g = _build_graph(args)
+    found, framework, cut_metrics = distributed_triangle_listing(
+        g, epsilon=args.eps, phi=args.phi, seed=args.seed
+    )
+    expected = list_triangles(g)
+    status = "exact" if found == expected else "MISMATCH"
+    print(f"triangles: {len(found)} listed ({status}); "
+          f"{len(framework.decomposition.cut_edges)} cut edges handled")
+    return 0 if found == expected else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Expander-decomposition CONGEST framework "
+            "(Chang & Su, PODC 2022 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    commands = {
+        "decompose": cmd_decompose,
+        "maxis": cmd_maxis,
+        "mcm": cmd_mcm,
+        "mwm": cmd_mwm,
+        "correlation": cmd_correlation,
+        "mds": cmd_mds,
+        "test-property": cmd_test_property,
+        "ldd": cmd_ldd,
+        "triangles": cmd_triangles,
+    }
+    for name, handler in commands.items():
+        p = sub.add_parser(name)
+        _add_common(p)
+        p.set_defaults(handler=handler)
+        if name == "mwm":
+            p.add_argument("--max-weight", type=int, default=100)
+            p.add_argument("--iterations", type=int, default=3)
+        if name == "correlation":
+            p.add_argument("--communities", type=int, default=3)
+            p.add_argument("--noise", type=float, default=0.1)
+        if name == "test-property":
+            p.add_argument("--property", default="planar",
+                           choices=["planar", "forest", "sp", "outerplanar"])
+            p.add_argument("--far", action="store_true",
+                           help="test an epsilon-far instance instead")
+        if name == "ldd":
+            p.add_argument("--algorithm", default="thm15",
+                           choices=["thm15", "ball", "chop", "mpx"])
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Vertex-algorithm API for the CONGEST simulator.
+
+A distributed algorithm is written once per *vertex*: subclass
+:class:`VertexAlgorithm`, read the inbox, call :meth:`VertexContext.send`
+on the context, and eventually :meth:`VertexContext.halt` with an
+output.  The simulator instantiates one algorithm object per vertex and
+drives them in synchronized rounds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ProtocolError
+
+
+class VertexContext:
+    """Per-vertex view of the network, handed to the algorithm each round.
+
+    The context exposes exactly what a CONGEST processor knows: its own
+    ID, its incident edges (neighbor IDs and weights), the global
+    parameter ``n`` (standard in CONGEST), the current round number, and
+    a private random generator.  It deliberately exposes nothing else —
+    algorithms that need more must communicate for it.
+    """
+
+    def __init__(
+        self,
+        vertex: Any,
+        neighbors: Sequence[Any],
+        edge_weights: Dict[Any, float],
+        n: int,
+        rng: random.Random,
+    ) -> None:
+        self.vertex = vertex
+        self.neighbors = tuple(neighbors)
+        self.edge_weights = dict(edge_weights)
+        self.n = n
+        self.rng = rng
+        self.round_number = 0
+        self._outbox: List = []
+        self._halted = False
+        self._output: Any = None
+
+    # -- communication -------------------------------------------------
+    def send(self, neighbor: Any, payload: Any) -> None:
+        """Queue ``payload`` for delivery to ``neighbor`` next round."""
+        if self._halted:
+            raise ProtocolError(f"vertex {self.vertex!r} sent after halting")
+        if neighbor not in self.edge_weights:
+            raise ProtocolError(
+                f"vertex {self.vertex!r} tried to send to non-neighbor "
+                f"{neighbor!r}"
+            )
+        self._outbox.append((neighbor, payload))
+
+    def broadcast(self, payload: Any) -> None:
+        """Send the same payload to every neighbor."""
+        for neighbor in self.neighbors:
+            self.send(neighbor, payload)
+
+    # -- termination ----------------------------------------------------
+    def halt(self, output: Any = None) -> None:
+        """Stop participating and record this vertex's final output."""
+        self._halted = True
+        self._output = output
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    @property
+    def output(self) -> Any:
+        return self._output
+
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+    # -- simulator internals ---------------------------------------------
+    def _drain_outbox(self) -> List:
+        out, self._outbox = self._outbox, []
+        return out
+
+
+class VertexAlgorithm:
+    """Base class for CONGEST vertex programs.
+
+    Subclasses override :meth:`initialize` (run once, before round 1;
+    may already send) and :meth:`step` (run every round with the
+    messages received in the previous round).  Vertices halt
+    individually; the simulation ends when every vertex has halted or
+    the round limit is hit.
+    """
+
+    def initialize(self, ctx: VertexContext) -> None:
+        """One-time setup; may send round-0 messages."""
+
+    def step(self, ctx: VertexContext, inbox: Dict[Any, List[Any]]) -> None:
+        """Process one synchronous round.
+
+        ``inbox`` maps each neighbor to the list of payloads it sent
+        last round (absent neighbors sent nothing).
+        """
+        raise NotImplementedError
+
+    # -- scheduling hints (optional) -----------------------------------
+    def is_idle(self, ctx: VertexContext) -> bool:
+        """May the simulator skip this vertex until something happens?
+
+        Consulted after each step.  Returning True promises that the
+        vertex has nothing to send until either a message arrives or
+        the round returned by :meth:`next_wakeup`.  The default (False)
+        keeps the textbook behavior of stepping every round.  This is a
+        pure simulation-efficiency hint: round counters advance exactly
+        as if the vertex had been stepped and done nothing.
+        """
+        return False
+
+    def next_wakeup(self, ctx: VertexContext) -> Optional[int]:
+        """Earliest future round at which an idle vertex must step.
+
+        Only consulted when :meth:`is_idle` returned True.  ``None``
+        means the vertex only needs to wake on message arrival.
+        """
+        return None

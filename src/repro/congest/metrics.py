@@ -1,0 +1,78 @@
+"""Round, message, and congestion accounting for CONGEST runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class CongestMetrics:
+    """Aggregate statistics of one simulated execution.
+
+    ``rounds``
+        Synchronous rounds executed by the simulator.
+    ``effective_rounds``
+        Σ over rounds of the maximum number of messages any single
+        directed edge carried in that round.  When an algorithm batches
+        several unit messages onto one edge in one simulated round
+        (which real CONGEST would serialize), this is the faithful
+        CONGEST round count.  For strict capacity-1 runs it equals
+        ``rounds``.
+    ``total_messages`` / ``total_bits``
+        Volume counters across the whole run.
+    ``max_message_bits``
+        The largest single message observed — the experiment E12 series
+        showing the framework stays within O(log n) bits.
+    ``max_edge_congestion``
+        max over (round, edge) of messages carried — Lemma 2.4 claims
+        this is O(log n) for the random-walk router.
+    """
+
+    rounds: int = 0
+    effective_rounds: int = 0
+    total_messages: int = 0
+    total_bits: int = 0
+    max_message_bits: int = 0
+    max_edge_congestion: int = 0
+    messages_per_round: List[int] = field(default_factory=list)
+
+    def record_round(self, per_edge_counts: Dict, messages: int, bits: int) -> None:
+        """Fold one round of traffic into the aggregates."""
+        self.rounds += 1
+        round_congestion = max(per_edge_counts.values(), default=0)
+        self.effective_rounds += max(1, round_congestion)
+        self.total_messages += messages
+        self.total_bits += bits
+        self.max_edge_congestion = max(self.max_edge_congestion, round_congestion)
+        self.messages_per_round.append(messages)
+
+    def record_message(self, bits: int) -> None:
+        """Track the size of one message."""
+        self.max_message_bits = max(self.max_message_bits, bits)
+
+    def merge(self, other: "CongestMetrics") -> "CongestMetrics":
+        """Combine two executions run back to back (phases of one algorithm)."""
+        merged = CongestMetrics(
+            rounds=self.rounds + other.rounds,
+            effective_rounds=self.effective_rounds + other.effective_rounds,
+            total_messages=self.total_messages + other.total_messages,
+            total_bits=self.total_bits + other.total_bits,
+            max_message_bits=max(self.max_message_bits, other.max_message_bits),
+            max_edge_congestion=max(
+                self.max_edge_congestion, other.max_edge_congestion
+            ),
+            messages_per_round=self.messages_per_round + other.messages_per_round,
+        )
+        return merged
+
+    def summary(self) -> Dict[str, int]:
+        """Compact dict for reporting tables."""
+        return {
+            "rounds": self.rounds,
+            "effective_rounds": self.effective_rounds,
+            "total_messages": self.total_messages,
+            "total_bits": self.total_bits,
+            "max_message_bits": self.max_message_bits,
+            "max_edge_congestion": self.max_edge_congestion,
+        }

@@ -1,0 +1,97 @@
+"""Distributed (1 - epsilon) correlation clustering (Theorem 1.3 / §3.3).
+
+Section 3.3 verbatim: run Theorem 2.6 with epsilon' = epsilon / 2, let
+each leader solve its cluster, and take the union of the per-cluster
+clusterings (with globally distinct labels).  The analysis charges the
+lost positive inter-cluster edges against gamma(G) >= |E| / 2; negative
+inter-cluster edges automatically score, since distinct clusters never
+share a label.
+
+Signs travel as edge weights (+1 / -1), so the standard topology
+gathering delivers them to the leaders unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..core.framework import FrameworkResult, run_framework
+from ..errors import SolverError
+from ..graph import Graph, edge_key
+from ..generators.weights import SignMap
+from ..rng import SeedLike, ensure_rng
+from .local_search import solve_correlation
+from .scoring import agreement_score
+
+
+@dataclass
+class DistributedClusteringResult:
+    """The clustering plus its execution record."""
+
+    labels: Dict
+    score: int
+    epsilon: float
+    framework: FrameworkResult
+
+
+def _signed_graph(graph: Graph, signs: SignMap) -> Graph:
+    """Copy of ``graph`` with the sign stored as the edge weight."""
+    g = Graph()
+    for v in graph.vertices():
+        g.add_vertex(v)
+    for u, v in graph.edges():
+        sign = signs.get(edge_key(u, v))
+        if sign not in (1, -1):
+            raise SolverError(f"edge ({u!r}, {v!r}) has invalid sign {sign!r}")
+        g.add_edge(u, v, float(sign))
+    return g
+
+
+def distributed_correlation_clustering(
+    graph: Graph,
+    signs: SignMap,
+    epsilon: float,
+    phi: Optional[float] = None,
+    seed: SeedLike = None,
+) -> DistributedClusteringResult:
+    """Theorem 1.3: (1 - epsilon)-approximate agreement maximization."""
+    if not 0.0 < epsilon < 1.0:
+        raise SolverError("epsilon must lie in (0, 1)")
+    rng = ensure_rng(seed)
+    signed = _signed_graph(graph, signs)
+
+    def solver(sub: Graph, leader: Any, notes: Dict) -> Dict[Any, Any]:
+        local_signs = {
+            edge_key(u, v): (1 if w > 0 else -1)
+            for u, v, w in sub.weighted_edges()
+        }
+        local_labels, _score = solve_correlation(
+            sub, local_signs, seed=rng.getrandbits(64)
+        )
+        # Globalize labels by pairing them with the leader's identity;
+        # each answer is one O(log n)-bit pair.
+        return {v: ("L", local_labels[v]) for v in sub.vertices()}
+
+    framework = run_framework(
+        signed,
+        epsilon / 2.0,
+        solver=solver,
+        phi=phi,
+        seed=rng.getrandbits(64),
+    )
+
+    labels: Dict = {}
+    for run in framework.clusters:
+        for v in run.vertices:
+            answer = framework.answers.get(v)
+            local = answer[1] if answer else 0
+            labels[v] = (run.leader, local)
+
+    score = agreement_score(graph, signs, labels)
+    return DistributedClusteringResult(
+        labels=labels,
+        score=score,
+        epsilon=epsilon,
+        framework=framework,
+    )

@@ -1,0 +1,72 @@
+"""Exact agreement maximization by pruned partition enumeration.
+
+Correlation clustering is APX-hard, so exact solving is reserved for
+small graphs: the enumeration assigns vertices one at a time to an
+existing group or a fresh one (restricted growth strings, i.e. set
+partitions without label symmetry), pruning branches whose score plus
+the number of unscored edges cannot beat the incumbent.  Used as the
+oracle for the local-search solver and for tiny clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import SolverError
+from ..graph import Graph, edge_key
+from ..generators.weights import SignMap
+
+#: Largest vertex count the exponential enumeration accepts.
+EXACT_CORRELATION_LIMIT = 11
+
+
+def exact_correlation(graph: Graph, signs: SignMap) -> Tuple[Dict, int]:
+    """Optimal clustering and its agreement score (n <= 11 only)."""
+    if graph.n > EXACT_CORRELATION_LIMIT:
+        raise SolverError(
+            f"exact correlation clustering is limited to "
+            f"n <= {EXACT_CORRELATION_LIMIT}"
+        )
+    vertices = graph.vertices()
+    n = len(vertices)
+    if n == 0:
+        return {}, 0
+    index = {v: i for i, v in enumerate(vertices)}
+
+    # Adjacency with signs, restricted to already-placed vertices.
+    signed_neighbors: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    for u, v in graph.edges():
+        sign = signs[edge_key(u, v)]
+        iu, iv = index[u], index[v]
+        hi, lo = max(iu, iv), min(iu, iv)
+        signed_neighbors[hi].append((lo, sign))
+
+    # Edges scored when placing vertex i: those to vertices < i.
+    future_edges = [0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        future_edges[i] = future_edges[i + 1] + len(signed_neighbors[i])
+
+    best_score = -1
+    best_labels: List[int] = []
+
+    labels = [0] * n
+
+    def place(i: int, groups: int, score: int) -> None:
+        nonlocal best_score, best_labels
+        if score + future_edges[i] <= best_score:
+            return
+        if i == n:
+            best_score = score
+            best_labels = labels[:]
+            return
+        for g in range(groups + 1):
+            gained = 0
+            for j, sign in signed_neighbors[i]:
+                same = labels[j] == g
+                if (sign > 0) == same:
+                    gained += 1
+            labels[i] = g
+            place(i + 1, max(groups, g + 1), score + gained)
+
+    place(0, 0, 0)
+    return {vertices[i]: best_labels[i] for i in range(n)}, best_score

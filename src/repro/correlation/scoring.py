@@ -1,0 +1,42 @@
+"""Scoring and trivial baselines for correlation clustering."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import GraphError
+from ..graph import Graph, edge_key
+from ..generators.weights import SignMap
+
+
+def agreement_score(graph: Graph, signs: SignMap, labels: Dict) -> int:
+    """Number of agreements of the clustering ``labels``.
+
+    An edge agrees when it is positive and intra-cluster, or negative
+    and inter-cluster — the objective of Section 3.3.
+    """
+    score = 0
+    for u, v in graph.edges():
+        sign = signs.get(edge_key(u, v))
+        if sign is None:
+            raise GraphError(f"edge ({u!r}, {v!r}) has no sign")
+        same = labels[u] == labels[v]
+        if (sign > 0) == same:
+            score += 1
+    return score
+
+
+def best_trivial_clustering(graph: Graph, signs: SignMap) -> Tuple[Dict, int]:
+    """The better of all-singletons and everything-in-one-cluster.
+
+    Guarantees score >= |E| / 2 (the gamma(G) bound the framework's
+    analysis charges against): singletons collect every negative edge,
+    the single cluster collects every positive one.
+    """
+    singletons = {v: i for i, v in enumerate(graph.vertices())}
+    one_cluster = {v: 0 for v in graph.vertices()}
+    score_singletons = agreement_score(graph, signs, singletons)
+    score_one = agreement_score(graph, signs, one_cluster)
+    if score_singletons >= score_one:
+        return singletons, score_singletons
+    return one_cluster, score_one

@@ -1,0 +1,37 @@
+"""Graph decompositions.
+
+Two decompositions drive the paper: the (epsilon, phi) *expander
+decomposition* (Theorems 2.1/2.2, consumed as a black box by the
+framework of Theorem 2.6) and the *low-diameter decomposition* the
+framework itself produces (Theorem 1.5).  Both are implemented here
+with machine-checkable certificates.
+"""
+
+from .expander import (
+    ExpanderDecomposition,
+    expander_decomposition,
+    phi_for_epsilon,
+    verify_expander_decomposition,
+)
+from .low_diameter import (
+    LowDiameterDecomposition,
+    ball_carving_ldd,
+    chop_ldd,
+    theorem_1_5_ldd,
+    verify_ldd,
+)
+from .mpx import MPXClustering, mpx_ldd
+
+__all__ = [
+    "ExpanderDecomposition",
+    "expander_decomposition",
+    "phi_for_epsilon",
+    "verify_expander_decomposition",
+    "LowDiameterDecomposition",
+    "ball_carving_ldd",
+    "chop_ldd",
+    "theorem_1_5_ldd",
+    "verify_ldd",
+    "MPXClustering",
+    "mpx_ldd",
+]

@@ -1,0 +1,119 @@
+"""Distributed low-diameter decomposition via exponential shifts (MPX).
+
+The Miller-Peng-Xu clustering is the classic *distributed* LDD the
+paper's Theorem 1.5 improves upon on minor-free networks: every vertex
+u draws a shift delta_u ~ Exp(beta), and each vertex v joins the
+cluster of the u maximizing delta_u - d(u, v).  With beta = eps / 2
+each edge is cut with probability O(eps) and clusters have diameter
+O(log n / eps) with high probability — the eps^{-1} log n diameter that
+Theorem 1.5's O(1/eps) beats.
+
+The construction here runs genuinely message-by-message on the CONGEST
+simulator: each vertex floods its best known (shift - distance) key and
+adopts improvements, a shifted-BFS wave that stabilizes within
+max-shift + cluster-diameter rounds.  Shifts travel as fixed-point
+integers so messages stay within the O(log n)-bit budget.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..congest import (
+    CongestSimulator,
+    SimulationResult,
+    VertexAlgorithm,
+    VertexContext,
+)
+from ..errors import DecompositionError
+from ..graph import Graph
+from ..rng import SeedLike, ensure_rng
+from .low_diameter import LowDiameterDecomposition, _crossing_edges
+
+#: Fixed-point denominator for shipping fractional shifts in messages.
+SHIFT_SCALE = 1_000_000
+
+
+class MPXClustering(VertexAlgorithm):
+    """One vertex of the exponential-shift clustering protocol.
+
+    State: the best key (shift_u - d(u, v), tie-broken by root ID) seen
+    so far.  Protocol: broadcast your own candidacy at start; whenever
+    the best key improves, re-broadcast it with the distance
+    incremented.  Halt at the round budget with the adopted root.
+    """
+
+    def __init__(self, beta: float, shift_cap: float, budget: int) -> None:
+        self.beta = beta
+        self.shift_cap = shift_cap
+        self.budget = budget
+        # (scaled shift of root, root, hop distance to root); the
+        # adoption key is (scaled_shift - dist * SCALE, root).
+        self.best: Optional[Tuple[int, Any, int]] = None
+
+    @staticmethod
+    def _key(scaled: int, root: Any, dist: int) -> Tuple[int, Any]:
+        return (scaled - dist * SHIFT_SCALE, root)
+
+    def initialize(self, ctx: VertexContext) -> None:
+        shift = min(ctx.rng.expovariate(self.beta), self.shift_cap)
+        scaled = int(shift * SHIFT_SCALE)
+        self.best = (scaled, ctx.vertex, 0)
+        ctx.broadcast((ctx.vertex, scaled, 0))
+
+    def step(self, ctx: VertexContext, inbox: Dict[Any, List[Any]]) -> None:
+        improved = False
+        for payloads in inbox.values():
+            for root, scaled, dist in payloads:
+                candidate = (scaled, root, dist + 1)
+                if self._key(*candidate) > self._key(*self.best):
+                    self.best = candidate
+                    improved = True
+        if improved:
+            scaled, root, dist = self.best
+            ctx.broadcast((root, scaled, dist))
+        if ctx.round_number >= self.budget:
+            ctx.halt(self.best[1])
+
+
+def mpx_ldd(
+    graph: Graph,
+    epsilon: float,
+    seed: SeedLike = None,
+    beta: Optional[float] = None,
+) -> Tuple[LowDiameterDecomposition, SimulationResult]:
+    """Run the distributed MPX clustering; returns (LDD, simulation).
+
+    ``beta`` defaults to epsilon / 2, so the expected cut fraction is
+    at most epsilon (each edge is cut with probability <= 1 - e^{-beta}
+    <= beta per endpoint ordering).  The LDD's cut budget is therefore
+    probabilistic — callers that need a hard budget retry with a fresh
+    seed (the benchmark does, and reports the observed distribution).
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise DecompositionError("epsilon must lie in (0, 1)")
+    if graph.n == 0:
+        raise DecompositionError("cannot decompose an empty graph")
+    rng = ensure_rng(seed)
+    if beta is None:
+        beta = epsilon / 2.0
+    shift_cap = 4.0 * math.log(graph.n + 2) / beta
+    budget = int(math.ceil(shift_cap)) + 4
+
+    simulator = CongestSimulator(
+        graph,
+        lambda v: MPXClustering(beta, shift_cap, budget),
+        seed=rng.getrandbits(64),
+    )
+    result = simulator.run(max_rounds=budget + 2)
+
+    by_root: Dict[Any, set] = {}
+    for v, root in result.outputs.items():
+        by_root.setdefault(root, set()).add(v)
+    clusters = list(by_root.values())
+    ldd = LowDiameterDecomposition(
+        graph=graph, epsilon=epsilon, clusters=clusters
+    )
+    ldd.cut_edges = _crossing_edges(graph, clusters)
+    return ldd, result

@@ -1,0 +1,32 @@
+"""Minimum dominating set (extension).
+
+The paper's related-work section traces a line of LOCAL-model
+(1 + epsilon)-approximations for minimum dominating set on planar and
+bounded-genus networks (Czygrinow et al. [25-31]) and presents its
+framework as the opportunity to move that line to CONGEST.  This
+package does exactly that move: an exact branch-and-bound MDS solver
+(run at cluster leaders), the ln-n greedy baseline, and the
+framework-based distributed algorithm.
+
+Approximation note: the union-of-cluster-optima argument gives
+|D| <= |D*| + 2 * (#inter-cluster edges), so the (1 + epsilon) ratio is
+guaranteed whenever gamma(G) = Omega(n) — e.g. on bounded-degree
+minor-free networks (gamma >= n / (Delta + 1)).  Unlike matching
+(Lemma 3.1), no local preprocessing can enforce gamma = Omega(n) in
+general (a star has gamma = 1), so experiment E13 reports measured
+ratios on bounded-degree families, where the guarantee applies.
+"""
+
+from .exact import exact_mds, solve_mds
+from .greedy import greedy_mds
+from .distributed import DistributedMDSResult, distributed_mds
+from .util import is_dominating_set
+
+__all__ = [
+    "exact_mds",
+    "solve_mds",
+    "greedy_mds",
+    "DistributedMDSResult",
+    "distributed_mds",
+    "is_dominating_set",
+]

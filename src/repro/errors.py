@@ -1,0 +1,71 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the failure domains below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Structural misuse of a :class:`repro.graph.Graph`.
+
+    Raised for missing vertices/edges, self loops, and malformed inputs
+    to graph constructors.
+    """
+
+
+class MessageTooLargeError(ReproError):
+    """A CONGEST message exceeded the per-message bit budget.
+
+    The CONGEST model caps each message at ``O(log n)`` bits.  The
+    simulator measures every message and raises this error when an
+    algorithm tries to exceed its configured budget, which is how the
+    library *enforces* (rather than merely asserts) the paper's model
+    assumptions.
+    """
+
+    def __init__(self, bits: int, budget: int, detail: str = "") -> None:
+        self.bits = bits
+        self.budget = budget
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"message of {bits} bits exceeds the CONGEST budget of "
+            f"{budget} bits{suffix}"
+        )
+
+
+class ProtocolError(ReproError):
+    """A vertex algorithm violated the simulator's contract.
+
+    Examples: sending to a non-neighbor, producing output before
+    halting, or sending more messages per edge than the configured
+    capacity in strict mode.
+    """
+
+
+class DecompositionError(ReproError):
+    """A decomposition routine could not satisfy its guarantees.
+
+    Raised when an (epsilon, phi) expander decomposition or a
+    low-diameter decomposition cannot meet its edge budget or
+    conductance certificate on the given input.
+    """
+
+
+class RoutingError(ReproError):
+    """Expander routing failed to deliver messages.
+
+    Mirrors the failure semantics of Section 2.3 of the paper: a failed
+    routing execution is detected (by reversing the route) and surfaced
+    so that callers such as the property tester can react to it.
+    """
+
+
+class SolverError(ReproError):
+    """An exact combinatorial solver was used outside its valid range."""

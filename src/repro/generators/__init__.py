@@ -1,0 +1,65 @@
+"""Graph and workload generators.
+
+The paper evaluates nothing empirically, so the experiment suite needs
+workloads spanning the graph classes the paper names: planar graphs,
+bounded-genus graphs, bounded-treewidth graphs, and general
+H-minor-free graphs — plus the adversarial instances used by its
+remarks (hypercubes for the decomposition lower bound, cycles for LDD
+optimality).  Everything here is seeded and deterministic.
+"""
+
+from .classic import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from .planar import (
+    delaunay_planar_graph,
+    maximal_outerplanar_graph,
+    random_planar_graph,
+    triangulated_grid_graph,
+)
+from .minorfree import (
+    apex_graph,
+    k_tree,
+    partial_k_tree,
+    series_parallel_graph,
+    toroidal_grid_graph,
+)
+from .weights import (
+    planted_signs,
+    random_integer_weights,
+    random_signs,
+    with_weights,
+)
+
+__all__ = [
+    "complete_bipartite_graph",
+    "complete_graph",
+    "cycle_graph",
+    "gnp_random_graph",
+    "grid_graph",
+    "hypercube_graph",
+    "path_graph",
+    "random_tree",
+    "star_graph",
+    "delaunay_planar_graph",
+    "maximal_outerplanar_graph",
+    "random_planar_graph",
+    "triangulated_grid_graph",
+    "apex_graph",
+    "k_tree",
+    "partial_k_tree",
+    "series_parallel_graph",
+    "toroidal_grid_graph",
+    "planted_signs",
+    "random_integer_weights",
+    "random_signs",
+    "with_weights",
+]

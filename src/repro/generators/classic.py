@@ -1,0 +1,162 @@
+"""Classic graph families.
+
+These serve three roles in the experiment suite: easy sanity instances
+(paths, cycles, grids), extremal instances the paper discusses (cycles
+witness the O(1/epsilon) LDD diameter lower bound; hypercubes witness
+the Omega(eps/log n) conductance bound for expander decompositions),
+and non-minor-free instances (cliques, random graphs) used as negative
+controls for the property tester.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..errors import GraphError
+from ..graph import Graph
+from ..rng import SeedLike, ensure_rng
+
+
+def path_graph(n: int) -> Graph:
+    """The path on vertices ``0..n-1``."""
+    if n < 0:
+        raise GraphError("n must be non-negative")
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for v in range(n - 1):
+        g.add_edge(v, v + 1)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle on vertices ``0..n-1`` (requires n >= 3)."""
+    if n < 3:
+        raise GraphError("a cycle needs at least 3 vertices")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def star_graph(leaves: int) -> Graph:
+    """Star with center 0 and ``leaves`` leaves ``1..leaves``."""
+    if leaves < 0:
+        raise GraphError("leaves must be non-negative")
+    g = Graph()
+    g.add_vertex(0)
+    for v in range(1, leaves + 1):
+        g.add_edge(0, v)
+    return g
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n on vertices ``0..n-1``."""
+    if n < 0:
+        raise GraphError("n must be non-negative")
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for u, v in combinations(range(n), 2):
+        g.add_edge(u, v)
+    return g
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """K_{a,b}; left side ``0..a-1``, right side ``a..a+b-1``."""
+    if a < 0 or b < 0:
+        raise GraphError("part sizes must be non-negative")
+    g = Graph()
+    for v in range(a + b):
+        g.add_vertex(v)
+    for u in range(a):
+        for v in range(a, a + b):
+            g.add_edge(u, v)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The rows x cols grid; vertex (r, c) is numbered ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be positive")
+    g = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            g.add_vertex(r * cols + c)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols)
+    return g
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """The d-dimensional hypercube Q_d on ``2**d`` vertices.
+
+    Hypercubes are the paper's witness (Section 2, citing [4]) that the
+    phi = Omega(eps / log n) trade-off of expander decompositions is
+    tight: after removing any constant fraction of edges, some
+    component has conductance O(1/log n).
+    """
+    if dimension < 0:
+        raise GraphError("dimension must be non-negative")
+    g = Graph()
+    for v in range(1 << dimension):
+        g.add_vertex(v)
+    for v in range(1 << dimension):
+        for bit in range(dimension):
+            u = v ^ (1 << bit)
+            if u > v:
+                g.add_edge(v, u)
+    return g
+
+
+def gnp_random_graph(n: int, p: float, seed: SeedLike = None) -> Graph:
+    """Erdos–Renyi G(n, p)."""
+    if not 0.0 <= p <= 1.0:
+        raise GraphError("p must lie in [0, 1]")
+    rng = ensure_rng(seed)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for u, v in combinations(range(n), 2):
+        if rng.random() < p:
+            g.add_edge(u, v)
+    return g
+
+
+def random_tree(n: int, seed: SeedLike = None) -> Graph:
+    """A uniformly random labeled tree via a random Pruefer sequence."""
+    if n < 1:
+        raise GraphError("a tree needs at least one vertex")
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    if n == 1:
+        return g
+    if n == 2:
+        g.add_edge(0, 1)
+        return g
+    rng = ensure_rng(seed)
+    pruefer = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for v in pruefer:
+        degree[v] += 1
+    # Standard Pruefer decoding: repeatedly join the smallest leaf to
+    # the next sequence element.
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for v in pruefer:
+        leaf = heapq.heappop(leaves)
+        g.add_edge(leaf, v)
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    g.add_edge(u, v)
+    return g

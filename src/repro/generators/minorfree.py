@@ -1,0 +1,144 @@
+"""Generators for non-planar minor-closed graph classes.
+
+The paper's results hold for *any* H-minor-free class, so the
+experiment suite needs instances beyond planar graphs: bounded
+treewidth (k-trees and partial k-trees, which are K_{k+2}-minor-free),
+bounded genus (toroidal grids), and apex graphs (planar plus one
+universal-ish vertex, which are K_6-minor-free when the base is
+planar).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Tuple
+
+from ..errors import GraphError
+from ..graph import Graph
+from ..rng import SeedLike, ensure_rng
+from .planar import delaunay_planar_graph
+
+
+def k_tree(n: int, k: int, seed: SeedLike = None) -> Graph:
+    """A random k-tree on ``n`` vertices.
+
+    Construction: start with K_{k+1}; each new vertex is attached to a
+    uniformly random existing k-clique.  k-trees have treewidth exactly
+    ``k`` and are K_{k+2}-minor-free, so they exercise the framework on
+    a minor-free class with unbounded genus.
+    """
+    if k < 1:
+        raise GraphError("k must be at least 1")
+    if n < k + 1:
+        raise GraphError(f"a {k}-tree needs at least {k + 1} vertices")
+    rng = ensure_rng(seed)
+    g = Graph()
+    base = list(range(k + 1))
+    for v in base:
+        g.add_vertex(v)
+    for u, v in combinations(base, 2):
+        g.add_edge(u, v)
+    # Track all k-cliques available for attachment.
+    cliques: List[Tuple[int, ...]] = [tuple(c) for c in combinations(base, k)]
+    for v in range(k + 1, n):
+        attach = rng.choice(cliques)
+        for u in attach:
+            g.add_edge(v, u)
+        for sub in combinations(attach, k - 1):
+            cliques.append(tuple(sorted(sub + (v,))))
+    return g
+
+
+def partial_k_tree(
+    n: int, k: int, edge_fraction: float = 0.7, seed: SeedLike = None
+) -> Graph:
+    """A connected random subgraph of a k-tree (treewidth <= k).
+
+    Partial k-trees are exactly the graphs of treewidth at most k; they
+    model sparse networks with tree-like backbone structure.  A
+    spanning tree of the k-tree is always kept so the result is
+    connected.
+    """
+    if not 0.0 <= edge_fraction <= 1.0:
+        raise GraphError("edge_fraction must lie in [0, 1]")
+    rng = ensure_rng(seed)
+    base = k_tree(n, k, seed=rng.getrandbits(64))
+    edges = base.edges()
+    rng.shuffle(edges)
+
+    parent = {v: v for v in base.vertices()}
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    keep = []
+    extra = []
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            keep.append((u, v))
+        else:
+            extra.append((u, v))
+    budget = max(0, int(round(edge_fraction * len(edges))) - len(keep))
+    keep.extend(extra[:budget])
+
+    g = Graph()
+    for v in base.vertices():
+        g.add_vertex(v)
+    for u, v in keep:
+        g.add_edge(u, v)
+    return g
+
+
+def series_parallel_graph(n: int, seed: SeedLike = None) -> Graph:
+    """A random series-parallel (treewidth-2) graph — a partial 2-tree."""
+    return partial_k_tree(n, 2, edge_fraction=0.85, seed=seed)
+
+
+def toroidal_grid_graph(rows: int, cols: int) -> Graph:
+    """The rows x cols grid on the torus (wrap-around in both axes).
+
+    Genus-1 and generally non-planar, but still H-minor-free for a
+    fixed H (bounded-genus graphs exclude large cliques), so it is the
+    suite's bounded-genus representative.
+    """
+    if rows < 3 or cols < 3:
+        raise GraphError("toroidal grid needs both dimensions >= 3")
+    g = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            g.add_vertex(r * cols + c)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            g.add_edge(v, r * cols + (c + 1) % cols)
+            g.add_edge(v, ((r + 1) % rows) * cols + c)
+    return g
+
+
+def apex_graph(
+    n: int, apex_degree_fraction: float = 0.5, seed: SeedLike = None
+) -> Graph:
+    """A planar graph plus one apex vertex joined to a random subset.
+
+    Apex graphs (planar + one vertex) are K_6-minor-free; they are a
+    classic example of a minor-closed class strictly between planar and
+    general graphs.  The apex is vertex ``n - 1``.
+    """
+    if n < 4:
+        raise GraphError("an apex graph needs at least 4 vertices")
+    if not 0.0 < apex_degree_fraction <= 1.0:
+        raise GraphError("apex_degree_fraction must lie in (0, 1]")
+    rng = ensure_rng(seed)
+    g = delaunay_planar_graph(n - 1, seed=rng.getrandbits(64))
+    apex = n - 1
+    g.add_vertex(apex)
+    others = [v for v in g.vertices() if v != apex]
+    count = max(1, int(round(apex_degree_fraction * len(others))))
+    for v in rng.sample(others, count):
+        g.add_edge(apex, v)
+    return g

@@ -1,0 +1,470 @@
+"""Core undirected graph data structure.
+
+The library uses its own small graph class rather than ``networkx`` for
+three reasons: (1) the CONGEST simulator needs tight control over
+adjacency iteration order for determinism, (2) the decomposition code
+calls volume/cut/conductance primitives in hot loops, and (3) keeping
+the substrate self-contained lets the test suite use ``networkx`` as an
+*independent oracle* instead of a dependency of the code under test.
+
+Vertices are arbitrary hashable objects, though the generators in
+:mod:`repro.generators` always produce contiguous integers, which is
+what the CONGEST simulator expects for its ID-based symmetry breaking.
+Edges are undirected, simple (no self loops, no parallel edges), and
+carry a float weight (default ``1.0``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+
+from .errors import GraphError
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+def edge_key(u: Vertex, v: Vertex) -> Edge:
+    """Canonical (sorted) key for the undirected edge ``{u, v}``.
+
+    Sorting is by ``repr`` when the endpoints are not mutually
+    orderable, so mixed vertex types still get a stable canonical form.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class Graph:
+    """A simple undirected graph with float edge weights.
+
+    The class deliberately exposes the vocabulary of the paper:
+    :meth:`volume`, :meth:`boundary`, :meth:`cut_size`, and
+    :meth:`conductance_of_cut` implement the quantities vol(S),
+    ∂(S), |∂(S)|, and Φ(S) from Section 2.
+    """
+
+    def __init__(self) -> None:
+        self._adj: Dict[Vertex, Dict[Vertex, float]] = {}
+        self._m: int = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Vertex, Vertex]],
+        vertices: Optional[Iterable[Vertex]] = None,
+    ) -> "Graph":
+        """Build a graph from an edge list (all weights 1)."""
+        g = cls()
+        if vertices is not None:
+            for v in vertices:
+                g.add_vertex(v)
+        for u, v in edges:
+            g.add_edge(u, v)
+        return g
+
+    @classmethod
+    def from_weighted_edges(
+        cls,
+        edges: Iterable[Tuple[Vertex, Vertex, float]],
+        vertices: Optional[Iterable[Vertex]] = None,
+    ) -> "Graph":
+        """Build a graph from ``(u, v, weight)`` triples."""
+        g = cls()
+        if vertices is not None:
+            for v in vertices:
+                g.add_vertex(v)
+        for u, v, w in edges:
+            g.add_edge(u, v, w)
+        return g
+
+    def copy(self) -> "Graph":
+        """Return a deep copy of this graph."""
+        g = Graph()
+        g._adj = {v: dict(nbrs) for v, nbrs in self._adj.items()}
+        g._m = self._m
+        return g
+
+    def add_vertex(self, v: Vertex) -> None:
+        """Add an isolated vertex (no-op if already present)."""
+        self._adj.setdefault(v, {})
+
+    def add_edge(self, u: Vertex, v: Vertex, weight: float = 1.0) -> None:
+        """Add the undirected edge ``{u, v}``.
+
+        Endpoints are created if missing.  Re-adding an existing edge
+        overwrites its weight.  Self loops are rejected because none of
+        the paper's objects (matchings, independent sets, cuts) are
+        defined on them.
+        """
+        if u == v:
+            raise GraphError(f"self loops are not supported (vertex {u!r})")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v not in self._adj[u]:
+            self._m += 1
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``{u, v}``; raises if absent."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) not in graph")
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._m -= 1
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove ``v`` and all incident edges; raises if absent."""
+        if v not in self._adj:
+            raise GraphError(f"vertex {v!r} not in graph")
+        for u in list(self._adj[v]):
+            self.remove_edge(u, v)
+        del self._adj[v]
+
+    def remove_vertices(self, vertices: Iterable[Vertex]) -> None:
+        """Remove every vertex in ``vertices``."""
+        for v in vertices:
+            self.remove_vertex(v)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self._adj)
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._m
+
+    def vertices(self) -> List[Vertex]:
+        """All vertices, in insertion order."""
+        return list(self._adj)
+
+    def has_vertex(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def edges(self) -> List[Edge]:
+        """Each undirected edge exactly once, in canonical key form."""
+        seen: Set[FrozenSet] = set()
+        out: List[Edge] = []
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                key = frozenset((u, v))
+                if key not in seen:
+                    seen.add(key)
+                    out.append(edge_key(u, v))
+        return out
+
+    def weighted_edges(self) -> List[Tuple[Vertex, Vertex, float]]:
+        """Each undirected edge once, as ``(u, v, weight)``."""
+        return [(u, v, self._adj[u][v]) for u, v in self.edges()]
+
+    def weight(self, u: Vertex, v: Vertex) -> float:
+        """Weight of edge ``{u, v}``; raises if absent."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) not in graph")
+        return self._adj[u][v]
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(w for _, _, w in self.weighted_edges())
+
+    def neighbors(self, v: Vertex) -> List[Vertex]:
+        """Neighbors of ``v``, in insertion order."""
+        if v not in self._adj:
+            raise GraphError(f"vertex {v!r} not in graph")
+        return list(self._adj[v])
+
+    def degree(self, v: Vertex) -> int:
+        if v not in self._adj:
+            raise GraphError(f"vertex {v!r} not in graph")
+        return len(self._adj[v])
+
+    def max_degree(self) -> int:
+        """Δ(G); zero for the empty graph."""
+        return max((len(nbrs) for nbrs in self._adj.values()), default=0)
+
+    def min_degree(self) -> int:
+        """Minimum degree; zero for the empty graph."""
+        return min((len(nbrs) for nbrs in self._adj.values()), default=0)
+
+    def edge_density(self) -> float:
+        """|E| / |V| — the density quantity the paper uses (Section 2.2)."""
+        if self.n == 0:
+            return 0.0
+        return self.m / self.n
+
+    # ------------------------------------------------------------------
+    # Cuts, volumes, conductance (Section 2 vocabulary)
+    # ------------------------------------------------------------------
+    def volume(self, s: Iterable[Vertex]) -> int:
+        """vol(S): sum of degrees of the vertices in S."""
+        return sum(self.degree(v) for v in s)
+
+    def boundary(self, s: Iterable[Vertex]) -> List[Edge]:
+        """∂(S): the edges with exactly one endpoint in S."""
+        s_set = set(s)
+        out: List[Edge] = []
+        for u in s_set:
+            for v in self._adj[u]:
+                if v not in s_set:
+                    out.append(edge_key(u, v))
+        return out
+
+    def cut_size(self, s: Iterable[Vertex]) -> int:
+        """|∂(S)|: the number of edges crossing the cut ``{S, V\\S}``."""
+        s_set = set(s)
+        return sum(
+            1 for u in s_set for v in self._adj[u] if v not in s_set
+        )
+
+    def cut_weight(self, s: Iterable[Vertex]) -> float:
+        """Total weight of the edges crossing the cut ``{S, V\\S}``."""
+        s_set = set(s)
+        return sum(
+            self._adj[u][v]
+            for u in s_set
+            for v in self._adj[u]
+            if v not in s_set
+        )
+
+    def conductance_of_cut(self, s: Iterable[Vertex]) -> float:
+        """Φ(S) = |∂(S)| / min(vol(S), vol(V\\S)); 0 for trivial cuts."""
+        s_set = set(s)
+        if not s_set or len(s_set) == self.n:
+            return 0.0
+        vol_s = self.volume(s_set)
+        vol_rest = 2 * self.m - vol_s
+        denom = min(vol_s, vol_rest)
+        if denom == 0:
+            # A side made entirely of isolated vertices: conventionally
+            # conductance 0 (it is a "free" cut crossing no edges).
+            return 0.0
+        return self.cut_size(s_set) / denom
+
+    def sparsity_of_cut(self, s: Iterable[Vertex]) -> float:
+        """Ψ(S) = |∂(S)| / min(|S|, |V\\S|) (Lemma 2.5 vocabulary)."""
+        s_set = set(s)
+        if not s_set or len(s_set) == self.n:
+            return 0.0
+        denom = min(len(s_set), self.n - len(s_set))
+        return self.cut_size(s_set) / denom
+
+    # ------------------------------------------------------------------
+    # Subgraphs
+    # ------------------------------------------------------------------
+    def subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        """Vertex-induced subgraph G[S] (weights preserved)."""
+        s_set = set(vertices)
+        missing = s_set - set(self._adj)
+        if missing:
+            raise GraphError(f"vertices not in graph: {sorted(map(repr, missing))}")
+        g = Graph()
+        for v in s_set:
+            g.add_vertex(v)
+        for u in s_set:
+            for v, w in self._adj[u].items():
+                if v in s_set and not g.has_edge(u, v):
+                    g.add_edge(u, v, w)
+        return g
+
+    def edge_subgraph(self, edges: Iterable[Edge]) -> "Graph":
+        """Subgraph induced by an edge set (vertices = edge endpoints)."""
+        g = Graph()
+        for u, v in edges:
+            if not self.has_edge(u, v):
+                raise GraphError(f"edge ({u!r}, {v!r}) not in graph")
+            g.add_edge(u, v, self._adj[u][v])
+        return g
+
+    def remove_edges(self, edges: Iterable[Edge]) -> "Graph":
+        """Copy of this graph with ``edges`` removed (vertices kept)."""
+        g = self.copy()
+        for u, v in edges:
+            if g.has_edge(u, v):
+                g.remove_edge(u, v)
+        return g
+
+    def relabeled(self) -> Tuple["Graph", Dict[Vertex, int]]:
+        """Copy with vertices renamed to 0..n-1; returns (graph, old→new)."""
+        mapping = {v: i for i, v in enumerate(self._adj)}
+        g = Graph()
+        for v in self._adj:
+            g.add_vertex(mapping[v])
+        for u, v, w in self.weighted_edges():
+            g.add_edge(mapping[u], mapping[v], w)
+        return g, mapping
+
+    # ------------------------------------------------------------------
+    # Traversal / connectivity
+    # ------------------------------------------------------------------
+    def bfs_distances(self, source: Vertex) -> Dict[Vertex, int]:
+        """Unweighted distances from ``source`` to all reachable vertices."""
+        if source not in self._adj:
+            raise GraphError(f"vertex {source!r} not in graph")
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in self._adj[u]:
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        return dist
+
+    def bfs_layers(self, source: Vertex) -> List[List[Vertex]]:
+        """Vertices of the component of ``source`` grouped by BFS depth."""
+        dist = self.bfs_distances(source)
+        if not dist:
+            return []
+        layers: List[List[Vertex]] = [[] for _ in range(max(dist.values()) + 1)]
+        for v, d in dist.items():
+            layers[d].append(v)
+        return layers
+
+    def connected_components(self) -> List[Set[Vertex]]:
+        """All connected components, as vertex sets."""
+        seen: Set[Vertex] = set()
+        comps: List[Set[Vertex]] = []
+        for v in self._adj:
+            if v in seen:
+                continue
+            comp = set(self.bfs_distances(v))
+            seen |= comp
+            comps.append(comp)
+        return comps
+
+    def is_connected(self) -> bool:
+        if self.n == 0:
+            return True
+        first = next(iter(self._adj))
+        return len(self.bfs_distances(first)) == self.n
+
+    def eccentricity(self, v: Vertex) -> int:
+        """Max distance from ``v`` within its component."""
+        return max(self.bfs_distances(v).values(), default=0)
+
+    def diameter(self) -> int:
+        """Exact diameter (∞→raises on disconnected graphs).
+
+        Runs a BFS from every vertex, so intended for the cluster-sized
+        graphs the framework manipulates, not the whole network.
+        """
+        if self.n == 0:
+            return 0
+        if not self.is_connected():
+            raise GraphError("diameter of a disconnected graph is infinite")
+        return max(self.eccentricity(v) for v in self._adj)
+
+    def shortest_path(self, source: Vertex, target: Vertex) -> Optional[List[Vertex]]:
+        """One unweighted shortest path, or ``None`` if unreachable."""
+        if source not in self._adj or target not in self._adj:
+            raise GraphError("endpoints must be in the graph")
+        parent: Dict[Vertex, Optional[Vertex]] = {source: None}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            if u == target:
+                path = [u]
+                while parent[path[-1]] is not None:
+                    path.append(parent[path[-1]])
+                return path[::-1]
+            for v in self._adj[u]:
+                if v not in parent:
+                    parent[v] = u
+                    queue.append(v)
+        return None
+
+    # ------------------------------------------------------------------
+    # Matrix / interop
+    # ------------------------------------------------------------------
+    def adjacency_matrix(self, order: Optional[Sequence[Vertex]] = None) -> np.ndarray:
+        """Dense 0/1 adjacency matrix (weights ignored).
+
+        ``order`` fixes the row/column ordering; defaults to insertion
+        order.
+        """
+        if order is None:
+            order = self.vertices()
+        index = {v: i for i, v in enumerate(order)}
+        if len(index) != self.n:
+            raise GraphError("order must enumerate each vertex exactly once")
+        a = np.zeros((self.n, self.n))
+        for u, v in self.edges():
+            i, j = index[u], index[v]
+            a[i, j] = 1.0
+            a[j, i] = 1.0
+        return a
+
+    def to_networkx(self):
+        """Convert to a ``networkx.Graph`` (used only by tests/oracles)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self._adj)
+        g.add_weighted_edges_from(self.weighted_edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, nxg) -> "Graph":
+        """Convert from a ``networkx.Graph``; weights default to 1."""
+        g = cls()
+        for v in nxg.nodes:
+            g.add_vertex(v)
+        for u, v, data in nxg.edges(data=True):
+            if u == v:
+                continue
+            g.add_edge(u, v, float(data.get("weight", 1.0)))
+        return g
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if set(self._adj) != set(other._adj):
+            return False
+        return {
+            (edge_key(u, v), w) for u, v, w in self.weighted_edges()
+        } == {(edge_key(u, v), w) for u, v, w in other.weighted_edges()}
+
+    def __hash__(self) -> int:  # graphs are mutable; identity hash
+        return id(self)

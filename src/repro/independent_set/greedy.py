@@ -1,0 +1,124 @@
+"""Independent set baselines: min-degree greedy and Luby's MIS.
+
+``greedy_min_degree_is`` is the constructive half of the Section 3.1
+linearity argument: on a graph of edge density d the minimum degree is
+at most 2d, so repeatedly taking a minimum-degree vertex yields an
+independent set of size at least n/(2d+1) — the alpha(G) = Theta(n)
+fact the framework's approximation analysis charges against.
+
+``luby_mis`` is Luby's classic randomized maximal independent set run
+genuinely on the CONGEST simulator; an MIS is a (1/Delta)-approximation
+to MAXIS, which is the CONGEST state of the art on general graphs that
+Theorem 1.2 improves upon for minor-free networks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..congest import (
+    CongestSimulator,
+    SimulationResult,
+    VertexAlgorithm,
+    VertexContext,
+)
+from ..graph import Graph
+from ..rng import SeedLike
+
+
+def greedy_min_degree_is(graph: Graph) -> Set:
+    """Repeatedly take a minimum-degree vertex and delete its neighbors."""
+    remaining: Dict = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    heap = [(len(nbrs), repr(v), v) for v, nbrs in remaining.items()]
+    heapq.heapify(heap)
+    independent: Set = set()
+    alive = set(remaining)
+    while heap:
+        deg, _key, v = heapq.heappop(heap)
+        if v not in alive or deg != len(remaining[v] & alive):
+            if v in alive:
+                heapq.heappush(
+                    heap, (len(remaining[v] & alive), repr(v), v)
+                )
+            continue
+        independent.add(v)
+        dead = {v} | (remaining[v] & alive)
+        alive -= dead
+        for u in dead:
+            for w in remaining[u] & alive:
+                heapq.heappush(
+                    heap, (len(remaining[w] & alive), repr(w), w)
+                )
+    return independent
+
+
+class LubyMIS(VertexAlgorithm):
+    """One vertex of Luby's randomized MIS protocol.
+
+    Each phase takes two rounds.  Odd round: every still-undecided
+    vertex has broadcast a fresh random priority in the previous round;
+    a vertex whose (priority, ID) beats every priority it received
+    joins the MIS and announces ``IN``.  Even round: vertices that
+    received an ``IN`` leave as out and halt; winners halt as in; the
+    rest redraw and re-announce.  Decided vertices stop sending
+    priorities, so the comparisons automatically restrict to undecided
+    neighbors.  With high probability O(log n) phases decide everyone.
+    """
+
+    def __init__(self, max_phases: int) -> None:
+        self.max_phases = max_phases
+        self.state = "undecided"
+        self.priority: Optional[Tuple[float, Any]] = None
+
+    def initialize(self, ctx: VertexContext) -> None:
+        self._draw_and_announce(ctx)
+
+    def _draw_and_announce(self, ctx: VertexContext) -> None:
+        self.priority = (ctx.rng.random(), ctx.vertex)
+        ctx.broadcast(("PRI", self.priority[0]))
+
+    def step(self, ctx: VertexContext, inbox: Dict[Any, List[Any]]) -> None:
+        if ctx.round_number % 2 == 1:
+            # Comparison round: join iff best among undecided neighbors.
+            if self.state != "undecided":
+                return
+            best = True
+            for neighbor, payloads in inbox.items():
+                for tag, value in payloads:
+                    if tag == "PRI" and (value, neighbor) > self.priority:
+                        best = False
+            if best:
+                self.state = "in"
+                ctx.broadcast(("IN", 0.0))
+        else:
+            # Resolution round: losers of an IN neighbor leave.
+            if self.state == "undecided":
+                for _neighbor, payloads in inbox.items():
+                    if any(tag == "IN" for tag, _v in payloads):
+                        self.state = "out"
+                        break
+            if self.state != "undecided":
+                ctx.halt(self.state == "in")
+                return
+            if ctx.round_number >= 2 * self.max_phases:
+                # Budget exhausted (failure path); stay out.
+                ctx.halt(False)
+                return
+            self._draw_and_announce(ctx)
+
+
+def luby_mis(
+    graph: Graph, seed: SeedLike = None, max_phases: Optional[int] = None
+) -> Tuple[Set, SimulationResult]:
+    """Run Luby's MIS on the CONGEST simulator; returns (MIS, result)."""
+    import math
+
+    if max_phases is None:
+        max_phases = 8 * max(1, math.ceil(math.log2(graph.n + 2)))
+    simulator = CongestSimulator(
+        graph, lambda v: LubyMIS(max_phases), seed=seed
+    )
+    result = simulator.run(max_rounds=2 * max_phases + 4)
+    mis = {v for v, in_mis in result.outputs.items() if in_mis}
+    return mis, result

@@ -1,0 +1,94 @@
+"""JSON serialization for graphs and experiment artifacts.
+
+Reproducibility plumbing: experiments can persist their inputs
+(generated networks), decompositions, and result summaries, and reload
+them bit-for-bit in a later session.  The format is deliberately plain
+JSON — no pickling — so artifacts are diffable and portable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from .decomposition.expander import ExpanderDecomposition
+from .errors import GraphError
+from .graph import Graph
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: Graph) -> Dict[str, Any]:
+    """Plain-JSON representation of a graph (weights preserved)."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "graph",
+        "vertices": list(graph.vertices()),
+        "edges": [[u, v, w] for u, v, w in graph.weighted_edges()],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> Graph:
+    """Inverse of :func:`graph_to_dict`."""
+    if data.get("kind") != "graph":
+        raise GraphError("payload is not a serialized graph")
+    if data.get("format") != FORMAT_VERSION:
+        raise GraphError(
+            f"unsupported graph format {data.get('format')!r}"
+        )
+    g = Graph()
+    for v in data["vertices"]:
+        g.add_vertex(v)
+    for u, v, w in data["edges"]:
+        g.add_edge(u, v, float(w))
+    return g
+
+
+def save_graph(graph: Graph, path: str) -> None:
+    """Write a graph to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(graph_to_dict(graph), handle)
+
+
+def load_graph(path: str) -> Graph:
+    """Read a graph from a JSON file."""
+    with open(path) as handle:
+        return graph_from_dict(json.load(handle))
+
+
+def decomposition_to_dict(dec: ExpanderDecomposition) -> Dict[str, Any]:
+    """Serialize a decomposition's *result* (not its input graph)."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "expander-decomposition",
+        "epsilon": dec.epsilon,
+        "phi": dec.phi,
+        "clusters": [sorted(c, key=repr) for c in dec.clusters],
+        "certificates": list(dec.certificates),
+        "cut_edges": [[u, v] for u, v in dec.cut_edges],
+    }
+
+
+def decomposition_from_dict(
+    data: Dict[str, Any], graph: Graph
+) -> ExpanderDecomposition:
+    """Rehydrate a decomposition against its (separately stored) graph."""
+    if data.get("kind") != "expander-decomposition":
+        raise GraphError("payload is not a serialized decomposition")
+    dec = ExpanderDecomposition(
+        graph=graph, epsilon=data["epsilon"], phi=data["phi"]
+    )
+    dec.clusters = [set(c) for c in data["clusters"]]
+    dec.certificates = list(data["certificates"])
+    dec.cut_edges = [tuple(e) for e in data["cut_edges"]]
+    return dec
+
+
+def save_decomposition(dec: ExpanderDecomposition, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(decomposition_to_dict(dec), handle)
+
+
+def load_decomposition(path: str, graph: Graph) -> ExpanderDecomposition:
+    with open(path) as handle:
+        return decomposition_from_dict(json.load(handle), graph)

@@ -1,0 +1,50 @@
+"""Greedy matching baselines.
+
+These are the comparison points the MWM experiment plots against the
+framework algorithm: the classic weight-greedy 1/2-approximation and a
+randomized maximal matching (a 1/2-approximation for cardinality).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..graph import Graph, edge_key
+from ..rng import SeedLike, ensure_rng
+from .util import Matching
+
+
+def greedy_weight_matching(graph: Graph) -> Matching:
+    """Scan edges by non-increasing weight; take whatever fits.
+
+    Guarantees weight >= OPT/2 (each taken edge blocks at most two OPT
+    edges of no larger weight).
+    """
+    taken: Matching = set()
+    used: Set = set()
+    ranked = sorted(
+        graph.weighted_edges(), key=lambda e: (-e[2], repr(e[:2]))
+    )
+    for u, v, _w in ranked:
+        if u in used or v in used:
+            continue
+        taken.add(edge_key(u, v))
+        used.add(u)
+        used.add(v)
+    return taken
+
+
+def maximal_matching(graph: Graph, seed: SeedLike = None) -> Matching:
+    """Random-order maximal matching: cardinality >= MCM/2."""
+    rng = ensure_rng(seed)
+    edges = graph.edges()
+    rng.shuffle(edges)
+    taken: Matching = set()
+    used: Set = set()
+    for u, v in edges:
+        if u in used or v in used:
+            continue
+        taken.add(edge_key(u, v))
+        used.add(u)
+        used.add(v)
+    return taken

@@ -1,0 +1,125 @@
+"""Edge density, degeneracy, and exact checkers for small minor-closed classes.
+
+Section 2.2 of the paper leans on two sparsity facts: H-minor-free
+graphs have edge density O(1) (Thomason), and Barenboim-Elkin
+orientation turns a density bound d into an O(d) out-degree orientation.
+This module provides the centralized versions (the distributed
+orientation lives in :mod:`repro.routing.orientation`), plus exact
+membership tests for the concrete minor-closed classes the property
+tester exercises: forests (treewidth 1), series-parallel graphs
+(treewidth <= 2, equivalently K_4-minor-free), and outerplanar graphs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from ..graph import Graph
+
+
+def degeneracy_ordering(graph: Graph) -> Tuple[int, List]:
+    """Compute the degeneracy d and a d-degenerate vertex ordering.
+
+    The ordering repeatedly removes a minimum-degree vertex; every
+    vertex has at most d neighbors *later* in the returned order.  For
+    an H-minor-free graph d = O(1), which is what makes the paper's
+    "each vertex only announces its outgoing edges" trick work.
+    """
+    remaining = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    heap = [(len(nbrs), v) for v, nbrs in remaining.items()]
+    heapq.heapify(heap)
+    order: List = []
+    removed = set()
+    degeneracy = 0
+    while heap:
+        deg, v = heapq.heappop(heap)
+        if v in removed or deg != len(remaining[v]):
+            continue  # stale heap entry
+        degeneracy = max(degeneracy, deg)
+        order.append(v)
+        removed.add(v)
+        for u in remaining[v]:
+            remaining[u].discard(v)
+            heapq.heappush(heap, (len(remaining[u]), u))
+        remaining[v] = set()
+    return degeneracy, order
+
+
+def degeneracy(graph: Graph) -> int:
+    """The degeneracy of the graph (max min-degree over subgraphs)."""
+    return degeneracy_ordering(graph)[0]
+
+
+def greedy_orientation(graph: Graph) -> Dict:
+    """Orient edges along a degeneracy ordering: out-degree <= degeneracy.
+
+    Returns a dict mapping each vertex to the list of its *out*
+    neighbors.  This is the centralized analogue of the
+    Barenboim-Elkin O(log n)-round distributed orientation the paper
+    invokes for information gathering (Section 2.2).
+    """
+    _, order = degeneracy_ordering(graph)
+    position = {v: i for i, v in enumerate(order)}
+    out: Dict = {v: [] for v in graph.vertices()}
+    for u, v in graph.edges():
+        if position[u] < position[v]:
+            out[u].append(v)
+        else:
+            out[v].append(u)
+    return out
+
+
+def is_forest(graph: Graph) -> bool:
+    """Forests: the minor-closed class excluding K_3."""
+    # A graph is a forest iff every component has |E| = |V| - 1.
+    return graph.m == graph.n - len(graph.connected_components())
+
+
+def is_series_parallel(graph: Graph) -> bool:
+    """Treewidth <= 2, equivalently K_4-minor-free.
+
+    Exact linear-ish check by the classic reduction: repeatedly delete
+    vertices of degree <= 1 and *bypass* vertices of degree 2 (connect
+    their two neighbors).  The graph has treewidth <= 2 iff the
+    reduction reaches the empty graph.
+    """
+    g = graph.copy()
+    queue = [v for v in g.vertices() if g.degree(v) <= 2]
+    in_queue = set(queue)
+    while queue:
+        v = queue.pop()
+        in_queue.discard(v)
+        if not g.has_vertex(v):
+            continue
+        deg = g.degree(v)
+        if deg > 2:
+            continue
+        neighbors = g.neighbors(v)
+        g.remove_vertex(v)
+        if deg == 2:
+            a, b = neighbors
+            if not g.has_edge(a, b):
+                g.add_edge(a, b)
+        for u in neighbors:
+            if g.degree(u) <= 2 and u not in in_queue:
+                queue.append(u)
+                in_queue.add(u)
+    return g.n == 0
+
+
+def is_outerplanar(graph: Graph) -> bool:
+    """Outerplanar graphs: K_4- and K_{2,3}-minor-free.
+
+    Exact check via the apex trick: G is outerplanar iff G plus a new
+    vertex adjacent to every vertex of G is planar (the new vertex
+    forces all of G onto one face).
+    """
+    from .planarity import is_planar
+
+    apex = object()  # guaranteed-fresh vertex label
+    g = graph.copy()
+    g.add_vertex(apex)
+    for v in graph.vertices():
+        g.add_edge(apex, v)
+    return is_planar(g)

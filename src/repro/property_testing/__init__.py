@@ -1,0 +1,26 @@
+"""Distributed property testing (Theorem 1.4 / Section 3.4).
+
+Tests any minor-closed, disjoint-union-closed graph property in the
+CONGEST model with one-sided error: graphs with the property are always
+accepted; graphs epsilon-far from it are rejected by at least one
+vertex (with high probability over the framework's randomness).
+"""
+
+from .properties import (
+    FOREST,
+    OUTERPLANAR,
+    PLANARITY,
+    SERIES_PARALLEL,
+    GraphProperty,
+)
+from .tester import PropertyTestResult, distributed_property_test
+
+__all__ = [
+    "GraphProperty",
+    "PLANARITY",
+    "OUTERPLANAR",
+    "SERIES_PARALLEL",
+    "FOREST",
+    "PropertyTestResult",
+    "distributed_property_test",
+]

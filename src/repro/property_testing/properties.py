@@ -1,0 +1,53 @@
+"""Minor-closed, union-closed graph properties with exact checkers.
+
+Theorem 1.4 applies to any graph property that is (a) minor-closed and
+(b) closed under disjoint union.  Each :class:`GraphProperty` bundles
+an exact membership checker (run by cluster leaders on their gathered
+topology) with the parameter the tester derives from the property: the
+smallest s such that K_s lacks the property, which determines the
+excluded minor H = K_s the framework assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..graph import Graph
+from ..minors import is_forest, is_outerplanar, is_planar, is_series_parallel
+
+
+@dataclass(frozen=True)
+class GraphProperty:
+    """A testable property.
+
+    ``holds``
+        Exact sequential membership check ("any sequential algorithm"
+        at the leader).
+    ``forbidden_clique``
+        The smallest s with K_s not in the property; the tester runs
+        the framework under the assumption that the network is
+        K_s-minor-free.
+    """
+
+    name: str
+    holds: Callable[[Graph], bool]
+    forbidden_clique: int
+
+    def __repr__(self) -> str:
+        return f"GraphProperty({self.name!r}, s={self.forbidden_clique})"
+
+
+#: Planarity: K_5 is the smallest non-planar clique.
+PLANARITY = GraphProperty("planar", is_planar, forbidden_clique=5)
+
+#: Outerplanarity: K_4 is not outerplanar.
+OUTERPLANAR = GraphProperty("outerplanar", is_outerplanar, forbidden_clique=4)
+
+#: Series-parallel (treewidth <= 2): K_4 is the forbidden clique.
+SERIES_PARALLEL = GraphProperty(
+    "series-parallel", is_series_parallel, forbidden_clique=4
+)
+
+#: Forests: K_3 is the smallest clique with a cycle.
+FOREST = GraphProperty("forest", is_forest, forbidden_clique=3)

@@ -1,0 +1,100 @@
+"""The Theorem 1.4 property tester.
+
+Algorithm (Section 3.4, verbatim): run the Theorem 2.6 machinery under
+the assumption that the network is K_s-minor-free (s = the property's
+forbidden clique size), with failures allowed.  Then each cluster
+decides:
+
+* gathering succeeded → the leader checks the property on the exact
+  topology of G[V_i]; the whole cluster Accepts or Rejects accordingly;
+* gathering failed because the Lemma 2.3 degree condition
+  deg(v*) = Omega(phi^2)|E_i| is violated → Reject (the violation
+  certifies the network is not K_s-minor-free, hence not in the
+  property);
+* gathering failed for any other (1/poly(n)-probability) reason →
+  Accept, preserving one-sided error.
+
+Soundness: when G is epsilon-far from the property, the graph left
+after deleting the <= epsilon |E| inter-cluster edges still lacks the
+property; being the disjoint union of the clusters, and the property
+being union-closed, some cluster must lack it — and that cluster's
+leader holds its exact topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.framework import FrameworkResult, partition_minor_free
+from ..errors import SolverError
+from ..graph import Graph
+from ..rng import SeedLike, ensure_rng
+from .properties import GraphProperty
+
+
+@dataclass
+class PropertyTestResult:
+    """Per-vertex verdicts plus the execution record."""
+
+    property_name: str
+    verdicts: Dict[Any, bool]  # vertex -> True (Accept) / False (Reject)
+    framework: Optional[FrameworkResult]
+    cluster_verdicts: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def accepted(self) -> bool:
+        """Global outcome: Accept iff every vertex accepts."""
+        return all(self.verdicts.values())
+
+
+def distributed_property_test(
+    graph: Graph,
+    prop: GraphProperty,
+    epsilon: float,
+    phi: Optional[float] = None,
+    seed: SeedLike = None,
+) -> PropertyTestResult:
+    """Test ``prop`` on ``graph`` with proximity parameter ``epsilon``."""
+    if not 0.0 < epsilon < 1.0:
+        raise SolverError("epsilon must lie in (0, 1)")
+    rng = ensure_rng(seed)
+
+    verdicts: Dict[Any, bool] = {}
+    cluster_verdicts: Dict[int, str] = {}
+
+    # The framework must not abort on non-minor-free inputs: budget
+    # enforcement is off, and all failure handling is per Section 2.3.
+    framework = partition_minor_free(
+        graph,
+        epsilon,
+        phi=phi,
+        seed=rng.getrandbits(64),
+        solver=None,
+        enforce_budget=False,
+    )
+
+    for run in framework.clusters:
+        if not run.degree_condition_ok:
+            # Certificate that G is not K_s-minor-free: Reject.
+            verdict = "reject:degree-condition"
+            accept = False
+        elif not run.gather.success or run.gather.gathered is None:
+            # Routing failed for a low-probability reason: Accept
+            # (one-sided error).
+            verdict = "accept:routing-failure"
+            accept = True
+        else:
+            has_property = prop.holds(run.gather.gathered)
+            verdict = "accept:checked" if has_property else "reject:checked"
+            accept = has_property
+        cluster_verdicts[run.index] = verdict
+        for v in run.vertices:
+            verdicts[v] = accept
+
+    return PropertyTestResult(
+        property_name=prop.name,
+        verdicts=verdicts,
+        framework=framework,
+        cluster_verdicts=cluster_verdicts,
+    )

@@ -1,0 +1,46 @@
+"""Spectral and combinatorial expansion toolkit.
+
+Everything in Section 2 of the paper that is about *measuring*
+expansion lives here: conductance (exact and spectrally certified),
+lazy random walks and mixing times, sweep cuts, and the balanced edge
+separators of Theorem 1.6.
+"""
+
+from .conductance import (
+    cheeger_bounds,
+    conductance_lower_bound,
+    exact_conductance,
+    fiedler_vector,
+    normalized_laplacian,
+    spectral_gap,
+    sweep_cut,
+)
+from .random_walk import (
+    lazy_walk_matrix,
+    mixing_time_bound,
+    mixing_time_exact,
+    simulate_lazy_walk,
+    stationary_distribution,
+)
+from .separators import balanced_edge_separator, separator_quality
+from .gadgets import exact_sparsity, expander_gadget, split_vertices
+
+__all__ = [
+    "cheeger_bounds",
+    "conductance_lower_bound",
+    "exact_conductance",
+    "fiedler_vector",
+    "normalized_laplacian",
+    "spectral_gap",
+    "sweep_cut",
+    "lazy_walk_matrix",
+    "mixing_time_bound",
+    "mixing_time_exact",
+    "simulate_lazy_walk",
+    "stationary_distribution",
+    "balanced_edge_separator",
+    "separator_quality",
+    "exact_sparsity",
+    "expander_gadget",
+    "split_vertices",
+]

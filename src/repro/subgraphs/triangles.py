@@ -1,0 +1,113 @@
+"""Triangle listing, centralized and distributed.
+
+Centralized: the classic degeneracy-orientation algorithm — orient
+edges along a degeneracy order, then check each vertex's out-neighbor
+pairs; O(m * d) time on d-degenerate graphs, so linear-ish on
+minor-free inputs.
+
+Distributed: the framework lists every triangle whose three vertices
+share a cluster (the leader holds the exact topology of G[V_i]); a
+triangle crossing clusters contains at least one inter-cluster edge, so
+a second phase lets each cut-edge endpoint stream its neighbor list to
+its partner, one ID per round per edge — the endpoint then sees every
+triangle through that edge.  On minor-free networks both the number of
+cut edges (<= eps * min(n, m)) and the degrees are small, which is what
+keeps this exchange cheap; this replaces the dense-graph recursion of
+Chang-Pettie-Saranurak-Zhang, which exists to handle the regimes sparse
+networks never enter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..congest import CongestMetrics
+from ..core.framework import FrameworkResult, partition_minor_free
+from ..errors import SolverError
+from ..graph import Graph, edge_key
+from ..minors import greedy_orientation
+from ..rng import SeedLike, ensure_rng
+
+Triangle = FrozenSet
+
+
+def list_triangles(graph: Graph) -> Set[Triangle]:
+    """All triangles of ``graph`` via degeneracy orientation."""
+    out = greedy_orientation(graph)
+    triangles: Set[Triangle] = set()
+    for v in graph.vertices():
+        targets = out[v]
+        for i, a in enumerate(targets):
+            for b in targets[i + 1:]:
+                if graph.has_edge(a, b):
+                    triangles.add(frozenset((v, a, b)))
+    return triangles
+
+
+def count_triangles(graph: Graph) -> int:
+    """Number of triangles in ``graph``."""
+    return len(list_triangles(graph))
+
+
+def distributed_triangle_listing(
+    graph: Graph,
+    epsilon: float = 0.3,
+    phi: Optional[float] = None,
+    seed: SeedLike = None,
+) -> Tuple[Set[Triangle], FrameworkResult, CongestMetrics]:
+    """List all triangles distributedly; returns (triangles, framework,
+    cut-phase metrics).
+
+    Phase 1 (framework): each leader lists the triangles inside its
+    gathered cluster topology.  The listing itself stays at the leader
+    (listing output is not a per-vertex O(log n)-bit answer); vertices
+    receive only an acknowledgement.
+
+    Phase 2 (cut edges): for each inter-cluster edge {u, v}, u streams
+    its neighbor IDs to v one per round; v reports every common
+    neighbor as a triangle.  The phase costs max-degree rounds and one
+    message per (cut edge, neighbor) pair, which the returned metrics
+    account.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise SolverError("epsilon must lie in (0, 1)")
+    rng = ensure_rng(seed)
+
+    found: Set[Triangle] = set()
+
+    def solver(sub: Graph, leader: Any, notes: Dict) -> Dict[Any, Any]:
+        for triangle in list_triangles(sub):
+            found.add(triangle)
+        return {v: 1 for v in sub.vertices()}
+
+    framework = partition_minor_free(
+        graph,
+        epsilon,
+        phi=phi,
+        seed=rng.getrandbits(64),
+        solver=solver,
+        enforce_budget=False,
+    )
+
+    # Phase 2: neighbor-list streaming across cut edges.  Each cut edge
+    # {u, v} carries deg(u) + deg(v) messages of one ID each, all edges
+    # in parallel; rounds = the maximum endpoint degree.
+    cut_metrics = CongestMetrics()
+    max_rounds = 0
+    messages = 0
+    bits_per_id = max(4, (graph.n + 1).bit_length()) + 3
+    for u, v in framework.decomposition.cut_edges:
+        neighbors_u = set(graph.neighbors(u))
+        neighbors_v = set(graph.neighbors(v))
+        for w in neighbors_u & neighbors_v:
+            found.add(frozenset((u, v, w)))
+        max_rounds = max(max_rounds, len(neighbors_u), len(neighbors_v))
+        messages += len(neighbors_u) + len(neighbors_v)
+    cut_metrics.rounds = max_rounds
+    cut_metrics.effective_rounds = max_rounds
+    cut_metrics.total_messages = messages
+    cut_metrics.total_bits = messages * bits_per_id
+    cut_metrics.max_message_bits = bits_per_id if messages else 0
+    cut_metrics.max_edge_congestion = 1 if messages else 0
+
+    return found, framework, cut_metrics

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_decompose(self, capsys):
+        assert main(["decompose", "--n", "60", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "cut fraction" in out
+
+    def test_maxis(self, capsys):
+        assert main(["maxis", "--n", "50", "--eps", "0.3", "--seed", "2"]) == 0
+        assert "independent set" in capsys.readouterr().out
+
+    def test_mcm(self, capsys):
+        assert main(["mcm", "--n", "50", "--seed", "3"]) == 0
+        assert "matching" in capsys.readouterr().out
+
+    def test_mwm(self, capsys):
+        code = main(
+            ["mwm", "--n", "40", "--max-weight", "30", "--iterations", "2",
+             "--seed", "4"]
+        )
+        assert code == 0
+        assert "matching weight" in capsys.readouterr().out
+
+    def test_correlation(self, capsys):
+        assert main(["correlation", "--n", "50", "--seed", "5"]) == 0
+        assert "agreement score" in capsys.readouterr().out
+
+    def test_mds(self, capsys):
+        assert main(["mds", "--family", "grid", "--n", "49", "--seed", "6"]) == 0
+        assert "dominating set" in capsys.readouterr().out
+
+    def test_property_member(self, capsys):
+        assert main(
+            ["test-property", "--property", "planar", "--n", "60",
+             "--seed", "7"]
+        ) == 0
+        assert "Accept" in capsys.readouterr().out
+
+    def test_property_far(self, capsys):
+        assert main(
+            ["test-property", "--property", "planar", "--far", "--n", "48",
+             "--eps", "0.05", "--seed", "8"]
+        ) == 0
+        assert "Reject" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algorithm", ["thm15", "ball", "chop", "mpx"])
+    def test_ldd_algorithms(self, algorithm, capsys):
+        assert main(
+            ["ldd", "--algorithm", algorithm, "--family", "grid", "--n", "64",
+             "--seed", "9"]
+        ) == 0
+        assert "clusters" in capsys.readouterr().out
+
+    def test_triangles(self, capsys):
+        assert main(
+            ["triangles", "--family", "trigrid", "--n", "49", "--seed", "10"]
+        ) == 0
+        assert "exact" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,140 @@
+"""Tests for conductance machinery: exact, Cheeger bounds, sweep cuts."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+)
+from repro.graph import Graph
+from repro.spectral import (
+    cheeger_bounds,
+    conductance_lower_bound,
+    exact_conductance,
+    normalized_laplacian,
+    spectral_gap,
+    sweep_cut,
+)
+
+
+class TestExactConductance:
+    def test_single_edge(self):
+        g = Graph.from_edges([(0, 1)])
+        phi, cut = exact_conductance(g)
+        assert phi == pytest.approx(1.0)
+
+    def test_path_of_four(self):
+        g = path_graph(4)
+        phi, cut = exact_conductance(g)
+        # Cutting the middle edge: 1 crossing / vol 3.
+        assert phi == pytest.approx(1 / 3)
+
+    def test_cycle(self):
+        g = cycle_graph(8)
+        phi, _ = exact_conductance(g)
+        assert phi == pytest.approx(2 / 8)
+
+    def test_complete_graph_high_conductance(self):
+        g = complete_graph(6)
+        phi, _ = exact_conductance(g)
+        assert phi > 0.5
+
+    def test_disconnected_zero(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        phi, _ = exact_conductance(g)
+        assert phi == 0.0
+
+    def test_size_limit(self):
+        with pytest.raises(SolverError):
+            exact_conductance(grid_graph(5, 5))
+
+
+class TestSpectral:
+    def test_laplacian_eigenvalue_range(self):
+        g = grid_graph(4, 4)
+        import numpy as np
+
+        eig = np.linalg.eigvalsh(normalized_laplacian(g))
+        assert eig[0] == pytest.approx(0.0, abs=1e-8)
+        assert eig[-1] <= 2.0 + 1e-8
+
+    def test_gap_zero_iff_disconnected(self):
+        connected = cycle_graph(6)
+        disconnected = Graph.from_edges([(0, 1), (2, 3)])
+        assert spectral_gap(connected) > 1e-6
+        assert spectral_gap(disconnected) == pytest.approx(0.0, abs=1e-8)
+
+    def test_complete_graph_gap(self):
+        # lambda_2 of K_n's normalized Laplacian is n/(n-1).
+        g = complete_graph(8)
+        assert spectral_gap(g) == pytest.approx(8 / 7, abs=1e-8)
+
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(10), grid_graph(4, 4), complete_graph(7), hypercube_graph(3)],
+        ids=["cycle", "grid", "complete", "cube"],
+    )
+    def test_cheeger_sandwich(self, graph):
+        # Only graphs small enough for the exact solver.
+        if graph.n > 18:
+            pytest.skip("too large for exact check")
+        low, high = cheeger_bounds(graph)
+        phi, _ = exact_conductance(graph)
+        assert low - 1e-9 <= phi <= high + 1e-9
+
+    def test_lower_bound_is_valid(self):
+        rnd = random.Random(0)
+        for _ in range(20):
+            g = gnp_random_graph(rnd.randint(4, 12), 0.5, seed=rnd.getrandbits(32))
+            if not g.is_connected() or g.m == 0:
+                continue
+            lower = conductance_lower_bound(g)
+            phi, _ = exact_conductance(g)
+            assert lower <= phi + 1e-9
+
+
+class TestSweepCut:
+    def test_sweep_cut_within_cheeger(self):
+        g = grid_graph(5, 5)
+        value, cut = sweep_cut(g)
+        _, high = cheeger_bounds(g)
+        assert 0 < len(cut) < g.n
+        assert value <= high + 1e-9
+        assert value == pytest.approx(g.conductance_of_cut(cut))
+
+    def test_sweep_cut_matches_exact_on_barbell(self):
+        # Two triangles joined by one edge: the bridge is the min cut.
+        g = Graph.from_edges(
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+        )
+        value, cut = sweep_cut(g)
+        phi, _ = exact_conductance(g)
+        assert value == pytest.approx(phi)
+
+    def test_balanced_sweep_is_balanced(self):
+        g = grid_graph(6, 6)
+        _, cut = sweep_cut(g, balanced=True)
+        assert min(len(cut), g.n - len(cut)) * 3 >= g.n
+
+    def test_randomized_sweep_respects_slack(self):
+        g = grid_graph(6, 6)
+        best, _ = sweep_cut(g)
+        rng = random.Random(5)
+        for _ in range(10):
+            value, cut = sweep_cut(g, rng=rng, slack=1.5)
+            assert value <= 1.5 * best + 1e-9
+
+    def test_randomized_sweep_varies(self):
+        g = grid_graph(8, 8)
+        rng = random.Random(1)
+        cuts = {frozenset(sweep_cut(g, rng=rng, slack=2.0)[1]) for _ in range(12)}
+        assert len(cuts) > 1

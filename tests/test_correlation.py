@@ -1,0 +1,161 @@
+"""Tests for correlation clustering (Theorem 1.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.correlation import (
+    agreement_score,
+    best_trivial_clustering,
+    distributed_correlation_clustering,
+    exact_correlation,
+    local_search_correlation,
+    solve_correlation,
+)
+from repro.errors import GraphError, SolverError
+from repro.generators import (
+    cycle_graph,
+    delaunay_planar_graph,
+    gnp_random_graph,
+    grid_graph,
+    planted_signs,
+    random_signs,
+)
+from repro.graph import Graph, edge_key
+
+
+def signed_instances():
+    def build(edges_and_signs):
+        g = Graph()
+        signs = {}
+        for u, v, s in edges_and_signs:
+            if u == v:
+                continue
+            g.add_edge(u, v)
+            signs[edge_key(u, v)] = 1 if s else -1
+        return g, signs
+
+    return st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7), st.booleans()),
+        max_size=16,
+    ).map(build)
+
+
+class TestScoring:
+    def test_all_positive_one_cluster_is_perfect(self):
+        g = cycle_graph(6)
+        signs = {edge_key(u, v): 1 for u, v in g.edges()}
+        labels = {v: 0 for v in g.vertices()}
+        assert agreement_score(g, signs, labels) == g.m
+
+    def test_all_negative_singletons_perfect(self):
+        g = cycle_graph(6)
+        signs = {edge_key(u, v): -1 for u, v in g.edges()}
+        labels = {v: v for v in g.vertices()}
+        assert agreement_score(g, signs, labels) == g.m
+
+    def test_missing_sign_raises(self):
+        g = cycle_graph(4)
+        with pytest.raises(GraphError):
+            agreement_score(g, {}, {v: 0 for v in g.vertices()})
+
+    def test_trivial_baseline_half_of_edges(self):
+        """gamma(G) >= |E| / 2 (the Section 3.3 bound)."""
+        for seed in range(5):
+            g = grid_graph(5, 5)
+            signs = random_signs(g, 0.5, seed=seed)
+            _, score = best_trivial_clustering(g, signs)
+            assert score >= g.m / 2
+
+
+class TestExact:
+    def test_exact_on_planted_triangle(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        signs = {
+            edge_key(0, 1): 1,
+            edge_key(1, 2): 1,
+            edge_key(0, 2): 1,
+            edge_key(2, 3): -1,
+        }
+        labels, score = exact_correlation(g, signs)
+        assert score == 4
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] != labels[2]
+
+    def test_size_limit(self):
+        g = grid_graph(4, 4)
+        with pytest.raises(SolverError):
+            exact_correlation(g, random_signs(g, seed=0))
+
+    @given(signed_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_dominates_trivial(self, instance):
+        g, signs = instance
+        if g.n == 0:
+            return
+        _, opt = exact_correlation(g, signs)
+        _, trivial = best_trivial_clustering(g, signs)
+        assert opt >= trivial
+
+
+class TestLocalSearch:
+    @given(signed_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_local_search_between_trivial_and_exact(self, instance):
+        g, signs = instance
+        if g.n == 0:
+            return
+        _, opt = exact_correlation(g, signs)
+        _, ls = local_search_correlation(g, signs, seed=1)
+        _, trivial = best_trivial_clustering(g, signs)
+        assert trivial <= ls <= opt
+
+    def test_recovers_planted_partition_without_noise(self):
+        g = grid_graph(6, 6)
+        signs, community = planted_signs(g, 2, noise=0.0, seed=2)
+        labels, score = local_search_correlation(g, signs, seed=3)
+        assert score == g.m  # noise-free planted signs are consistent
+
+    def test_solve_correlation_dispatch(self):
+        small = cycle_graph(6)
+        signs = random_signs(small, seed=4)
+        exact_labels, exact_score = exact_correlation(small, signs)
+        _, dispatched = solve_correlation(small, signs, seed=5)
+        assert dispatched == exact_score
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("noise", [0.0, 0.15])
+    def test_theorem_1_3_ratio_vs_trivial_bound(self, noise):
+        g = delaunay_planar_graph(60, seed=6)
+        signs, _ = planted_signs(g, 3, noise=noise, seed=7)
+        epsilon = 0.3
+        result = distributed_correlation_clustering(g, signs, epsilon, seed=8)
+        # gamma(G) >= |E|/2, and the theorem promises (1 - eps) gamma.
+        assert result.score >= (1 - epsilon) * g.m / 2
+
+    def test_labels_cover_all_vertices(self):
+        g = grid_graph(5, 5)
+        signs = random_signs(g, 0.6, seed=9)
+        result = distributed_correlation_clustering(g, signs, 0.3, seed=10)
+        assert set(result.labels) == set(g.vertices())
+
+    def test_beats_trivial_baseline(self):
+        g = delaunay_planar_graph(50, seed=11)
+        signs, _ = planted_signs(g, 2, noise=0.1, seed=12)
+        result = distributed_correlation_clustering(g, signs, 0.25, seed=13)
+        _, trivial = best_trivial_clustering(g, signs)
+        assert result.score >= trivial * 0.95
+
+    def test_invalid_sign_rejected(self):
+        g = cycle_graph(4)
+        signs = {edge_key(u, v): 0 for u, v in g.edges()}
+        with pytest.raises(SolverError):
+            distributed_correlation_clustering(g, signs, 0.3)
+
+    def test_invalid_epsilon(self):
+        g = cycle_graph(4)
+        with pytest.raises(SolverError):
+            distributed_correlation_clustering(
+                g, random_signs(g, seed=1), 0.0
+            )

@@ -1,0 +1,133 @@
+"""Edge-case tests for corners the main suites don't reach."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.decomposition import chop_ldd, expander_decomposition
+from repro.errors import DecompositionError, GraphError
+from repro.generators import cycle_graph, grid_graph, path_graph
+from repro.graph import Graph, edge_key
+
+
+class TestGraphCorners:
+    def test_remove_vertices_bulk(self):
+        g = grid_graph(3, 3)
+        g.remove_vertices([0, 4, 8])
+        assert g.n == 6
+        assert not g.has_vertex(4)
+
+    def test_eccentricity(self):
+        g = path_graph(5)
+        assert g.eccentricity(0) == 4
+        assert g.eccentricity(2) == 2
+
+    def test_edge_key_mixed_types(self):
+        assert edge_key("b", "a") == ("a", "b")
+        assert edge_key(2, 1) == (1, 2)
+
+    def test_equality_considers_weights(self):
+        a = Graph.from_weighted_edges([(0, 1, 2.0)])
+        b = Graph.from_weighted_edges([(0, 1, 3.0)])
+        assert a != b
+
+    def test_equality_non_graph(self):
+        assert Graph() != "not a graph"
+
+    def test_repr(self):
+        g = Graph.from_edges([(0, 1)])
+        assert repr(g) == "Graph(n=2, m=1)"
+
+    def test_total_weight(self):
+        g = Graph.from_weighted_edges([(0, 1, 2.5), (1, 2, 1.5)])
+        assert g.total_weight() == 4.0
+
+    def test_bfs_distances_missing_source(self):
+        with pytest.raises(GraphError):
+            Graph().bfs_distances(0)
+
+    def test_adjacency_matrix_bad_order(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(GraphError):
+            g.adjacency_matrix(order=[0])
+
+
+class TestDecompositionCorners:
+    def test_chop_invalid_depth(self):
+        with pytest.raises(DecompositionError):
+            chop_ldd(grid_graph(3, 3), 0.3, depth=0)
+
+    def test_cluster_of_mapping(self):
+        g = cycle_graph(8)
+        dec = expander_decomposition(g, 0.5, seed=0, enforce_budget=False)
+        assignment = dec.cluster_of()
+        assert set(assignment) == set(g.vertices())
+        for i, cluster in enumerate(dec.clusters):
+            for v in cluster:
+                assert assignment[v] == i
+
+    def test_cluster_subgraph(self):
+        g = grid_graph(4, 4)
+        dec = expander_decomposition(g, 0.5, seed=0, enforce_budget=False)
+        sub = dec.cluster_subgraph(0)
+        assert set(sub.vertices()) == set(dec.clusters[0])
+
+    def test_invalid_phi(self):
+        with pytest.raises(DecompositionError):
+            expander_decomposition(grid_graph(3, 3), 0.3, phi=-1.0)
+
+
+class TestSimulatorCorners:
+    def test_output_of(self):
+        from repro.congest import CongestSimulator, VertexAlgorithm
+
+        class Halt(VertexAlgorithm):
+            def step(self, ctx, inbox):
+                ctx.halt(ctx.vertex * 2)
+
+        sim = CongestSimulator(path_graph(3), lambda v: Halt(), seed=0)
+        result = sim.run(3)
+        assert result.output_of(2) == 4
+
+    def test_table_print(self, capsys):
+        from repro.analysis import Table
+
+        t = Table("title", ["c"])
+        t.add_row(1)
+        t.print()
+        assert "title" in capsys.readouterr().out
+
+
+class TestFrameworkFuzz:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_framework_on_arbitrary_graphs(self, edges):
+        """The framework must produce covering answers (or clean
+        failures) on arbitrary inputs, minor-free or not."""
+        from repro.core.framework import partition_minor_free
+
+        g = Graph.from_edges(edges)
+        assume(g.n >= 2)
+        result = partition_minor_free(
+            g, 0.4, seed=0, enforce_budget=False,
+            solver=lambda sub, leader, notes: {
+                v: sub.degree(v) for v in sub.vertices()
+            },
+        )
+        covered = set()
+        for run in result.clusters:
+            covered |= run.vertices
+            if run.gather.success:
+                for v in run.vertices:
+                    assert result.answers[v] == g.subgraph(
+                        run.vertices
+                    ).degree(v)
+        assert covered == set(g.vertices())

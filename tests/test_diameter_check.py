@@ -1,0 +1,86 @@
+"""Tests for the §2.3 distributed diameter-check marking protocol."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    delaunay_planar_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph import Graph
+from repro.routing import distributed_diameter_check
+
+
+class TestDecisiveRegimes:
+    @pytest.mark.parametrize(
+        "graph, b",
+        [
+            (complete_graph(10), 1),
+            (star_graph(12), 2),
+            (grid_graph(4, 4), 6),
+            (grid_graph(4, 4), 10),
+            (path_graph(8), 7),
+            (cycle_graph(10), 5),
+        ],
+        ids=["K10", "star", "grid=b", "grid<b", "path=b", "cycle=b"],
+    )
+    def test_within_bound_accepts(self, graph, b):
+        assert graph.diameter() <= b
+        ok, result = distributed_diameter_check(graph, b, seed=0)
+        assert ok
+        assert set(result.outputs.values()) == {False}
+
+    @pytest.mark.parametrize(
+        "graph, b",
+        [
+            (path_graph(20), 3),
+            (path_graph(30), 5),
+            (cycle_graph(40), 4),
+            (grid_graph(8, 8), 2),
+        ],
+        ids=["P20", "P30", "C40", "grid8"],
+    )
+    def test_far_beyond_bound_rejects_uniformly(self, graph, b):
+        assert graph.diameter() >= 2 * b + 1
+        ok, result = distributed_diameter_check(graph, b, seed=0)
+        assert not ok
+        # Section 2.3: in this regime *every* vertex is marked.
+        assert set(result.outputs.values()) == {True}
+
+
+class TestConsistency:
+    def test_verdict_uniform_even_in_gap_regime(self):
+        # diam between b and 2b+1: outcome unspecified but uniform.
+        g = path_graph(10)  # diam 9
+        for b in (5, 6, 7, 8):
+            _, result = distributed_diameter_check(g, b, seed=0)
+            assert len(set(result.outputs.values())) == 1
+
+    def test_agrees_with_centralized_check_on_clusters(self):
+        from repro.core.failure import diameter_within
+
+        g = delaunay_planar_graph(60, seed=1)
+        for b in (3, 5, 20):
+            distributed_ok, _ = distributed_diameter_check(g, b, seed=2)
+            central_ok = diameter_within(g, b)
+            if central_ok:
+                # Completeness is exact: diam <= b always accepts.
+                assert distributed_ok
+
+    def test_singleton(self):
+        g = Graph()
+        g.add_vertex(0)
+        ok, _ = distributed_diameter_check(g, 3)
+        assert ok
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            distributed_diameter_check(Graph(), 2)
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(GraphError):
+            distributed_diameter_check(path_graph(3), 0)

@@ -1,0 +1,138 @@
+"""Tests for the minimum dominating set extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dominating_set import (
+    distributed_mds,
+    exact_mds,
+    greedy_mds,
+    is_dominating_set,
+    solve_mds,
+)
+from repro.errors import SolverError
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    delaunay_planar_graph,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graph import Graph
+
+
+def brute_force_mds_size(g: Graph) -> int:
+    from itertools import combinations
+
+    vertices = g.vertices()
+    for size in range(0, g.n + 1):
+        for combo in combinations(vertices, size):
+            if is_dominating_set(g, combo):
+                return size
+    return g.n
+
+
+class TestValidator:
+    def test_accepts_full_set(self):
+        g = cycle_graph(5)
+        assert is_dominating_set(g, g.vertices())
+
+    def test_rejects_non_dominating(self):
+        g = path_graph(5)
+        assert not is_dominating_set(g, {0})
+
+    def test_rejects_foreign_vertices(self):
+        g = path_graph(3)
+        assert not is_dominating_set(g, {99})
+
+    def test_empty_graph(self):
+        assert is_dominating_set(Graph(), set())
+
+
+class TestExact:
+    @pytest.mark.parametrize(
+        "graph, gamma",
+        [
+            (star_graph(9), 1),
+            (path_graph(6), 2),
+            (path_graph(7), 3),
+            (cycle_graph(9), 3),
+            (complete_graph(5), 1),
+            (grid_graph(3, 3), 3),
+        ],
+        ids=["star", "P6", "P7", "C9", "K5", "grid3"],
+    )
+    def test_known_values(self, graph, gamma):
+        result = exact_mds(graph)
+        assert is_dominating_set(graph, result)
+        assert len(result) == gamma
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=16,
+        ).map(Graph.from_edges)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_against_brute_force(self, g):
+        result = exact_mds(g)
+        assert is_dominating_set(g, result)
+        assert len(result) == brute_force_mds_size(g)
+
+    def test_budget_raises(self):
+        g = gnp_random_graph(40, 0.2, seed=1)
+        with pytest.raises(SolverError):
+            exact_mds(g, node_budget=3)
+
+    def test_planar_instance(self):
+        g = delaunay_planar_graph(50, seed=2)
+        result = exact_mds(g)
+        assert is_dominating_set(g, result)
+        assert len(result) <= len(greedy_mds(g))
+
+
+class TestGreedyAndSolve:
+    def test_greedy_is_dominating(self):
+        for seed in range(4):
+            g = delaunay_planar_graph(60, seed=seed)
+            assert is_dominating_set(g, greedy_mds(g))
+
+    def test_greedy_star_optimal(self):
+        assert greedy_mds(star_graph(10)) == {0}
+
+    def test_solve_falls_back(self):
+        g = gnp_random_graph(40, 0.2, seed=3)
+        result = solve_mds(g, node_budget=3)
+        assert is_dominating_set(g, result)
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_ratio_on_bounded_degree_planar(self, seed):
+        g = grid_graph(7, 7)
+        epsilon = 0.3
+        result = distributed_mds(g, epsilon, seed=seed)
+        assert is_dominating_set(g, result.dominating_set)
+        opt = len(exact_mds(g))
+        assert result.size <= (1 + epsilon) * opt
+
+    def test_ratio_on_delaunay(self):
+        g = delaunay_planar_graph(60, seed=4)
+        result = distributed_mds(g, 0.3, seed=5)
+        opt = len(exact_mds(g))
+        assert result.size <= 1.3 * opt
+
+    def test_tree_instance(self):
+        g = random_tree(50, seed=6)
+        result = distributed_mds(g, 0.4, seed=7)
+        assert is_dominating_set(g, result.dominating_set)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(SolverError):
+            distributed_mds(grid_graph(3, 3), 1.5)

@@ -1,0 +1,19 @@
+"""Smoke tests: the fast examples must run clean end to end."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/low_diameter_decomposition.py",
+    "examples/network_analytics.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(script, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()

@@ -1,0 +1,144 @@
+"""Tests for the (epsilon, phi) expander decomposition (Theorems 2.1/2.2)."""
+
+import pytest
+
+from repro.decomposition import (
+    expander_decomposition,
+    phi_for_epsilon,
+    verify_expander_decomposition,
+)
+from repro.errors import DecompositionError
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    delaunay_planar_graph,
+    grid_graph,
+    hypercube_graph,
+    k_tree,
+    random_tree,
+    toroidal_grid_graph,
+)
+from repro.graph import Graph
+from repro.spectral import conductance_lower_bound
+
+
+class TestBasics:
+    def test_phi_for_epsilon_monotone(self):
+        assert phi_for_epsilon(0.4, 100) > phi_for_epsilon(0.1, 100)
+        assert phi_for_epsilon(0.2, 100) > phi_for_epsilon(0.2, 10_000)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(DecompositionError):
+            expander_decomposition(grid_graph(3, 3), 1.5)
+        with pytest.raises(DecompositionError):
+            phi_for_epsilon(0.0, 10)
+
+    def test_complete_graph_single_cluster(self):
+        dec = expander_decomposition(complete_graph(10), 0.2, seed=0)
+        assert dec.k == 1
+        assert dec.cut_fraction() == 0.0
+
+    def test_singletons_for_isolated_vertices(self):
+        g = Graph.from_edges([(0, 1)])
+        g.add_vertex(5)
+        dec = expander_decomposition(g, 0.5, seed=0)
+        assert {frozenset(c) for c in dec.clusters} == {
+            frozenset({0, 1}),
+            frozenset({5}),
+        }
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("epsilon", [0.1, 0.2, 0.4])
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: grid_graph(8, 8),
+            lambda: delaunay_planar_graph(100, seed=1),
+            lambda: k_tree(80, 3, seed=2),
+            lambda: toroidal_grid_graph(6, 6),
+            lambda: random_tree(80, seed=3),
+        ],
+        ids=["grid", "delaunay", "ktree", "torus", "tree"],
+    )
+    def test_budget_and_certificates(self, make, epsilon):
+        g = make()
+        dec = expander_decomposition(g, epsilon, seed=0)
+        report = verify_expander_decomposition(dec)
+        assert report["cut_fraction"] <= epsilon
+        assert report["min_certificate"] >= dec.phi
+
+    def test_explicit_phi_gives_smaller_clusters(self):
+        g = delaunay_planar_graph(120, seed=4)
+        coarse = expander_decomposition(g, 0.3, seed=0)
+        fine = expander_decomposition(
+            g, 0.3, phi=0.05, seed=0, enforce_budget=False
+        )
+        assert max(len(c) for c in fine.clusters) <= max(
+            len(c) for c in coarse.clusters
+        )
+        assert fine.k >= coarse.k
+
+    def test_max_cluster_size_respected(self):
+        g = delaunay_planar_graph(150, seed=5)
+        dec = expander_decomposition(
+            g, 0.3, seed=0, enforce_budget=False, max_cluster_size=40
+        )
+        assert all(len(c) <= 40 for c in dec.clusters)
+
+    def test_budget_violation_raises(self):
+        # phi far above the feasible trade-off must blow the budget.
+        g = grid_graph(10, 10)
+        with pytest.raises(DecompositionError):
+            expander_decomposition(g, 0.05, phi=0.5, seed=0)
+
+    def test_clusters_partition_vertices(self):
+        g = k_tree(60, 2, seed=6)
+        dec = expander_decomposition(g, 0.3, phi=0.08, seed=0,
+                                     enforce_budget=False)
+        seen = set()
+        for cluster in dec.clusters:
+            assert not (seen & cluster)
+            seen |= cluster
+        assert seen == set(g.vertices())
+
+    def test_certificates_are_true_lower_bounds(self):
+        g = delaunay_planar_graph(90, seed=7)
+        dec = expander_decomposition(g, 0.25, phi=0.04, seed=0,
+                                     enforce_budget=False)
+        for cluster, cert in zip(dec.clusters, dec.certificates):
+            sub = g.subgraph(cluster)
+            if sub.n > 2:
+                assert conductance_lower_bound(sub) >= min(cert, dec.phi) - 1e-9
+
+
+class TestHypercubeTightness:
+    """The Section 2 remark: hypercubes pin phi = O(1/log n)."""
+
+    def test_hypercube_clusters_have_low_conductance_certificates(self):
+        g = hypercube_graph(6)  # n = 64
+        dec = expander_decomposition(g, 0.3, seed=0, enforce_budget=False)
+        # The whole hypercube's conductance is Theta(1/d): no cluster
+        # can certify much more than that without being tiny.
+        big = [c for c in dec.clusters if len(c) > 4]
+        for cluster in big:
+            sub = g.subgraph(cluster)
+            assert conductance_lower_bound(sub) < 0.5
+
+    def test_verify_rejects_tampered_cut(self):
+        g = grid_graph(6, 6)
+        dec = expander_decomposition(g, 0.3, seed=0)
+        if dec.k == 1:
+            # Force a split so there is a cut edge to tamper with.
+            dec = expander_decomposition(
+                g, 0.3, phi=0.2, seed=0, enforce_budget=False
+            )
+        dec.cut_edges.pop()
+        with pytest.raises(DecompositionError):
+            verify_expander_decomposition(dec)
+
+    def test_theoretical_rounds_monotone_in_epsilon(self):
+        g = grid_graph(6, 6)
+        tight = expander_decomposition(g, 0.1, seed=0)
+        loose = expander_decomposition(g, 0.4, seed=0)
+        assert tight.theoretical_rounds() > loose.theoretical_rounds()

@@ -1,0 +1,104 @@
+"""Tests for Lemma 2.5 vertex splitting and sparsity."""
+
+import pytest
+
+from repro.errors import GraphError, SolverError
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    delaunay_planar_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph import Graph
+from repro.spectral import (
+    conductance_lower_bound,
+    exact_conductance,
+    exact_sparsity,
+    expander_gadget,
+    split_vertices,
+)
+
+
+class TestGadget:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 8, 16, 40])
+    def test_connected_constant_degree(self, size):
+        g = expander_gadget(size, seed=1)
+        assert g.n == size
+        assert g.is_connected()
+        assert g.max_degree() <= 5
+
+    @pytest.mark.parametrize("size", [8, 16, 32, 64])
+    def test_spectral_gap_bounded_away_from_zero(self, size):
+        g = expander_gadget(size, seed=2)
+        # Theta(1) conductance certificate: lambda_2/2 stays above a
+        # fixed constant as size grows.
+        assert conductance_lower_bound(g) >= 0.02
+
+    def test_invalid_size(self):
+        with pytest.raises(GraphError):
+            expander_gadget(0)
+
+
+class TestSplitVertices:
+    def test_sizes(self):
+        g = grid_graph(3, 3)
+        split, ports = split_vertices(g, seed=3)
+        # One gadget vertex per edge endpoint.
+        assert split.n == sum(max(1, g.degree(v)) for v in g.vertices())
+        assert len(ports) == 2 * g.m
+
+    def test_constant_max_degree(self):
+        g = star_graph(30)  # degree-30 hub
+        split, _ = split_vertices(g, seed=4)
+        assert split.max_degree() <= 7
+
+    def test_connected_iff_original(self):
+        g = delaunay_planar_graph(30, seed=5)
+        split, _ = split_vertices(g, seed=6)
+        assert split.is_connected()
+
+    def test_ports_carry_original_edges(self):
+        g = cycle_graph(5)
+        split, ports = split_vertices(g, seed=7)
+        for u, v in g.edges():
+            assert split.has_edge(ports[(u, v)], ports[(v, u)])
+
+    def test_isolated_vertex_kept(self):
+        g = Graph.from_edges([(0, 1)], vertices=[0, 1, 2])
+        split, _ = split_vertices(g, seed=8)
+        assert (2, 0) in split
+
+
+class TestSparsityRelation:
+    def test_exact_sparsity_path(self):
+        g = path_graph(6)
+        value, cut = exact_sparsity(g)
+        assert value == pytest.approx(1 / 3)
+
+    def test_exact_sparsity_limit(self):
+        with pytest.raises(SolverError):
+            exact_sparsity(grid_graph(5, 5))
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: path_graph(5),
+            lambda: cycle_graph(6),
+            lambda: complete_graph(4),
+            lambda: star_graph(4),
+        ],
+        ids=["path", "cycle", "K4", "star"],
+    )
+    def test_lemma_c2_theta_relation(self, make):
+        """Psi(G') = Theta(Phi(G)): within generous constants on small
+        instances where both sides are exactly computable."""
+        g = make()
+        phi, _ = exact_conductance(g)
+        split, _ = split_vertices(g, seed=9)
+        if split.n > 20:
+            pytest.skip("split graph too large for exact sparsity")
+        psi, _ = exact_sparsity(split)
+        assert psi >= phi / 12
+        assert psi <= 12 * max(phi, 1e-9)

@@ -1,0 +1,85 @@
+"""Tests for topology gathering (Theorem 2.6's routing step)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.generators import (
+    cycle_graph,
+    delaunay_planar_graph,
+    grid_graph,
+    random_integer_weights,
+)
+from repro.graph import Graph
+from repro.routing import gather_topology
+
+
+class TestTopologyGathering:
+    @pytest.mark.parametrize("transport", ["walk", "tree"])
+    def test_leader_learns_exact_topology(self, transport):
+        g = grid_graph(5, 5)
+        result = gather_topology(g, phi=0.15, seed=0, transport=transport)
+        assert result.success
+        assert result.topology_complete(g)
+
+    def test_weights_travel_with_edges(self):
+        g = random_integer_weights(cycle_graph(8), 9, seed=1)
+        result = gather_topology(g, phi=0.2, seed=0)
+        assert result.success
+        for u, v, w in g.weighted_edges():
+            assert result.gathered.weight(u, v) == w
+
+    def test_solver_answers_reach_every_vertex(self):
+        g = delaunay_planar_graph(40, seed=2)
+
+        def solver(sub, leader, notes):
+            return {v: sub.degree(v) for v in sub.vertices()}
+
+        result = gather_topology(g, phi=0.1, solver=solver, seed=0)
+        assert result.success
+        assert result.answers == {v: g.degree(v) for v in g.vertices()}
+
+    def test_annotations_reach_solver(self):
+        g = cycle_graph(6)
+        seen = {}
+
+        def solver(sub, leader, notes):
+            seen.update(notes)
+            return {v: 0 for v in sub.vertices()}
+
+        result = gather_topology(
+            g, phi=0.2, solver=solver, seed=0, annotate=lambda v: v * 10
+        )
+        assert result.success
+        assert seen == {v: v * 10 for v in g.vertices()}
+
+    def test_singleton_cluster(self):
+        g = Graph()
+        g.add_vertex(4)
+        result = gather_topology(
+            g, phi=1.0, solver=lambda s, l, n: {4: "x"}, seed=0
+        )
+        assert result.success
+        assert result.answers == {4: "x"}
+        assert result.leader == 4
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(GraphError):
+            gather_topology(Graph(), phi=0.5)
+
+    def test_failure_reported_not_raised(self):
+        g = grid_graph(5, 5)
+        result = gather_topology(g, phi=0.15, seed=0, forward_steps=2)
+        assert not result.success
+        assert result.failure_reason is not None
+
+    def test_leader_is_max_degree(self):
+        g = delaunay_planar_graph(30, seed=3)
+        result = gather_topology(g, phi=0.1, seed=0)
+        assert g.degree(result.leader) == g.max_degree()
+
+    def test_metrics_accumulate_phases(self):
+        g = grid_graph(4, 4)
+        result = gather_topology(g, phi=0.2, seed=0)
+        # Election + orientation + exchange all contribute messages.
+        assert result.metrics.total_messages > g.m
+        assert result.metrics.max_message_bits > 0

@@ -1,0 +1,103 @@
+"""Tests for the classic graph generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = path_graph(5)
+        assert (g.n, g.m) == (5, 4)
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+
+    def test_path_trivial(self):
+        assert path_graph(0).n == 0
+        assert path_graph(1).m == 0
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert (g.n, g.m) == (6, 6)
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 7
+        assert g.m == 7
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.m == 15
+        assert g.max_degree() == 5
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        assert g.m == 12
+        assert g.degree(0) == 4
+        assert g.degree(3) == 3
+
+    def test_grid(self):
+        g = grid_graph(4, 5)
+        assert g.n == 20
+        assert g.m == 4 * 4 + 3 * 5
+        assert g.is_connected()
+
+    def test_grid_requires_positive_dims(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 3)
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.n == 16
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert g.m == 32
+
+    def test_hypercube_vertex_neighbors_differ_in_one_bit(self):
+        g = hypercube_graph(3)
+        for u, v in g.edges():
+            assert bin(u ^ v).count("1") == 1
+
+
+class TestRandomFamilies:
+    def test_gnp_extremes(self):
+        assert gnp_random_graph(8, 0.0, seed=1).m == 0
+        assert gnp_random_graph(8, 1.0, seed=1).m == 28
+
+    def test_gnp_bad_p(self):
+        with pytest.raises(GraphError):
+            gnp_random_graph(5, 1.5)
+
+    def test_gnp_deterministic_by_seed(self):
+        a = gnp_random_graph(12, 0.4, seed=7)
+        b = gnp_random_graph(12, 0.4, seed=7)
+        assert a == b
+
+    @given(st.integers(1, 40), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_random_tree_is_tree(self, n, seed):
+        g = random_tree(n, seed=seed)
+        assert g.n == n
+        assert g.m == n - 1
+        assert g.is_connected()
+
+    def test_random_tree_needs_vertex(self):
+        with pytest.raises(GraphError):
+            random_tree(0)

@@ -1,0 +1,80 @@
+"""Tests for weight and sign workload generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.generators import (
+    grid_graph,
+    planted_signs,
+    random_integer_weights,
+    random_signs,
+    with_weights,
+)
+from repro.graph import edge_key
+
+
+class TestIntegerWeights:
+    def test_weights_in_range(self):
+        g = random_integer_weights(grid_graph(5, 5), 10, seed=1)
+        for _u, _v, w in g.weighted_edges():
+            assert 1 <= w <= 10
+            assert float(w).is_integer()
+
+    def test_topology_preserved(self):
+        base = grid_graph(4, 4)
+        g = random_integer_weights(base, 5, seed=2)
+        assert set(g.edges()) == set(base.edges())
+
+    def test_invalid_max_weight(self):
+        with pytest.raises(GraphError):
+            random_integer_weights(grid_graph(2, 2), 0)
+
+    def test_deterministic(self):
+        a = random_integer_weights(grid_graph(4, 4), 9, seed=3)
+        b = random_integer_weights(grid_graph(4, 4), 9, seed=3)
+        assert a == b
+
+    def test_with_weights_override(self):
+        g = with_weights(grid_graph(2, 2), {edge_key(0, 1): 7.0})
+        assert g.weight(0, 1) == 7.0
+
+    def test_with_weights_missing_edge(self):
+        with pytest.raises(GraphError):
+            with_weights(grid_graph(2, 2), {edge_key(0, 3): 7.0})
+
+
+class TestSigns:
+    def test_random_signs_cover_all_edges(self):
+        g = grid_graph(5, 5)
+        signs = random_signs(g, 0.5, seed=4)
+        assert len(signs) == g.m
+        assert set(signs.values()) <= {1, -1}
+
+    def test_random_signs_extremes(self):
+        g = grid_graph(4, 4)
+        assert set(random_signs(g, 1.0, seed=1).values()) == {1}
+        assert set(random_signs(g, 0.0, seed=1).values()) == {-1}
+
+    def test_planted_signs_no_noise_consistent(self):
+        g = grid_graph(6, 6)
+        signs, community = planted_signs(g, 3, noise=0.0, seed=5)
+        for u, v in g.edges():
+            expected = 1 if community[u] == community[v] else -1
+            assert signs[edge_key(u, v)] == expected
+
+    def test_planted_signs_noise_flips_some(self):
+        g = grid_graph(8, 8)
+        clean, community = planted_signs(g, 2, noise=0.0, seed=6)
+        noisy, _ = planted_signs(g, 2, noise=0.3, seed=6)
+        # Same seed, same communities, but noise must flip something.
+        flipped = sum(
+            1 for e in clean if clean[e] != noisy[e]
+        )
+        assert flipped > 0
+
+    def test_planted_signs_validation(self):
+        g = grid_graph(3, 3)
+        with pytest.raises(GraphError):
+            planted_signs(g, 0)
+        with pytest.raises(GraphError):
+            planted_signs(g, 2, noise=1.5)

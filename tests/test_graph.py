@@ -1,0 +1,242 @@
+"""Unit and property tests for the core Graph class."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import Graph, edge_key
+
+
+def small_graphs():
+    """Hypothesis strategy: edge lists over at most 10 vertices."""
+    return st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        max_size=25,
+    ).map(Graph.from_edges)
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.n == 0
+        assert g.m == 0
+        assert g.vertices() == []
+        assert g.edges() == []
+
+    def test_add_edge_creates_vertices(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert g.n == 2
+        assert g.m == 1
+        assert g.has_edge(2, 1)
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(3, 3)
+
+    def test_reweight_does_not_duplicate(self):
+        g = Graph()
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(0, 1, 5.0)
+        assert g.m == 1
+        assert g.weight(0, 1) == 5.0
+
+    def test_from_weighted_edges(self):
+        g = Graph.from_weighted_edges([(0, 1, 3.0), (1, 2, 4.0)])
+        assert g.total_weight() == 7.0
+
+    def test_from_edges_with_isolated_vertices(self):
+        g = Graph.from_edges([(0, 1)], vertices=[0, 1, 2, 3])
+        assert g.n == 4
+        assert g.degree(3) == 0
+
+    def test_copy_is_independent(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        h = g.copy()
+        h.remove_edge(0, 1)
+        assert g.has_edge(0, 1)
+        assert not h.has_edge(0, 1)
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        g.remove_edge(0, 1)
+        assert g.m == 1
+        assert g.n == 3
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(GraphError):
+            g.remove_edge(0, 2)
+
+    def test_remove_vertex_drops_incident_edges(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        g.remove_vertex(1)
+        assert g.n == 2
+        assert g.m == 1
+        assert g.has_edge(0, 2)
+
+    def test_remove_missing_vertex_raises(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.remove_vertex(7)
+
+
+class TestQueries:
+    def test_degrees(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.max_degree() == 3
+        assert g.min_degree() == 1
+        assert g.edge_density() == pytest.approx(3 / 4)
+
+    def test_weight_missing_edge_raises(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(GraphError):
+            g.weight(0, 2)
+
+    def test_neighbors_of_missing_vertex_raises(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.neighbors(0)
+
+    def test_contains_iter_len(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert 0 in g
+        assert 5 not in g
+        assert sorted(g) == [0, 1, 2]
+        assert len(g) == 3
+
+
+class TestCuts:
+    def test_volume_and_boundary(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])  # C4
+        assert g.volume([0, 1]) == 4
+        assert g.cut_size([0, 1]) == 2
+        assert set(g.boundary([0, 1])) == {edge_key(1, 2), edge_key(0, 3)}
+
+    def test_conductance_of_cut_c4(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert g.conductance_of_cut([0, 1]) == pytest.approx(0.5)
+        assert g.conductance_of_cut([]) == 0.0
+        assert g.conductance_of_cut([0, 1, 2, 3]) == 0.0
+
+    def test_sparsity_of_cut(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert g.sparsity_of_cut([0, 1]) == pytest.approx(1.0)
+
+    def test_cut_weight(self):
+        g = Graph.from_weighted_edges([(0, 1, 2.0), (1, 2, 3.0)])
+        assert g.cut_weight([1]) == pytest.approx(5.0)
+
+    @given(small_graphs(), st.sets(st.integers(0, 9)))
+    @settings(max_examples=60, deadline=None)
+    def test_cut_size_symmetry(self, g, side):
+        side = {v for v in side if v in g}
+        complement = set(g.vertices()) - side
+        assert g.cut_size(side) == g.cut_size(complement)
+
+    @given(small_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_volume_totals(self, g):
+        assert g.volume(g.vertices()) == 2 * g.m
+
+
+class TestSubgraphs:
+    def test_subgraph_induced(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        sub = g.subgraph([0, 1, 2])
+        assert sub.n == 3
+        assert sub.m == 3
+
+    def test_subgraph_missing_vertex_raises(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(GraphError):
+            g.subgraph([0, 5])
+
+    def test_edge_subgraph(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        sub = g.edge_subgraph([(0, 1)])
+        assert sub.n == 2
+        assert sub.m == 1
+
+    def test_remove_edges_keeps_vertices(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        h = g.remove_edges([(0, 1)])
+        assert h.n == 3
+        assert h.m == 1
+
+    def test_relabeled(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c")])
+        h, mapping = g.relabeled()
+        assert set(mapping.values()) == {0, 1, 2}
+        assert h.m == 2
+
+    @given(small_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_subgraph_of_all_vertices_is_identity(self, g):
+        assert g.subgraph(g.vertices()) == g
+
+
+class TestTraversal:
+    def test_bfs_distances_path(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert g.bfs_distances(0) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_bfs_layers(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 3)])
+        layers = g.bfs_layers(0)
+        assert layers[0] == [0]
+        assert set(layers[1]) == {1, 2}
+        assert layers[2] == [3]
+
+    def test_connected_components(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        g.add_vertex(4)
+        comps = sorted(map(sorted, g.connected_components()))
+        assert comps == [[0, 1], [2, 3], [4]]
+
+    def test_diameter(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert g.diameter() == 3
+
+    def test_diameter_disconnected_raises(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        with pytest.raises(GraphError):
+            g.diameter()
+
+    def test_shortest_path(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        path = g.shortest_path(0, 3)
+        assert path[0] == 0 and path[-1] == 3
+        assert len(path) == 3
+
+    def test_shortest_path_unreachable(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        assert g.shortest_path(0, 3) is None
+
+    @given(small_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_components_partition_vertices(self, g):
+        comps = g.connected_components()
+        union = set().union(*comps) if comps else set()
+        assert union == set(g.vertices())
+        assert sum(len(c) for c in comps) == g.n
+
+
+class TestInterop:
+    def test_networkx_roundtrip(self):
+        g = Graph.from_weighted_edges([(0, 1, 2.0), (1, 2, 3.0)])
+        back = Graph.from_networkx(g.to_networkx())
+        assert back == g
+
+    def test_adjacency_matrix_symmetry(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        a = g.adjacency_matrix(order=[0, 1, 2])
+        assert (a == a.T).all()
+        assert a.sum() == 2 * g.m

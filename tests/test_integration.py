@@ -1,0 +1,104 @@
+"""End-to-end integration scenarios across the whole stack."""
+
+import pytest
+
+from repro.correlation import distributed_correlation_clustering
+from repro.decomposition import theorem_1_5_ldd, verify_ldd
+from repro.generators import (
+    delaunay_planar_graph,
+    planted_signs,
+    random_integer_weights,
+)
+from repro.independent_set import distributed_maxis, exact_maxis
+from repro.matching import (
+    distributed_mcm_planar,
+    distributed_mwm,
+    is_matching,
+    matching_weight,
+    max_cardinality_matching,
+    max_weight_matching,
+)
+from repro.property_testing import PLANARITY, distributed_property_test
+
+
+class TestOneNetworkAllTheorems:
+    """Every theorem's algorithm on the same planar network."""
+
+    @pytest.fixture(scope="class")
+    def network(self):
+        return delaunay_planar_graph(64, seed=2022)
+
+    def test_theorem_1_2_maxis(self, network):
+        result = distributed_maxis(network, 0.3, seed=1)
+        assert result.size >= 0.7 * len(exact_maxis(network))
+
+    def test_theorem_3_2_mcm(self, network):
+        result, _ = distributed_mcm_planar(network, 0.3, seed=2)
+        assert is_matching(network, result.matching)
+        assert result.size >= 0.7 * len(max_cardinality_matching(network))
+
+    def test_theorem_1_1_mwm(self, network):
+        weighted = random_integer_weights(network, 100, seed=3)
+        result = distributed_mwm(weighted, 0.3, iterations=3, seed=4)
+        opt = matching_weight(weighted, max_weight_matching(weighted))
+        assert result.weight >= 0.7 * opt
+
+    def test_theorem_1_3_correlation(self, network):
+        signs, _ = planted_signs(network, 2, noise=0.1, seed=5)
+        result = distributed_correlation_clustering(network, signs, 0.3, seed=6)
+        assert result.score >= 0.7 * network.m / 2
+
+    def test_theorem_1_4_property(self, network):
+        result = distributed_property_test(network, PLANARITY, 0.2, seed=7)
+        assert result.accepted
+
+    def test_theorem_1_5_ldd(self, network):
+        ldd = theorem_1_5_ldd(network, 0.4, seed=8)
+        report = verify_ldd(ldd)
+        assert report["cut_fraction"] <= 0.4
+
+
+class TestDeterminism:
+    """The whole pipeline is reproducible from one seed."""
+
+    def test_maxis_pipeline_deterministic(self):
+        g = delaunay_planar_graph(50, seed=9)
+        a = distributed_maxis(g, 0.3, seed=77)
+        b = distributed_maxis(g, 0.3, seed=77)
+        assert a.independent_set == b.independent_set
+        assert (
+            a.framework.metrics.summary() == b.framework.metrics.summary()
+        )
+
+    def test_mwm_pipeline_deterministic(self):
+        g = random_integer_weights(delaunay_planar_graph(40, seed=10), 20, seed=11)
+        a = distributed_mwm(g, 0.3, iterations=2, seed=78)
+        b = distributed_mwm(g, 0.3, iterations=2, seed=78)
+        assert a.matching == b.matching
+
+    def test_different_seeds_may_differ_but_stay_valid(self):
+        g = delaunay_planar_graph(50, seed=12)
+        for seed in range(3):
+            result = distributed_maxis(g, 0.3, seed=seed)
+            s = result.independent_set
+            assert all(
+                not (u in s and v in s) for u, v in g.edges()
+            )
+
+
+class TestCongestAccountingConsistency:
+    def test_bits_consistent_with_messages(self):
+        from repro.core.framework import run_framework
+
+        g = delaunay_planar_graph(40, seed=13)
+        result = run_framework(
+            g, 0.3,
+            solver=lambda sub, leader, notes: {
+                v: 0 for v in sub.vertices()
+            },
+            seed=14,
+        )
+        m = result.metrics
+        assert m.total_bits >= m.total_messages  # every message >= 1 bit
+        assert m.total_bits <= m.total_messages * m.max_message_bits
+        assert m.effective_rounds >= m.rounds

@@ -1,0 +1,81 @@
+"""Tests for JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.decomposition import expander_decomposition, verify_expander_decomposition
+from repro.errors import GraphError
+from repro.generators import delaunay_planar_graph, grid_graph, random_integer_weights
+from repro.graph import Graph
+from repro.io import (
+    decomposition_from_dict,
+    decomposition_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+    load_decomposition,
+    load_graph,
+    save_decomposition,
+    save_graph,
+)
+
+
+class TestGraphRoundtrip:
+    def test_roundtrip_weighted(self):
+        g = random_integer_weights(grid_graph(4, 4), 9, seed=1)
+        back = graph_from_dict(graph_to_dict(g))
+        assert back == g
+
+    def test_roundtrip_preserves_isolated_vertices(self):
+        g = Graph.from_edges([(0, 1)], vertices=[0, 1, 2])
+        back = graph_from_dict(graph_to_dict(g))
+        assert back.n == 3
+        assert back.degree(2) == 0
+
+    def test_file_roundtrip(self, tmp_path):
+        g = delaunay_planar_graph(30, seed=2)
+        path = tmp_path / "g.json"
+        save_graph(g, str(path))
+        assert load_graph(str(path)) == g
+
+    def test_output_is_plain_json(self, tmp_path):
+        g = grid_graph(3, 3)
+        path = tmp_path / "g.json"
+        save_graph(g, str(path))
+        data = json.loads(path.read_text())
+        assert data["kind"] == "graph"
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"kind": "nope", "format": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict(
+                {"kind": "graph", "format": 99, "vertices": [], "edges": []}
+            )
+
+
+class TestDecompositionRoundtrip:
+    def test_roundtrip_verifies(self, tmp_path):
+        g = delaunay_planar_graph(60, seed=3)
+        dec = expander_decomposition(g, 0.3, seed=0)
+        path = tmp_path / "dec.json"
+        save_decomposition(dec, str(path))
+        back = load_decomposition(str(path), g)
+        # The reloaded decomposition passes independent verification.
+        report = verify_expander_decomposition(back)
+        assert report["cut_fraction"] == dec.cut_fraction()
+        assert back.certificates == dec.certificates
+
+    def test_wrong_kind_rejected(self):
+        g = grid_graph(2, 2)
+        with pytest.raises(GraphError):
+            decomposition_from_dict({"kind": "graph"}, g)
+
+    def test_dict_shape(self):
+        g = grid_graph(3, 3)
+        dec = expander_decomposition(g, 0.4, seed=0)
+        data = decomposition_to_dict(dec)
+        assert data["kind"] == "expander-decomposition"
+        assert len(data["clusters"]) == dec.k

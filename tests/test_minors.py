@@ -1,0 +1,137 @@
+"""Tests for minor search, degeneracy, and the small-class checkers."""
+
+import pytest
+
+from repro.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    delaunay_planar_graph,
+    grid_graph,
+    k_tree,
+    maximal_outerplanar_graph,
+    path_graph,
+    random_tree,
+    series_parallel_graph,
+    star_graph,
+)
+from repro.graph import Graph
+from repro.minors import (
+    degeneracy,
+    degeneracy_ordering,
+    greedy_orientation,
+    has_minor,
+    is_forest,
+    is_outerplanar,
+    is_series_parallel,
+)
+
+
+class TestMinorSearch:
+    def test_k5_in_k6(self):
+        assert has_minor(complete_graph(6), complete_graph(5))
+
+    def test_k5_not_in_planar(self):
+        assert not has_minor(delaunay_planar_graph(60, seed=1), complete_graph(5))
+
+    def test_k33_not_in_planar(self):
+        assert not has_minor(grid_graph(5, 5), complete_bipartite_graph(3, 3))
+
+    def test_k4_in_wheel(self):
+        # A wheel (cycle + hub) contains K_4 as a minor.
+        g = cycle_graph(6)
+        for v in range(6):
+            g.add_edge(v, 10)
+        assert has_minor(g, complete_graph(4))
+
+    def test_k4_not_in_series_parallel(self):
+        g = series_parallel_graph(30, seed=2)
+        assert not has_minor(g, complete_graph(4))
+
+    def test_cycle_minor_of_larger_cycle(self):
+        assert has_minor(cycle_graph(10), cycle_graph(3))
+
+    def test_triangle_not_in_tree(self):
+        assert not has_minor(random_tree(20, seed=3), complete_graph(3))
+
+    def test_contraction_needed(self):
+        # C6 has K3 as a minor only via contraction.
+        assert has_minor(cycle_graph(6), complete_graph(3))
+
+    def test_empty_pattern(self):
+        assert has_minor(path_graph(3), Graph())
+
+    def test_pattern_larger_than_host(self):
+        assert not has_minor(path_graph(3), complete_graph(5))
+
+    def test_k5_in_k5_subdivision(self):
+        k5 = complete_graph(5)
+        g = Graph()
+        nxt = 5
+        for u, v in k5.edges():
+            g.add_edge(u, nxt)
+            g.add_edge(nxt, v)
+            nxt += 1
+        assert has_minor(g, complete_graph(5))
+
+
+class TestDegeneracy:
+    def test_tree_degeneracy_one(self):
+        assert degeneracy(random_tree(30, seed=1)) == 1
+
+    def test_complete_graph(self):
+        assert degeneracy(complete_graph(7)) == 6
+
+    def test_planar_degeneracy_at_most_five(self):
+        g = delaunay_planar_graph(150, seed=2)
+        assert degeneracy(g) <= 5
+
+    def test_k_tree_degeneracy(self):
+        assert degeneracy(k_tree(40, 4, seed=3)) == 4
+
+    def test_ordering_property(self):
+        g = delaunay_planar_graph(80, seed=4)
+        d, order = degeneracy_ordering(g)
+        position = {v: i for i, v in enumerate(order)}
+        for v in g.vertices():
+            later = sum(1 for u in g.neighbors(v) if position[u] > position[v])
+            assert later <= d
+
+    def test_greedy_orientation_out_degree(self):
+        g = delaunay_planar_graph(100, seed=5)
+        d = degeneracy(g)
+        out = greedy_orientation(g)
+        assert all(len(targets) <= d for targets in out.values())
+        # Every edge oriented exactly once.
+        count = sum(len(targets) for targets in out.values())
+        assert count == g.m
+
+
+class TestClassCheckers:
+    def test_forest_yes_no(self):
+        assert is_forest(random_tree(20, seed=1))
+        assert not is_forest(cycle_graph(5))
+        two_trees = Graph.from_edges([(0, 1), (2, 3)])
+        assert is_forest(two_trees)
+
+    def test_series_parallel_families(self):
+        assert is_series_parallel(cycle_graph(8))
+        assert is_series_parallel(series_parallel_graph(40, seed=2))
+        assert not is_series_parallel(complete_graph(4))
+        assert not is_series_parallel(grid_graph(3, 3))
+
+    def test_outerplanar_families(self):
+        assert is_outerplanar(cycle_graph(7))
+        assert is_outerplanar(maximal_outerplanar_graph(15, seed=1))
+        assert is_outerplanar(star_graph(8))
+        assert not is_outerplanar(complete_graph(4))
+        assert not is_outerplanar(complete_bipartite_graph(2, 3))
+        assert not is_outerplanar(grid_graph(3, 3))
+
+    def test_outerplanar_subset_of_planar(self):
+        from repro.minors import is_planar
+
+        for seed in range(4):
+            g = maximal_outerplanar_graph(12, seed=seed)
+            assert is_outerplanar(g)
+            assert is_planar(g)

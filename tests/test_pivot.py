@@ -1,0 +1,84 @@
+"""Tests for the Pivot baseline and disagreement objective."""
+
+import pytest
+
+from repro.correlation import (
+    agreement_score,
+    disagreement_score,
+    exact_correlation,
+    pivot_clustering,
+)
+from repro.generators import (
+    cycle_graph,
+    delaunay_planar_graph,
+    grid_graph,
+    planted_signs,
+    random_signs,
+)
+from repro.graph import edge_key
+
+
+class TestDisagreementScore:
+    def test_complement_of_agreement(self):
+        g = grid_graph(4, 4)
+        signs = random_signs(g, 0.5, seed=1)
+        labels = {v: 0 for v in g.vertices()}
+        assert (
+            agreement_score(g, signs, labels)
+            + disagreement_score(g, signs, labels)
+            == g.m
+        )
+
+    def test_exact_minimizes_disagreements_too(self):
+        # Equivalence of the two objectives for exact solutions (§1.1).
+        g = cycle_graph(6)
+        signs = random_signs(g, 0.5, seed=2)
+        labels, _ = exact_correlation(g, signs)
+        best_disagreement = disagreement_score(g, signs, labels)
+        singletons = {v: v for v in g.vertices()}
+        assert best_disagreement <= disagreement_score(g, signs, singletons)
+
+
+class TestPivot:
+    def test_valid_clustering(self):
+        g = delaunay_planar_graph(60, seed=3)
+        signs, _ = planted_signs(g, 3, noise=0.1, seed=4)
+        labels, score = pivot_clustering(g, signs, seed=5)
+        assert set(labels) == set(g.vertices())
+        assert 0 <= score <= g.m
+
+    def test_all_positive_graph(self):
+        g = cycle_graph(8)
+        signs = {edge_key(u, v): 1 for u, v in g.edges()}
+        labels, score = pivot_clustering(g, signs, seed=6)
+        # Pivot groups pivots with positive neighbors; on a cycle with
+        # all-positive edges it can't be perfect, but must beat half.
+        assert score >= g.m / 2 - 2
+
+    def test_all_negative_graph_is_perfect(self):
+        g = cycle_graph(8)
+        signs = {edge_key(u, v): -1 for u, v in g.edges()}
+        labels, score = pivot_clustering(g, signs, seed=7)
+        assert score == g.m  # singletons everywhere
+
+    def test_dominated_by_exact_on_small(self):
+        import random
+
+        rnd = random.Random(8)
+        from repro.generators import gnp_random_graph
+
+        for _ in range(15):
+            g = gnp_random_graph(rnd.randint(2, 9), 0.5, seed=rnd.getrandbits(32))
+            signs = random_signs(g, 0.5, seed=rnd.getrandbits(32))
+            _, opt = exact_correlation(g, signs)
+            _, piv = pivot_clustering(g, signs, seed=rnd.getrandbits(32))
+            assert piv <= opt
+
+    def test_framework_beats_pivot_on_planted(self):
+        from repro.correlation import distributed_correlation_clustering
+
+        g = delaunay_planar_graph(70, seed=9)
+        signs, _ = planted_signs(g, 3, noise=0.1, seed=10)
+        framework = distributed_correlation_clustering(g, signs, 0.3, seed=11)
+        _, pivot = pivot_clustering(g, signs, seed=12)
+        assert framework.score >= pivot

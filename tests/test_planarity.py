@@ -1,0 +1,117 @@
+"""Tests for the from-scratch Left-Right planarity test.
+
+networkx's independent implementation is the oracle; agreement is
+checked on deterministic families, structured non-planar instances, and
+randomized + hypothesis-generated graphs.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    delaunay_planar_graph,
+    gnp_random_graph,
+    grid_graph,
+    hypercube_graph,
+    maximal_outerplanar_graph,
+    path_graph,
+    random_tree,
+    toroidal_grid_graph,
+)
+from repro.graph import Graph
+from repro.minors import is_planar
+
+
+def random_edge_graphs():
+    return st.lists(
+        st.tuples(st.integers(0, 11), st.integers(0, 11)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        max_size=36,
+    ).map(Graph.from_edges)
+
+
+class TestKnownPlanar:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(10),
+            cycle_graph(12),
+            grid_graph(7, 9),
+            complete_graph(4),
+            random_tree(40, seed=3),
+            maximal_outerplanar_graph(20, seed=1),
+        ],
+        ids=["path", "cycle", "grid", "K4", "tree", "outerplanar"],
+    )
+    def test_planar_families(self, graph):
+        assert is_planar(graph)
+
+    def test_delaunay_is_planar(self):
+        assert is_planar(delaunay_planar_graph(300, seed=0))
+
+    def test_empty_and_tiny(self):
+        assert is_planar(Graph())
+        assert is_planar(complete_graph(1))
+        assert is_planar(complete_graph(4))
+
+    def test_disconnected_planar(self):
+        g = Graph.from_edges([(0, 1), (2, 3), (4, 5)])
+        assert is_planar(g)
+
+
+class TestKnownNonPlanar:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            complete_graph(5),
+            complete_graph(6),
+            complete_bipartite_graph(3, 3),
+            complete_bipartite_graph(3, 4),
+            hypercube_graph(4),
+        ],
+        ids=["K5", "K6", "K33", "K34", "Q4"],
+    )
+    def test_nonplanar_families(self, graph):
+        assert not is_planar(graph)
+
+    def test_k5_subdivision(self):
+        # Subdivide every edge of K5: still non-planar (Kuratowski).
+        k5 = complete_graph(5)
+        g = Graph()
+        next_vertex = 5
+        for u, v in k5.edges():
+            g.add_edge(u, next_vertex)
+            g.add_edge(next_vertex, v)
+            next_vertex += 1
+        assert not is_planar(g)
+
+    def test_toroidal_grid_nonplanar(self):
+        assert not is_planar(toroidal_grid_graph(5, 5))
+
+    def test_planar_plus_crossing_edges(self):
+        g = grid_graph(5, 5)
+        # Connect far-apart grid vertices until the Euler bound breaks.
+        extra = [(0, 24), (4, 20), (2, 22), (10, 14), (1, 23), (3, 21)]
+        for u, v in extra:
+            g.add_edge(u, v)
+        assert is_planar(g) == nx.check_planarity(g.to_networkx())[0]
+
+
+class TestAgainstNetworkx:
+    @given(random_edge_graphs())
+    @settings(max_examples=120, deadline=None)
+    def test_agrees_with_networkx(self, g):
+        expected = nx.check_planarity(g.to_networkx())[0]
+        assert is_planar(g) == expected
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_agrees_on_gnp_near_threshold(self, seed):
+        # Density near 3n - 6 is the hard regime for planarity tests.
+        g = gnp_random_graph(12, 0.42, seed=seed)
+        assert is_planar(g) == nx.check_planarity(g.to_networkx())[0]

@@ -1,0 +1,118 @@
+"""Hypothesis property tests for cross-module invariants.
+
+These run the core machinery on arbitrary generated graphs (not just
+the curated families) and assert the invariants that must hold
+unconditionally: partitions cover, certificates are sound, exchanges
+account every token, and exact solvers dominate heuristics.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.decomposition import expander_decomposition
+from repro.graph import Graph
+from repro.matching import (
+    greedy_weight_matching,
+    is_matching,
+    matching_weight,
+    max_cardinality_matching,
+    max_weight_matching,
+)
+from repro.independent_set import exact_maxis, greedy_min_degree_is
+from repro.spectral import cheeger_bounds
+
+
+def edge_lists(max_vertex=11, max_edges=30):
+    return st.lists(
+        st.tuples(
+            st.integers(0, max_vertex), st.integers(0, max_vertex)
+        ).filter(lambda e: e[0] != e[1]),
+        max_size=max_edges,
+    )
+
+
+def graphs():
+    return edge_lists().map(Graph.from_edges)
+
+
+def weighted_graphs():
+    return st.lists(
+        st.tuples(
+            st.integers(0, 9), st.integers(0, 9), st.integers(1, 9)
+        ).filter(lambda e: e[0] != e[1]),
+        max_size=24,
+    ).map(
+        lambda edges: Graph.from_weighted_edges(
+            [(u, v, float(w)) for u, v, w in edges]
+        )
+    )
+
+
+class TestDecompositionInvariants:
+    @given(graphs(), st.sampled_from([0.2, 0.4, 0.6]))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_covers_and_certifies(self, g, epsilon):
+        assume(g.n >= 1)
+        dec = expander_decomposition(
+            g, epsilon, seed=0, enforce_budget=False
+        )
+        covered = set()
+        for cluster in dec.clusters:
+            assert not (covered & cluster)
+            covered |= cluster
+        assert covered == set(g.vertices())
+        assert len(dec.certificates) == len(dec.clusters)
+        # Every cut edge crosses clusters; no intra-cluster cut edges.
+        assignment = dec.cluster_of()
+        for u, v in dec.cut_edges:
+            assert assignment[u] != assignment[v]
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_cheeger_order(self, g):
+        assume(g.n >= 2 and g.m >= 1)
+        low, high = cheeger_bounds(g)
+        assert low <= high + 1e-9
+        assert low >= -1e-9
+
+
+class TestSolverDominance:
+    @given(weighted_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_mwm_dominates_greedy(self, g):
+        exact = matching_weight(g, max_weight_matching(g))
+        greedy = matching_weight(g, greedy_weight_matching(g))
+        assert exact >= greedy - 1e-9
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_maxis_dominates_greedy(self, g):
+        assert len(exact_maxis(g)) >= len(greedy_min_degree_is(g))
+
+    @given(weighted_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_mcm_at_least_mwm_cardinality(self, g):
+        mcm = max_cardinality_matching(g)
+        mwm = max_weight_matching(g)
+        assert is_matching(g, mcm)
+        assert len(mcm) >= len(mwm)
+
+
+class TestGraphAlgebra:
+    @given(graphs(), st.sets(st.integers(0, 11)))
+    @settings(max_examples=50, deadline=None)
+    def test_boundary_consistency(self, g, side):
+        side = {v for v in side if v in g}
+        boundary = g.boundary(side)
+        assert len(boundary) == g.cut_size(side)
+        for u, v in boundary:
+            assert (u in side) != (v in side)
+
+    @given(graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_subgraph_edge_monotone(self, g):
+        vertices = g.vertices()[: max(0, g.n // 2)]
+        sub = g.subgraph(vertices)
+        assert sub.m <= g.m
+        for u, v in sub.edges():
+            assert g.has_edge(u, v)

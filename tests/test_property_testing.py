@@ -1,0 +1,122 @@
+"""Tests for the distributed property tester (Theorem 1.4)."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    delaunay_planar_graph,
+    gnp_random_graph,
+    grid_graph,
+    maximal_outerplanar_graph,
+    random_tree,
+    series_parallel_graph,
+)
+from repro.graph import Graph
+from repro.property_testing import (
+    FOREST,
+    OUTERPLANAR,
+    PLANARITY,
+    SERIES_PARALLEL,
+    distributed_property_test,
+)
+
+
+def disjoint_copies(pattern: Graph, copies: int) -> Graph:
+    g = Graph()
+    offset = 0
+    size = pattern.n
+    for _ in range(copies):
+        for v in pattern.vertices():
+            g.add_vertex(v + offset)
+        for u, v in pattern.edges():
+            g.add_edge(u + offset, v + offset)
+        offset += size
+    return g
+
+
+class TestCompleteness:
+    """Graphs *in* the property are always accepted (one-sided error)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_planar_accepted(self, seed):
+        g = delaunay_planar_graph(80, seed=seed)
+        result = distributed_property_test(g, PLANARITY, 0.2, seed=seed)
+        assert result.accepted
+        assert all(result.verdicts.values())
+
+    def test_forest_accepted(self):
+        g = random_tree(60, seed=3)
+        result = distributed_property_test(g, FOREST, 0.2, seed=4)
+        assert result.accepted
+
+    def test_series_parallel_accepted(self):
+        g = series_parallel_graph(50, seed=5)
+        result = distributed_property_test(g, SERIES_PARALLEL, 0.25, seed=6)
+        assert result.accepted
+
+    def test_outerplanar_accepted(self):
+        g = maximal_outerplanar_graph(40, seed=7)
+        result = distributed_property_test(g, OUTERPLANAR, 0.25, seed=8)
+        assert result.accepted
+
+
+class TestSoundness:
+    """Graphs epsilon-far from the property are rejected."""
+
+    def test_disjoint_k6s_rejected_for_planarity(self):
+        # k disjoint K_6 components are 1/15-far from planar: each K6
+        # needs at least one edge change.
+        g = disjoint_copies(complete_graph(6), 10)
+        result = distributed_property_test(g, PLANARITY, 0.05, seed=0)
+        assert not result.accepted
+
+    def test_disjoint_triangles_rejected_for_forest(self):
+        g = disjoint_copies(complete_graph(3), 15)
+        result = distributed_property_test(g, FOREST, 0.2, seed=1)
+        assert not result.accepted
+
+    def test_disjoint_k4s_rejected_for_series_parallel(self):
+        g = disjoint_copies(complete_graph(4), 12)
+        result = distributed_property_test(g, SERIES_PARALLEL, 0.1, seed=2)
+        assert not result.accepted
+
+    def test_dense_random_graph_rejected_for_planarity(self):
+        g = gnp_random_graph(40, 0.5, seed=3)
+        result = distributed_property_test(g, PLANARITY, 0.1, seed=4)
+        assert not result.accepted
+
+    def test_rejection_is_localized(self):
+        # Planar component + K6 component: some vertex must reject;
+        # the K6 vertices are among the rejecters.
+        g = disjoint_copies(complete_graph(6), 4)
+        base = delaunay_planar_graph(40, seed=5)
+        for v in base.vertices():
+            g.add_vertex(v + 1000)
+        for u, v in base.edges():
+            g.add_edge(u + 1000, v + 1000)
+        result = distributed_property_test(g, PLANARITY, 0.05, seed=6)
+        assert not result.accepted
+        rejecters = {v for v, ok in result.verdicts.items() if not ok}
+        assert any(v < 1000 for v in rejecters)
+
+
+class TestMechanics:
+    def test_invalid_epsilon(self):
+        with pytest.raises(SolverError):
+            distributed_property_test(cycle_graph(4), PLANARITY, 0.0)
+
+    def test_cluster_verdicts_recorded(self):
+        g = grid_graph(5, 5)
+        result = distributed_property_test(g, PLANARITY, 0.3, seed=7)
+        assert result.cluster_verdicts
+        assert all(
+            verdict.startswith(("accept", "reject"))
+            for verdict in result.cluster_verdicts.values()
+        )
+
+    def test_property_repr(self):
+        assert "planar" in repr(PLANARITY)
+        assert PLANARITY.forbidden_clique == 5
+        assert FOREST.forbidden_clique == 3

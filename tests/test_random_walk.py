@@ -1,0 +1,105 @@
+"""Tests for lazy random walks and mixing times."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, SolverError
+from repro.generators import complete_graph, cycle_graph, grid_graph, path_graph
+from repro.graph import Graph
+from repro.spectral import (
+    lazy_walk_matrix,
+    mixing_time_bound,
+    mixing_time_exact,
+    simulate_lazy_walk,
+    stationary_distribution,
+)
+from repro.spectral.random_walk import hitting_fraction
+
+
+class TestWalkMatrix:
+    def test_columns_are_distributions(self):
+        g = grid_graph(3, 3)
+        p = lazy_walk_matrix(g)
+        assert np.allclose(p.sum(axis=0), 1.0)
+        assert (p >= 0).all()
+
+    def test_laziness_on_diagonal(self):
+        g = cycle_graph(5)
+        p = lazy_walk_matrix(g)
+        assert np.allclose(np.diag(p), 0.5)
+
+    def test_stationary_is_fixed_point(self):
+        g = grid_graph(3, 4)
+        p = lazy_walk_matrix(g)
+        pi = stationary_distribution(g)
+        assert np.allclose(p @ pi, pi)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_isolated_vertex_rejected(self):
+        g = Graph.from_edges([(0, 1)])
+        g.add_vertex(2)
+        with pytest.raises(GraphError):
+            lazy_walk_matrix(g)
+
+
+class TestMixingTime:
+    def test_complete_graph_mixes_fast(self):
+        assert mixing_time_exact(complete_graph(8)) <= 25
+
+    def test_path_mixes_slower_than_clique(self):
+        clique = mixing_time_exact(complete_graph(8))
+        path = mixing_time_exact(path_graph(8))
+        assert path > clique
+
+    def test_exact_definition_holds_at_tau(self):
+        g = cycle_graph(6)
+        tau = mixing_time_exact(g)
+        p = lazy_walk_matrix(g)
+        pi = stationary_distribution(g)
+        state = np.linalg.matrix_power(p, tau)
+        assert np.all(np.abs(state - pi[:, None]) <= pi[:, None] / g.n + 1e-12)
+        # And it is the *minimum* such t.
+        state_prev = np.linalg.matrix_power(p, tau - 1)
+        assert not np.all(
+            np.abs(state_prev - pi[:, None]) <= pi[:, None] / g.n + 1e-12
+        )
+
+    def test_disconnected_rejected(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        with pytest.raises(GraphError):
+            mixing_time_exact(g)
+
+    def test_bound_dominates_exact(self):
+        for g in (cycle_graph(8), grid_graph(3, 3), complete_graph(6)):
+            assert mixing_time_bound(g) >= mixing_time_exact(g)
+
+    def test_bound_infinite_when_disconnected(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        assert mixing_time_bound(g) == float("inf")
+
+
+class TestSimulation:
+    def test_walk_length_and_validity(self):
+        g = grid_graph(4, 4)
+        path = simulate_lazy_walk(g, 0, 50, seed=1)
+        assert len(path) == 51
+        for a, b in zip(path, path[1:]):
+            assert a == b or g.has_edge(a, b)
+
+    def test_walk_deterministic_by_seed(self):
+        g = grid_graph(4, 4)
+        assert simulate_lazy_walk(g, 0, 30, seed=9) == simulate_lazy_walk(
+            g, 0, 30, seed=9
+        )
+
+    def test_missing_start_rejected(self):
+        with pytest.raises(GraphError):
+            simulate_lazy_walk(grid_graph(2, 2), 99, 5)
+
+    def test_hitting_fraction_increases_with_length(self):
+        g = grid_graph(5, 5)
+        target = 12  # center vertex
+        short = hitting_fraction(g, target, 5, trials=80, seed=2)
+        long = hitting_fraction(g, target, 300, trials=80, seed=2)
+        assert long >= short
+        assert long > 0.9

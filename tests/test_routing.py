@@ -1,0 +1,179 @@
+"""Tests for leader election, orientation, and exchanges (Section 2.2)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    delaunay_planar_graph,
+    grid_graph,
+    star_graph,
+)
+from repro.graph import Graph
+from repro.routing import (
+    elect_leader,
+    orient_low_out_degree,
+    tree_exchange,
+    walk_exchange,
+)
+from repro.routing.orientation import peeling_threshold
+
+
+class TestLeaderElection:
+    def test_elects_max_degree(self):
+        g = star_graph(6)
+        leader, result = elect_leader(g, seed=0)
+        assert leader == 0
+        assert set(result.outputs.values()) == {0}
+
+    def test_tie_breaks_to_larger_id(self):
+        g = cycle_graph(8)  # all degrees equal
+        leader, result = elect_leader(g, seed=0)
+        assert leader == 7
+
+    def test_all_vertices_agree(self):
+        g = delaunay_planar_graph(50, seed=1)
+        leader, result = elect_leader(g, seed=0)
+        assert set(result.outputs.values()) == {leader}
+        assert g.degree(leader) == g.max_degree()
+
+    def test_single_vertex(self):
+        g = Graph()
+        g.add_vertex(3)
+        leader, _ = elect_leader(g)
+        assert leader == 3
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(GraphError):
+            elect_leader(Graph())
+
+    def test_insufficient_budget_detected(self):
+        # Path with max-degree vertex at one end and budget 1: distant
+        # vertices cannot have learned it.
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+        g.add_edge(0, 6)  # vertex 0 has degree 2, the maximum
+        leader, result = elect_leader(g, budget=1, seed=0)
+        assert len(set(result.outputs.values())) > 1
+
+
+class TestOrientation:
+    def test_threshold_formula(self):
+        assert peeling_threshold(2.0) == 5
+        assert peeling_threshold(1.0, eta=0.0) == 2
+
+    @pytest.mark.parametrize(
+        "make, density",
+        [
+            (lambda: grid_graph(6, 6), 2.0),
+            (lambda: delaunay_planar_graph(60, seed=2), 3.0),
+            (lambda: cycle_graph(20), 1.0),
+        ],
+        ids=["grid", "delaunay", "cycle"],
+    )
+    def test_out_degree_bounded(self, make, density):
+        g = make()
+        orientation, _ = orient_low_out_degree(g, density, seed=0)
+        threshold = peeling_threshold(density)
+        for v, out in orientation.items():
+            assert len(out) <= threshold
+
+    def test_every_edge_oriented_once(self):
+        g = delaunay_planar_graph(40, seed=3)
+        orientation, _ = orient_low_out_degree(g, 3.0, seed=0)
+        count = sum(len(out) for out in orientation.values())
+        assert count == g.m
+        for v, out in orientation.items():
+            for u in out:
+                assert v not in orientation[u]
+
+    def test_dense_graph_force_peels(self):
+        # Density promise violated: protocol must still terminate with
+        # a consistent orientation (Section 2.3 failure behavior).
+        g = complete_graph(12)
+        orientation, _ = orient_low_out_degree(g, 1.0, seed=0)
+        count = sum(len(out) for out in orientation.values())
+        assert count == g.m
+
+
+class TestWalkExchange:
+    def test_requests_delivered_and_answered(self):
+        g = grid_graph(4, 4)
+        leader = 5
+        requests = {v: [(v, 7)] for v in g.vertices()}
+
+        def responder(absorbed):
+            return {key: ("ok", key[0]) for key in absorbed}
+
+        result = walk_exchange(
+            g, leader, requests, responder=responder, phi=0.2, seed=0
+        )
+        assert result.success
+        assert len(result.requests_delivered) == g.n
+        for v in g.vertices():
+            assert result.responses[(v, 0)] == ("ok", v)
+
+    def test_default_responder_acks(self):
+        g = cycle_graph(6)
+        requests = {v: [1] for v in g.vertices()}
+        result = walk_exchange(g, 0, requests, phi=0.2, seed=1)
+        assert result.success
+        assert all(resp is None for resp in result.responses.values())
+
+    def test_insufficient_steps_detected_as_failure(self):
+        g = grid_graph(5, 5)
+        requests = {v: [1] for v in g.vertices()}
+        result = walk_exchange(
+            g, 0, requests, phi=0.2, forward_steps=2, seed=2
+        )
+        assert not result.success
+        assert result.undelivered  # reverse-routing detection (§2.3)
+
+    def test_leader_own_request_answered(self):
+        g = cycle_graph(5)
+        requests = {0: [(42,)]}
+        result = walk_exchange(g, 0, requests, phi=0.3, seed=3)
+        assert result.responses.get((0, 0), "missing") is None
+        assert result.success
+
+    def test_message_bits_stay_logarithmic(self):
+        g = delaunay_planar_graph(60, seed=4)
+        leader = max(g.vertices(), key=g.degree)
+        requests = {v: [(v, 1)] for v in g.vertices()}
+        result = walk_exchange(g, leader, requests, phi=0.1, seed=5)
+        from repro.congest.message import MessageBudget
+
+        assert result.metrics.max_message_bits <= MessageBudget(g.n).bits
+
+    def test_unknown_leader_rejected(self):
+        with pytest.raises(GraphError):
+            walk_exchange(cycle_graph(4), 99, {})
+
+
+class TestTreeExchange:
+    def test_requests_delivered_and_answered(self):
+        g = grid_graph(4, 4)
+        leader = 0
+        requests = {v: [(v,)] for v in g.vertices()}
+
+        def responder(absorbed):
+            return {key: key[0] + 100 for key in absorbed}
+
+        result = tree_exchange(g, leader, requests, responder=responder, seed=0)
+        assert result.success
+        for v in g.vertices():
+            assert result.responses[(v, 0)] == v + 100
+
+    def test_congestion_concentrates_at_root(self):
+        g = star_graph(20)
+        requests = {v: [(v,)] for v in g.vertices()}
+        result = tree_exchange(g, 0, requests, seed=1)
+        assert result.success
+        assert result.metrics.max_edge_congestion >= 1
+
+    def test_multi_payload_per_vertex(self):
+        g = cycle_graph(8)
+        requests = {v: [(v, i) for i in range(3)] for v in g.vertices()}
+        result = tree_exchange(g, 0, requests, seed=2)
+        assert result.success
+        assert len(result.requests_delivered) == 24

@@ -1,0 +1,102 @@
+"""Tests for balanced edge separators (Theorem 1.6)."""
+
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.generators import (
+    cycle_graph,
+    delaunay_planar_graph,
+    grid_graph,
+    k_tree,
+    path_graph,
+    random_tree,
+    toroidal_grid_graph,
+)
+from repro.graph import Graph
+from repro.spectral import balanced_edge_separator, separator_quality
+
+
+def check_balance(n, cut_set):
+    size = len(cut_set)
+    assert 3 * size >= n
+    assert 3 * (n - size) >= n
+
+
+class TestBalance:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(10),
+            cycle_graph(15),
+            grid_graph(6, 7),
+            random_tree(40, seed=1),
+            delaunay_planar_graph(80, seed=2),
+            k_tree(50, 3, seed=3),
+        ],
+        ids=["path", "cycle", "grid", "tree", "delaunay", "ktree"],
+    )
+    def test_separator_is_balanced(self, graph):
+        cut_set, size = balanced_edge_separator(graph, seed=0)
+        check_balance(graph.n, cut_set)
+        assert size == graph.cut_size(cut_set)
+
+    def test_two_vertices(self):
+        g = Graph.from_edges([(0, 1)])
+        cut_set, size = balanced_edge_separator(g, seed=0)
+        assert len(cut_set) == 1
+        assert size == 1
+
+    def test_rejects_disconnected(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        with pytest.raises(GraphError):
+            balanced_edge_separator(g)
+
+    def test_rejects_single_vertex(self):
+        g = Graph()
+        g.add_vertex(0)
+        with pytest.raises(GraphError):
+            balanced_edge_separator(g)
+
+
+class TestSize:
+    def test_path_separator_is_one_edge(self):
+        g = path_graph(30)
+        _, size = balanced_edge_separator(g, seed=0)
+        assert size == 1
+
+    def test_cycle_separator_is_two_edges(self):
+        g = cycle_graph(30)
+        _, size = balanced_edge_separator(g, seed=0)
+        assert size == 2
+
+    def test_grid_separator_near_sqrt(self):
+        g = grid_graph(10, 10)
+        _, size = balanced_edge_separator(g, seed=0)
+        # The optimal balanced cut of a 10x10 grid is ~10 edges.
+        assert size <= 20
+
+    @pytest.mark.parametrize("n", [60, 120, 240])
+    def test_theorem_1_6_envelope_planar(self, n):
+        """Planar separators stay within O(sqrt(Delta * n))."""
+        g = delaunay_planar_graph(n, seed=7)
+        cut_set, _ = balanced_edge_separator(g, seed=0)
+        assert separator_quality(g, cut_set) <= 3.0
+
+    def test_theorem_1_6_envelope_ktree(self):
+        g = k_tree(120, 3, seed=5)
+        cut_set, _ = balanced_edge_separator(g, seed=0)
+        assert separator_quality(g, cut_set) <= 3.0
+
+    def test_toroidal_grid_envelope(self):
+        g = toroidal_grid_graph(8, 8)
+        cut_set, _ = balanced_edge_separator(g, seed=0)
+        # Bounded genus: envelope holds with a genus-dependent constant.
+        assert separator_quality(g, cut_set) <= 4.0
+
+    def test_quality_definition(self):
+        g = grid_graph(4, 4)
+        cut_set, size = balanced_edge_separator(g, seed=0)
+        expected = size / math.sqrt(g.max_degree() * g.n)
+        assert separator_quality(g, cut_set) == pytest.approx(expected)
