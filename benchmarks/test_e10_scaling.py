@@ -9,15 +9,17 @@ cluster mixing times — the phi^{-O(1)} polylog(n) shape of Theorem 2.6.
 """
 
 import math
+import os
 
 import pytest
 
 from repro.analysis import Table
+from repro.congest import TraceSession
 from repro.congest.message import MessageBudget
 from repro.core.framework import partition_minor_free, run_framework
 from repro.generators import delaunay_planar_graph
 
-from _util import record_table, reset_result
+from _util import RESULTS_DIR, record_table, reset_result
 
 
 def degree_solver(sub, leader, notes):
@@ -63,6 +65,35 @@ def test_e10_scaling_sweep(benchmark):
     benchmark.pedantic(
         lambda: run_framework(g, 0.9, solver=degree_solver, phi=0.05, seed=102),
         rounds=2,
+        iterations=1,
+    )
+
+
+def test_e10_smallest_smoke(benchmark):
+    """CI smoke slice: the E10 workload at its smallest n, traced.
+
+    Runs the exact pipeline of the scaling sweep on the n = 64 instance
+    only (selected in CI with ``-k smallest``) and writes the structured
+    per-round trace to ``benchmarks/results/E10_trace_smallest.jsonl``
+    for artifact upload, so every CI run leaves an inspectable
+    congestion-over-time series.
+    """
+    g = delaunay_planar_graph(64, seed=101)
+    with TraceSession() as session:
+        result = run_framework(
+            g, 0.9, solver=degree_solver, phi=0.05, seed=102
+        )
+    metrics = result.metrics
+    assert metrics.max_message_bits <= MessageBudget(g.n).bits
+    assert metrics.rounds > 0 and metrics.total_messages > 0
+    # The trace covers every simulated round of every internal phase.
+    assert session.total_rounds() >= metrics.rounds
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    session.write_jsonl(os.path.join(RESULTS_DIR, "E10_trace_smallest.jsonl"))
+
+    benchmark.pedantic(
+        lambda: run_framework(g, 0.9, solver=degree_solver, phi=0.05, seed=102),
+        rounds=1,
         iterations=1,
     )
 

@@ -52,6 +52,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--phi", type=float, default=None,
                         help="explicit conductance target (default: theory)")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a structured per-round trace of every "
+                             "CONGEST simulation to PATH as JSONL")
 
 
 def _print_metrics(metrics) -> None:
@@ -271,6 +274,23 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "trace", None):
+        from .congest import TraceSession
+
+        try:
+            # Fail before the run, not after: a long simulation whose
+            # trace cannot be written should not execute at all.
+            open(args.trace, "w").close()
+        except OSError as exc:
+            parser.error(f"cannot write trace file: {exc}")
+        with TraceSession() as session:
+            code = args.handler(args)
+        session.write_jsonl(args.trace)
+        recorded = sum(len(rec.rounds) for rec in session.recorders)
+        print(f"trace: {len(session.recorders)} simulations, "
+              f"{recorded} recorded rounds "
+              f"({session.total_rounds()} simulated) -> {args.trace}")
+        return code
     return args.handler(args)
 
 

@@ -12,7 +12,14 @@ experiments.
 from .message import MessageBudget, message_bits
 from .metrics import CongestMetrics
 from .algorithm import VertexAlgorithm, VertexContext
-from .network import CongestSimulator, SimulationResult
+from .trace import RoundTrace, TraceRecorder, TraceSession
+from .network import (
+    CongestSimulator,
+    SimulationResult,
+    default_engine,
+    set_default_engine,
+    use_engine,
+)
 
 __all__ = [
     "MessageBudget",
@@ -22,4 +29,10 @@ __all__ = [
     "VertexContext",
     "CongestSimulator",
     "SimulationResult",
+    "RoundTrace",
+    "TraceRecorder",
+    "TraceSession",
+    "default_engine",
+    "set_default_engine",
+    "use_engine",
 ]

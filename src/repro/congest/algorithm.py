@@ -31,17 +31,36 @@ class VertexContext:
         neighbors: Sequence[Any],
         edge_weights: Dict[Any, float],
         n: int,
-        rng: random.Random,
+        rng: Optional[random.Random] = None,
+        rng_seed: Optional[int] = None,
     ) -> None:
         self.vertex = vertex
         self.neighbors = tuple(neighbors)
-        self.edge_weights = dict(edge_weights)
+        self.edge_weights = (
+            edge_weights if type(edge_weights) is dict else dict(edge_weights)
+        )
         self.n = n
-        self.rng = rng
+        self._rng = rng
+        self._rng_seed = rng_seed
         self.round_number = 0
         self._outbox: List = []
         self._halted = False
         self._output: Any = None
+
+    @property
+    def rng(self) -> random.Random:
+        """This vertex's private generator, constructed on first use.
+
+        Lazy construction matters: a simulation seeds one independent
+        stream per vertex, but most algorithms never draw from most of
+        them, and ``random.Random()`` instantiation is measurable at
+        fleet scale.  The stream is fixed by the seed assigned at
+        simulator construction, so laziness cannot change any outcome.
+        """
+        r = self._rng
+        if r is None:
+            r = self._rng = random.Random(self._rng_seed)
+        return r
 
     # -- communication -------------------------------------------------
     def send(self, neighbor: Any, payload: Any) -> None:

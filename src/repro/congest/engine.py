@@ -1,0 +1,378 @@
+"""The fast-path CONGEST engine.
+
+Semantically identical to :class:`repro.congest.reference.ReferenceEngine`
+(the differential harness in ``tests/test_engine_equivalence.py`` pins
+outputs and metrics bit-for-bit), but built for speed:
+
+* **Interned vertex IDs** — vertices are sorted once into canonical
+  order at construction and addressed by dense integers from then on.
+  Contexts, algorithms, inboxes, and wakeups live in flat lists indexed
+  by those integers; the per-round ``repr``-keyed sorts of the original
+  simulator are gone.
+* **Wakeup min-heap** — scheduled wakeups sit in a ``(round, vertex)``
+  heap with lazy invalidation instead of a dict that was scanned in
+  full every round.
+* **Active-set message collection** — only vertices that stepped this
+  round can have queued messages, so delivery drains exactly those
+  outboxes instead of scanning all ``n`` vertices per round.
+
+The engine shares the vertex-facing API (:class:`VertexAlgorithm`,
+:class:`VertexContext`) and the accounting policy: traffic is recorded
+against the round it is delivered into, so ``metrics.rounds`` equals
+the number of rounds executed.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..errors import MessageTooLargeError, ProtocolError
+from ..graph import Graph, canonical_vertex_order
+from ..rng import ensure_rng
+from .algorithm import VertexAlgorithm, VertexContext
+from .message import (
+    _BOOL_BITS,
+    _FLOAT_TOTAL,
+    _INT_EXTRA,
+    FIELD_OVERHEAD_BITS,
+    MessageBudget,
+    message_bits,
+)
+from .metrics import CongestMetrics
+from .trace import TraceRecorder
+
+#: Sentinel for "no traffic in flight": (per-edge counts, messages, bits).
+_NO_TRAFFIC: Tuple[Dict, int, int] = ({}, 0, 0)
+
+#: Private sentinel no user payload can be identical to.
+_UNSET = object()
+
+
+def build_vertex_state(
+    graph: Graph,
+    algorithm_factory: Callable[[Any], VertexAlgorithm],
+    seed,
+) -> Tuple[List[Any], List[VertexContext], List[VertexAlgorithm]]:
+    """Construct per-vertex contexts and algorithms in canonical order.
+
+    Shared by both engines so that the per-vertex RNG streams (derived
+    from the root seed in canonical vertex order) are identical no
+    matter which engine runs the algorithm.
+    """
+    root_rng = ensure_rng(seed)
+    getrandbits = root_rng.getrandbits
+    order = canonical_vertex_order(graph.vertices())
+    n = graph.n
+    adj = graph._adj
+    contexts: List[VertexContext] = []
+    algorithms: List[VertexAlgorithm] = []
+    for v in order:
+        row = adj[v]
+        neighbors = canonical_vertex_order(row)
+        ctx = VertexContext(
+            vertex=v,
+            neighbors=neighbors,
+            edge_weights={u: row[u] for u in neighbors},
+            n=n,
+            rng_seed=getrandbits(64),
+        )
+        contexts.append(ctx)
+        algorithms.append(algorithm_factory(v))
+    return order, contexts, algorithms
+
+
+class FastEngine:
+    """Integer-indexed scheduler; see the module docstring."""
+
+    name = "fast"
+
+    def __init__(
+        self,
+        graph: Graph,
+        algorithm_factory: Callable[[Any], VertexAlgorithm],
+        budget: Optional[MessageBudget] = None,
+        strict: bool = False,
+        capacity: int = 1,
+        seed=None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.graph = graph
+        self.budget = budget if budget is not None else MessageBudget(graph.n)
+        self.strict = strict
+        self.capacity = capacity
+        self.metrics = CongestMetrics()
+        self.trace = trace
+
+        order, contexts, algorithms = build_vertex_state(
+            graph, algorithm_factory, seed
+        )
+        self._verts: List[Any] = order
+        self._index: Dict[Any, int] = {v: i for i, v in enumerate(order)}
+        self._contexts = contexts
+        self._algorithms = algorithms
+        # Algorithms that keep the base-class scheduling hints are never
+        # idle; skip the virtual dispatch for them on the hot path.
+        self._default_hints = [
+            type(a).is_idle is VertexAlgorithm.is_idle for a in algorithms
+        ]
+        n = len(order)
+        self._n = n
+
+        # Next-round inboxes: vertex id -> {sender vertex: [payloads]}.
+        self._pending: List[Optional[Dict[Any, List[Any]]]] = [None] * n
+        self._pending_ids: Set[int] = set()
+        # Vertices that must step next round regardless of messages.
+        self._runnable: Set[int] = set(range(n))
+        # Wakeup heap with lazy invalidation: an entry (w, i) is live
+        # iff self._wake_round[i] == w.
+        self._heap: List[Tuple[int, int]] = []
+        self._wake_round: List[Optional[int]] = [None] * n
+        self._round = 0
+        self._live = n
+        # Traffic collected at the end of the previous round, awaiting
+        # delivery (and metric attribution) at the next executed round.
+        self._inflight: Tuple[Dict, int, int] = _NO_TRAFFIC
+
+    # ------------------------------------------------------------------
+    @property
+    def rounds_executed(self) -> int:
+        """Final value of the synchronous round counter."""
+        return self._round
+
+    def run(self, max_rounds: int = 10_000):
+        """Execute until all vertices halt or ``max_rounds`` elapse."""
+        from .network import SimulationResult
+
+        contexts = self._contexts
+        algorithms = self._algorithms
+        for i in range(self._n):
+            algorithms[i].initialize(contexts[i])
+        self._collect(range(self._n))
+        self._runnable = {
+            i for i in range(self._n) if not contexts[i]._halted
+        }
+        self._live = len(self._runnable)
+
+        due_vertices = self._due_vertices
+        collect = self._collect
+        reschedule = self._reschedule
+        record_round = self.metrics.record_round
+        record_skipped = self.metrics.record_skipped
+        trace = self.trace
+        pending = self._pending
+        pending_ids_discard = self._pending_ids.discard
+
+        while self._round < max_rounds and self._live > 0:
+            next_round = self._round + 1
+            due = due_vertices(next_round)
+            skipped = 0
+            if not due:
+                target = self._next_wakeup_round()
+                if target is None:
+                    break  # nothing will ever happen again
+                if target > max_rounds:
+                    record_skipped(max_rounds - self._round)
+                    self._round = max_rounds
+                    break
+                skipped = target - next_round
+                record_skipped(skipped)
+                next_round = target
+                due = due_vertices(next_round)
+            self._round = next_round
+            per_edge, messages, bits = self._inflight
+            self._inflight = _NO_TRAFFIC
+            record_round(per_edge, messages, bits)
+            live_before = self._live
+            for i in due:
+                ctx = contexts[i]
+                ctx.round_number = next_round
+                box = pending[i]
+                if box is None:
+                    box = {}
+                else:
+                    pending[i] = None
+                    pending_ids_discard(i)
+                algorithms[i].step(ctx, box)
+            collect(due)
+            reschedule(due)
+            if trace is not None:
+                trace.record_round(
+                    round_number=next_round,
+                    per_edge_counts=per_edge,
+                    messages=messages,
+                    bits=bits,
+                    stepped=len(due),
+                    idle=live_before - len(due),
+                    halted=self._n - self._live,
+                    skipped_before=skipped,
+                )
+
+        outputs = {self._verts[i]: contexts[i]._output for i in range(self._n)}
+        return SimulationResult(
+            outputs=outputs, metrics=self.metrics, halted=self._live == 0
+        )
+
+    # ------------------------------------------------------------------
+    def _due_vertices(self, round_number: int) -> List[int]:
+        due = self._runnable | self._pending_ids
+        heap = self._heap
+        wake = self._wake_round
+        while heap and heap[0][0] <= round_number:
+            w, i = heappop(heap)
+            if wake[i] == w:
+                wake[i] = None
+                due.add(i)
+        contexts = self._contexts
+        live_due = []
+        for i in sorted(due):
+            if contexts[i]._halted:
+                # A vertex that halted with mail still queued will never
+                # read it; drop it from the active set for good.
+                self._pending_ids.discard(i)
+            else:
+                live_due.append(i)
+        return live_due
+
+    def _next_wakeup_round(self) -> Optional[int]:
+        """Earliest live scheduled wakeup, discarding stale heap entries."""
+        heap = self._heap
+        wake = self._wake_round
+        while heap:
+            w, i = heap[0]
+            if wake[i] != w:
+                heappop(heap)
+                continue
+            return w
+        return None
+
+    def _reschedule(self, stepped: List[int]) -> None:
+        contexts = self._contexts
+        algorithms = self._algorithms
+        default_hints = self._default_hints
+        runnable_discard = self._runnable.discard
+        runnable_add = self._runnable.add
+        wake = self._wake_round
+        heap = self._heap
+        current_round = self._round
+        for i in stepped:
+            ctx = contexts[i]
+            runnable_discard(i)
+            wake[i] = None
+            if ctx._halted:
+                self._live -= 1
+                continue
+            if default_hints[i]:
+                runnable_add(i)
+                continue
+            algo = algorithms[i]
+            if algo.is_idle(ctx):
+                w = algo.next_wakeup(ctx)
+                if w is not None and w > current_round:
+                    wake[i] = w
+                    heappush(heap, (w, i))
+            else:
+                runnable_add(i)
+
+    def _collect(self, sender_ids) -> None:
+        """Drain the outboxes of the vertices that just stepped.
+
+        Only a stepped (or just-initialized) vertex can hold queued
+        messages, so delivery touches the active set instead of all
+        ``n`` vertices.  The collected traffic is buffered in
+        ``_inflight`` and recorded against the round that delivers it.
+        """
+        contexts = self._contexts
+        senders = [i for i in sender_ids if contexts[i]._outbox]
+        if not senders:
+            self._inflight = _NO_TRAFFIC
+            return
+        per_edge: Dict[int, int] = {}
+        messages = 0
+        bits = 0
+        max_bits = 0
+        n = self._n
+        index = self._index
+        pending = self._pending
+        pending_ids_add = self._pending_ids.add
+        verts = self._verts
+        sizeof = message_bits
+        per_edge_get = per_edge.get
+        budget_bits = self.budget.bits
+        strict = self.strict
+        capacity = self.capacity
+        for i in senders:
+            ctx = contexts[i]
+            outbox = ctx._outbox
+            ctx._outbox = []
+            v = verts[i]
+            base = i * n
+            last_payload = _UNSET
+            last_size = 0
+            for neighbor, payload in outbox:
+                # Broadcasts queue the same payload object once per
+                # neighbor; measuring it once per distinct object is
+                # safe because the identity check cannot conflate values.
+                if payload is last_payload:
+                    size = last_size
+                else:
+                    # Inlined fast path of message_bits() for the two
+                    # dominant payload shapes (bare ints and flat
+                    # tuples); message_bits handles everything else
+                    # with identical results, and the differential
+                    # harness holds the two accountings equal.
+                    tp = type(payload)
+                    if tp is int:
+                        size = (payload.bit_length() or 1) + _INT_EXTRA
+                    elif tp is tuple:
+                        size = FIELD_OVERHEAD_BITS
+                        for item in payload:
+                            ti = type(item)
+                            if ti is int:
+                                size += (item.bit_length() or 1) + _INT_EXTRA
+                            elif ti is str:
+                                size += 8 * len(item) + FIELD_OVERHEAD_BITS
+                            elif item is None:
+                                size += 1
+                            elif ti is float:
+                                size += _FLOAT_TOTAL
+                            elif ti is bool:
+                                size += _BOOL_BITS
+                            else:
+                                size += sizeof(item)
+                    else:
+                        size = sizeof(payload)
+                    last_payload = payload
+                    last_size = size
+                if size > budget_bits:
+                    raise MessageTooLargeError(
+                        size,
+                        budget_bits,
+                        detail=f"from {v!r} to {neighbor!r}",
+                    )
+                if size > max_bits:
+                    max_bits = size
+                j = index[neighbor]
+                ekey = base + j
+                count = per_edge_get(ekey, 0) + 1
+                per_edge[ekey] = count
+                if strict and count > capacity:
+                    raise ProtocolError(
+                        f"edge {(v, neighbor)!r} carried {count} messages "
+                        f"in one round (capacity {capacity})"
+                    )
+                messages += 1
+                bits += size
+                box = pending[j]
+                if box is None:
+                    pending[j] = {v: [payload]}
+                    pending_ids_add(j)
+                else:
+                    lst = box.get(v)
+                    if lst is None:
+                        box[v] = [payload]
+                    else:
+                        lst.append(payload)
+        if max_bits > self.metrics.max_message_bits:
+            self.metrics.max_message_bits = max_bits
+        self._inflight = (per_edge, messages, bits)

@@ -11,7 +11,11 @@ class CongestMetrics:
     """Aggregate statistics of one simulated execution.
 
     ``rounds``
-        Synchronous rounds executed by the simulator.
+        Synchronous rounds executed by the simulator (including
+        fast-forwarded quiescent rounds).  Equals the simulator's final
+        round counter: each executed round calls :meth:`record_round`
+        exactly once with the traffic delivered *into* it, and each
+        fast-forwarded stretch calls :meth:`record_skipped`.
     ``effective_rounds``
         Σ over rounds of the maximum number of messages any single
         directed edge carried in that round.  When an algorithm batches
@@ -46,6 +50,13 @@ class CongestMetrics:
         self.total_bits += bits
         self.max_edge_congestion = max(self.max_edge_congestion, round_congestion)
         self.messages_per_round.append(messages)
+
+    def record_skipped(self, rounds: int) -> None:
+        """Account a fast-forwarded quiescent stretch (no messages)."""
+        if rounds <= 0:
+            return
+        self.rounds += rounds
+        self.effective_rounds += rounds
 
     def record_message(self, bits: int) -> None:
         """Track the size of one message."""

@@ -1,4 +1,4 @@
-"""The synchronous CONGEST network simulator.
+"""The synchronous CONGEST network simulator (engine facade).
 
 The simulator is *event-driven but round-faithful*: vertices that
 declare themselves idle (no messages to send, nothing to do until a
@@ -8,20 +8,32 @@ round counters advance exactly as they would in a real synchronous
 execution.  This keeps long random-walk phases (tens of thousands of
 rounds with a handful of live tokens) affordable without distorting
 any reported complexity metric.
+
+Two engines implement these semantics:
+
+* ``"fast"`` (the default) — :class:`repro.congest.engine.FastEngine`,
+  with interned integer vertex IDs, a wakeup min-heap, and active-set
+  message delivery;
+* ``"reference"`` — :class:`repro.congest.reference.ReferenceEngine`,
+  the original dict-based implementation kept as the obviously-correct
+  slow path.
+
+The two are held equivalent (identical outputs, metrics, and traces on
+seeded runs) by the differential harness in
+``tests/test_engine_equivalence.py``.
 """
 
 from __future__ import annotations
 
-import random
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, Optional
 
-from ..errors import ProtocolError
 from ..graph import Graph
-from ..rng import ensure_rng
-from .algorithm import VertexAlgorithm, VertexContext
+from .algorithm import VertexAlgorithm
 from .message import MessageBudget
 from .metrics import CongestMetrics
+from .trace import TraceRecorder, active_session
 
 
 @dataclass
@@ -36,15 +48,49 @@ class SimulationResult:
         return self.outputs[vertex]
 
 
+_ENGINES = ("fast", "reference")
+_default_engine = "fast"
+
+
+def default_engine() -> str:
+    """Name of the engine used when ``CongestSimulator`` gets none."""
+    return _default_engine
+
+
+def set_default_engine(name: str) -> None:
+    """Set the process-wide default engine (``"fast"`` or ``"reference"``)."""
+    global _default_engine
+    if name not in _ENGINES:
+        raise ValueError(f"unknown engine {name!r}; expected one of {_ENGINES}")
+    _default_engine = name
+
+
+@contextmanager
+def use_engine(name: str):
+    """Run a block with a different default engine.
+
+    The differential test harness uses this to push whole high-level
+    pipelines (framework runs, routing phases) through the reference
+    engine without threading an argument through every call signature.
+    """
+    previous = _default_engine
+    set_default_engine(name)
+    try:
+        yield
+    finally:
+        set_default_engine(previous)
+
+
 class CongestSimulator:
     """Drives one :class:`VertexAlgorithm` per vertex in lock step.
 
     Parameters
     ----------
     graph:
-        The network topology.  Vertex IDs should be sortable (the
-        generators produce integers); the simulator processes vertices
-        in sorted order each round for determinism.
+        The network topology.  Vertices are interned into a canonical
+        order at construction (numeric for the integer IDs the
+        generators produce); the simulator processes vertices in that
+        order each round for determinism.
     algorithm_factory:
         Callable producing a fresh :class:`VertexAlgorithm` per vertex.
         It receives the vertex ID so that algorithms can special-case
@@ -60,8 +106,18 @@ class CongestSimulator:
     capacity:
         Directed per-edge message capacity per round in strict mode.
     seed:
-        Root seed; each vertex receives an independent derived RNG, so
-        runs are reproducible regardless of scheduling details.
+        Root seed; each vertex receives an independent derived RNG
+        (assigned in canonical vertex order), so runs are reproducible
+        regardless of scheduling details — and identical across the two
+        engines.
+    engine:
+        ``"fast"`` or ``"reference"``; ``None`` uses
+        :func:`default_engine`.
+    trace:
+        Optional :class:`TraceRecorder` receiving one structured record
+        per executed round.  When ``None`` and a
+        :class:`~repro.congest.trace.TraceSession` is active, a fresh
+        recorder is attached automatically.
 
     Scheduling contract (see :class:`VertexAlgorithm`): a vertex is
     stepped in every round until it reports ``is_idle() == True`` after
@@ -77,147 +133,66 @@ class CongestSimulator:
         strict: bool = False,
         capacity: int = 1,
         seed=None,
+        engine: Optional[str] = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
-        self.graph = graph
-        self.budget = budget if budget is not None else MessageBudget(graph.n)
-        self.strict = strict
-        self.capacity = capacity
-        self.metrics = CongestMetrics()
-
-        root_rng = ensure_rng(seed)
-        self._order = sorted(graph.vertices(), key=repr)
-        self._algorithms: Dict[Any, VertexAlgorithm] = {}
-        self._contexts: Dict[Any, VertexContext] = {}
-        for v in self._order:
-            neighbors = sorted(graph.neighbors(v), key=repr)
-            weights = {u: graph.weight(v, u) for u in neighbors}
-            ctx = VertexContext(
-                vertex=v,
-                neighbors=neighbors,
-                edge_weights=weights,
-                n=graph.n,
-                rng=random.Random(root_rng.getrandbits(64)),
+        name = engine if engine is not None else _default_engine
+        if name not in _ENGINES:
+            raise ValueError(
+                f"unknown engine {name!r}; expected one of {_ENGINES}"
             )
-            self._algorithms[v] = algorithm_factory(v)
-            self._contexts[v] = ctx
-        self._pending: Dict[Any, Dict[Any, List[Any]]] = {
-            v: {} for v in self._order
-        }
-        self._has_pending: Set[Any] = set()
-        self._round = 0
-        # Vertices that must step next round regardless of messages.
-        self._runnable: Set[Any] = set(self._order)
-        # Scheduled wakeups for idle vertices: vertex -> round number.
-        self._wakeups: Dict[Any, int] = {}
+        if trace is None:
+            session = active_session()
+            if session is not None:
+                trace = session.new_recorder(f"{name}:n={graph.n}")
+        if name == "fast":
+            from .engine import FastEngine as engine_cls
+        else:
+            from .reference import ReferenceEngine as engine_cls
+        self._engine = engine_cls(
+            graph,
+            algorithm_factory,
+            budget=budget,
+            strict=strict,
+            capacity=capacity,
+            seed=seed,
+            trace=trace,
+        )
 
-    # ------------------------------------------------------------------
+    # -- delegation ------------------------------------------------------
+    @property
+    def engine_name(self) -> str:
+        return self._engine.name
+
+    @property
+    def graph(self) -> Graph:
+        return self._engine.graph
+
+    @property
+    def budget(self) -> MessageBudget:
+        return self._engine.budget
+
+    @property
+    def strict(self) -> bool:
+        return self._engine.strict
+
+    @property
+    def capacity(self) -> int:
+        return self._engine.capacity
+
+    @property
+    def metrics(self) -> CongestMetrics:
+        return self._engine.metrics
+
+    @property
+    def trace(self) -> Optional[TraceRecorder]:
+        return self._engine.trace
+
+    @property
+    def rounds_executed(self) -> int:
+        """Rounds actually executed; always equals ``metrics.rounds``."""
+        return self._engine.rounds_executed
+
     def run(self, max_rounds: int = 10_000) -> SimulationResult:
         """Execute until all vertices halt or ``max_rounds`` elapse."""
-        for v in self._order:
-            self._algorithms[v].initialize(self._contexts[v])
-        self._collect_and_deliver()
-        self._runnable = {
-            v for v in self._order if not self._contexts[v].halted
-        }
-
-        while self._round < max_rounds and not self._all_halted():
-            next_round = self._round + 1
-            due = self._due_vertices(next_round)
-            if not due:
-                # Fast-forward to the earliest scheduled wakeup.
-                future = [
-                    w
-                    for v, w in self._wakeups.items()
-                    if not self._contexts[v].halted
-                ]
-                if not future:
-                    break  # nothing will ever happen again
-                target = min(future)
-                if target > max_rounds:
-                    self._credit_skipped(max_rounds - self._round)
-                    self._round = max_rounds
-                    break
-                self._credit_skipped(target - next_round)
-                next_round = target
-                due = self._due_vertices(next_round)
-            self._round = next_round
-            stepped: List[Any] = []
-            for v in due:
-                ctx = self._contexts[v]
-                if ctx.halted:
-                    continue
-                ctx.round_number = self._round
-                inbox = self._pending[v]
-                self._pending[v] = {}
-                self._has_pending.discard(v)
-                self._algorithms[v].step(ctx, inbox)
-                stepped.append(v)
-            self._collect_and_deliver()
-            self._reschedule(stepped)
-
-        outputs = {v: self._contexts[v].output for v in self._order}
-        return SimulationResult(
-            outputs=outputs, metrics=self.metrics, halted=self._all_halted()
-        )
-
-    # ------------------------------------------------------------------
-    def _due_vertices(self, round_number: int) -> List[Any]:
-        due = set(self._runnable) | self._has_pending
-        for v, wake in self._wakeups.items():
-            if wake <= round_number:
-                due.add(v)
-        return sorted(
-            (v for v in due if not self._contexts[v].halted), key=repr
-        )
-
-    def _reschedule(self, stepped: List[Any]) -> None:
-        for v in stepped:
-            ctx = self._contexts[v]
-            self._runnable.discard(v)
-            self._wakeups.pop(v, None)
-            if ctx.halted:
-                continue
-            algo = self._algorithms[v]
-            if algo.is_idle(ctx):
-                wake = algo.next_wakeup(ctx)
-                if wake is not None and wake > self._round:
-                    self._wakeups[v] = wake
-            else:
-                self._runnable.add(v)
-
-    def _credit_skipped(self, rounds: int) -> None:
-        """Account fast-forwarded quiescent rounds (no messages)."""
-        if rounds <= 0:
-            return
-        self.metrics.rounds += rounds
-        self.metrics.effective_rounds += rounds
-
-    def _all_halted(self) -> bool:
-        return all(ctx.halted for ctx in self._contexts.values())
-
-    def _collect_and_deliver(self) -> None:
-        """Move all outboxes into next round's inboxes, with accounting."""
-        per_edge: Dict = {}
-        messages = 0
-        bits = 0
-        for v in self._order:
-            ctx = self._contexts[v]
-            outbox = ctx._drain_outbox()
-            for neighbor, payload in outbox:
-                size = self.budget.check(
-                    payload, detail=f"from {v!r} to {neighbor!r}"
-                )
-                self.metrics.record_message(size)
-                edge = (v, neighbor)
-                count = per_edge.get(edge, 0) + 1
-                per_edge[edge] = count
-                if self.strict and count > self.capacity:
-                    raise ProtocolError(
-                        f"edge {edge!r} carried {count} messages in one "
-                        f"round (capacity {self.capacity})"
-                    )
-                messages += 1
-                bits += size
-                self._pending[neighbor].setdefault(v, []).append(payload)
-                self._has_pending.add(neighbor)
-        self.metrics.record_round(per_edge, messages, bits)
+        return self._engine.run(max_rounds)

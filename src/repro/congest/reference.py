@@ -1,0 +1,215 @@
+"""The reference CONGEST engine: simple, dict-based, obviously correct.
+
+This is the original simulator core, kept as the slow path that the
+fast engine (:mod:`repro.congest.engine`) is differentially tested
+against: ``tests/test_engine_equivalence.py`` runs both engines over
+seeded random graphs and algorithm families and asserts identical
+outputs, metrics, and traces.  Prefer clarity over speed here — every
+round it re-derives the due set by scanning all wakeups and drains the
+outboxes of every vertex.
+
+Shared with the fast engine (so the two stay comparable):
+
+* per-vertex state construction (canonical vertex order, derived RNG
+  streams) via :func:`repro.congest.engine.build_vertex_state`;
+* the accounting policy — traffic is recorded against the round it is
+  delivered into, so ``metrics.rounds`` equals rounds executed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..errors import MessageTooLargeError, ProtocolError
+from ..graph import Graph, canonical_vertex_order
+from .algorithm import VertexAlgorithm, VertexContext
+from .engine import _NO_TRAFFIC, build_vertex_state
+from .message import MessageBudget, message_bits
+from .metrics import CongestMetrics
+from .trace import TraceRecorder
+
+
+class ReferenceEngine:
+    """Dict-based scheduler; see the module docstring."""
+
+    name = "reference"
+
+    def __init__(
+        self,
+        graph: Graph,
+        algorithm_factory: Callable[[Any], VertexAlgorithm],
+        budget: Optional[MessageBudget] = None,
+        strict: bool = False,
+        capacity: int = 1,
+        seed=None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.graph = graph
+        self.budget = budget if budget is not None else MessageBudget(graph.n)
+        self.strict = strict
+        self.capacity = capacity
+        self.metrics = CongestMetrics()
+        self.trace = trace
+
+        order, contexts, algorithms = build_vertex_state(
+            graph, algorithm_factory, seed
+        )
+        self._order = order
+        self._contexts: Dict[Any, VertexContext] = dict(zip(order, contexts))
+        self._algorithms: Dict[Any, VertexAlgorithm] = dict(
+            zip(order, algorithms)
+        )
+        self._pending: Dict[Any, Dict[Any, List[Any]]] = {
+            v: {} for v in self._order
+        }
+        self._has_pending: Set[Any] = set()
+        self._round = 0
+        # Vertices that must step next round regardless of messages.
+        self._runnable: Set[Any] = set(self._order)
+        # Scheduled wakeups for idle vertices: vertex -> round number.
+        self._wakeups: Dict[Any, int] = {}
+        # Traffic awaiting delivery at the next executed round.
+        self._inflight: Tuple[Dict, int, int] = _NO_TRAFFIC
+
+    # ------------------------------------------------------------------
+    @property
+    def rounds_executed(self) -> int:
+        """Final value of the synchronous round counter."""
+        return self._round
+
+    def run(self, max_rounds: int = 10_000):
+        """Execute until all vertices halt or ``max_rounds`` elapse."""
+        from .network import SimulationResult
+
+        for v in self._order:
+            self._algorithms[v].initialize(self._contexts[v])
+        self._collect()
+        self._runnable = {
+            v for v in self._order if not self._contexts[v].halted
+        }
+
+        while self._round < max_rounds and not self._all_halted():
+            next_round = self._round + 1
+            due = self._due_vertices(next_round)
+            skipped = 0
+            if not due:
+                # Fast-forward to the earliest scheduled wakeup.
+                future = [
+                    w
+                    for v, w in self._wakeups.items()
+                    if not self._contexts[v].halted
+                ]
+                if not future:
+                    break  # nothing will ever happen again
+                target = min(future)
+                if target > max_rounds:
+                    self.metrics.record_skipped(max_rounds - self._round)
+                    self._round = max_rounds
+                    break
+                skipped = target - next_round
+                self.metrics.record_skipped(skipped)
+                next_round = target
+                due = self._due_vertices(next_round)
+            self._round = next_round
+            per_edge, messages, bits = self._inflight
+            self._inflight = _NO_TRAFFIC
+            self.metrics.record_round(per_edge, messages, bits)
+            live_before = sum(
+                1 for ctx in self._contexts.values() if not ctx.halted
+            )
+            stepped: List[Any] = []
+            for v in due:
+                ctx = self._contexts[v]
+                if ctx.halted:
+                    continue
+                ctx.round_number = self._round
+                inbox = self._pending[v]
+                self._pending[v] = {}
+                self._has_pending.discard(v)
+                self._algorithms[v].step(ctx, inbox)
+                stepped.append(v)
+            self._collect()
+            self._reschedule(stepped)
+            if self.trace is not None:
+                live_after = sum(
+                    1 for ctx in self._contexts.values() if not ctx.halted
+                )
+                self.trace.record_round(
+                    round_number=self._round,
+                    per_edge_counts=per_edge,
+                    messages=messages,
+                    bits=bits,
+                    stepped=len(stepped),
+                    idle=live_before - len(stepped),
+                    halted=len(self._order) - live_after,
+                    skipped_before=skipped,
+                )
+
+        outputs = {v: self._contexts[v].output for v in self._order}
+        return SimulationResult(
+            outputs=outputs, metrics=self.metrics, halted=self._all_halted()
+        )
+
+    # ------------------------------------------------------------------
+    def _due_vertices(self, round_number: int) -> List[Any]:
+        due = set(self._runnable) | self._has_pending
+        for v, wake in self._wakeups.items():
+            if wake <= round_number:
+                due.add(v)
+        return canonical_vertex_order(
+            v for v in due if not self._contexts[v].halted
+        )
+
+    def _reschedule(self, stepped: List[Any]) -> None:
+        for v in stepped:
+            ctx = self._contexts[v]
+            self._runnable.discard(v)
+            self._wakeups.pop(v, None)
+            if ctx.halted:
+                continue
+            algo = self._algorithms[v]
+            if algo.is_idle(ctx):
+                wake = algo.next_wakeup(ctx)
+                if wake is not None and wake > self._round:
+                    self._wakeups[v] = wake
+            else:
+                self._runnable.add(v)
+
+    def _all_halted(self) -> bool:
+        return all(ctx.halted for ctx in self._contexts.values())
+
+    def _collect(self) -> None:
+        """Move all outboxes into the in-flight buffer, with accounting."""
+        per_edge: Dict = {}
+        messages = 0
+        bits = 0
+        max_bits = 0
+        budget_bits = self.budget.bits
+        for v in self._order:
+            ctx = self._contexts[v]
+            outbox = ctx._drain_outbox()
+            for neighbor, payload in outbox:
+                size = message_bits(payload)
+                if size > budget_bits:
+                    raise MessageTooLargeError(
+                        size,
+                        budget_bits,
+                        detail=f"from {v!r} to {neighbor!r}",
+                    )
+                if size > max_bits:
+                    max_bits = size
+                edge = (v, neighbor)
+                count = per_edge.get(edge, 0) + 1
+                per_edge[edge] = count
+                if self.strict and count > self.capacity:
+                    raise ProtocolError(
+                        f"edge {edge!r} carried {count} messages in one "
+                        f"round (capacity {self.capacity})"
+                    )
+                messages += 1
+                bits += size
+                self._pending[neighbor].setdefault(v, []).append(payload)
+                self._has_pending.add(neighbor)
+        if max_bits > self.metrics.max_message_bits:
+            self.metrics.max_message_bits = max_bits
+        self._inflight = (per_edge, messages, bits)

@@ -1,0 +1,230 @@
+"""Structured round tracing for CONGEST simulations.
+
+The engines in :mod:`repro.congest` can optionally emit one
+:class:`RoundTrace` record per *executed* round: how many messages (and
+bits) were delivered into the round, the per-edge congestion histogram
+of that traffic, and how many vertices stepped / sat idle / had already
+halted.  Fast-forwarded quiescent stretches produce no per-round
+records (that is the point of fast-forwarding); instead the next
+executed round notes how many rounds were skipped to reach it, so the
+full round timeline can always be reconstructed.
+
+Tracing is opt-in and zero-cost when off.  Two ways to turn it on:
+
+* pass ``trace=TraceRecorder(...)`` to :class:`CongestSimulator`;
+* open a :class:`TraceSession` (the CLI's ``--trace`` flag does this),
+  which attaches a fresh recorder to every simulator constructed while
+  the session is active.
+
+Records export to JSON dicts and JSONL files and round-trip back, so
+experiments can report congestion-over-time series instead of only
+end-of-run aggregates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+
+@dataclass
+class RoundTrace:
+    """One executed round, as observed by the engine.
+
+    ``messages`` / ``bits`` count the traffic *delivered into* this
+    round (sent the round before), matching the metric attribution of
+    :class:`~repro.congest.metrics.CongestMetrics`.  The congestion
+    histogram maps per-directed-edge message multiplicity to the number
+    of edges that carried that many messages this round.
+    """
+
+    round: int
+    messages: int
+    bits: int
+    stepped: int
+    idle: int
+    halted: int
+    skipped_before: int
+    max_congestion: int
+    congestion_histogram: Dict[int, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "round": self.round,
+            "messages": self.messages,
+            "bits": self.bits,
+            "stepped": self.stepped,
+            "idle": self.idle,
+            "halted": self.halted,
+            "skipped_before": self.skipped_before,
+            "max_congestion": self.max_congestion,
+            # JSON object keys are strings; normalize here so the
+            # round-trip through JSONL is exact.
+            "congestion_histogram": {
+                str(k): v for k, v in sorted(self.congestion_histogram.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RoundTrace":
+        return cls(
+            round=data["round"],
+            messages=data["messages"],
+            bits=data["bits"],
+            stepped=data["stepped"],
+            idle=data["idle"],
+            halted=data["halted"],
+            skipped_before=data["skipped_before"],
+            max_congestion=data["max_congestion"],
+            congestion_histogram={
+                int(k): v for k, v in data["congestion_histogram"].items()
+            },
+        )
+
+
+class TraceRecorder:
+    """Collects the :class:`RoundTrace` series of one simulation."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.rounds: List[RoundTrace] = []
+
+    # -- recording (called by the engines) ------------------------------
+    def record_round(
+        self,
+        round_number: int,
+        per_edge_counts: Dict,
+        messages: int,
+        bits: int,
+        stepped: int,
+        idle: int,
+        halted: int,
+        skipped_before: int,
+    ) -> None:
+        histogram: Dict[int, int] = {}
+        for count in per_edge_counts.values():
+            histogram[count] = histogram.get(count, 0) + 1
+        self.rounds.append(
+            RoundTrace(
+                round=round_number,
+                messages=messages,
+                bits=bits,
+                stepped=stepped,
+                idle=idle,
+                halted=halted,
+                skipped_before=skipped_before,
+                max_congestion=max(histogram, default=0),
+                congestion_histogram=histogram,
+            )
+        )
+
+    # -- aggregation ----------------------------------------------------
+    def total_messages(self) -> int:
+        return sum(r.messages for r in self.rounds)
+
+    def total_bits(self) -> int:
+        return sum(r.bits for r in self.rounds)
+
+    def total_rounds(self) -> int:
+        """Executed plus fast-forwarded rounds covered by this trace."""
+        return sum(1 + r.skipped_before for r in self.rounds)
+
+    def max_congestion(self) -> int:
+        return max((r.max_congestion for r in self.rounds), default=0)
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "recorded_rounds": len(self.rounds),
+            "total_rounds": self.total_rounds(),
+            "total_messages": self.total_messages(),
+            "total_bits": self.total_bits(),
+            "max_congestion": self.max_congestion(),
+        }
+
+    # -- export / import ------------------------------------------------
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        out = []
+        for r in self.rounds:
+            d = r.to_dict()
+            if self.label:
+                d["sim"] = self.label
+            out.append(d)
+        return out
+
+    def dumps_jsonl(self) -> str:
+        return "\n".join(json.dumps(d, sort_keys=True) for d in self.to_dicts())
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            for d in self.to_dicts():
+                handle.write(json.dumps(d, sort_keys=True) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, lines: Iterable[str], label: str = "") -> "TraceRecorder":
+        """Rebuild a recorder from JSONL lines (blank lines ignored)."""
+        rec = cls(label)
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if not rec.label and "sim" in data:
+                rec.label = data["sim"]
+            rec.rounds.append(RoundTrace.from_dict(data))
+        return rec
+
+    @classmethod
+    def read_jsonl(cls, path: str) -> "TraceRecorder":
+        with open(path) as handle:
+            return cls.from_jsonl(handle)
+
+
+# ----------------------------------------------------------------------
+# Session scoping: attach recorders to every simulator in a region.
+# ----------------------------------------------------------------------
+
+_SESSIONS: List["TraceSession"] = []
+
+
+class TraceSession:
+    """Context manager collecting traces from every simulator inside it.
+
+    High-level entry points (``run_framework``, the CLI commands) spin
+    up many simulators internally; a session captures all of them
+    without threading a recorder through every call signature::
+
+        with TraceSession() as session:
+            run_framework(...)
+        session.write_jsonl("trace.jsonl")
+    """
+
+    def __init__(self) -> None:
+        self.recorders: List[TraceRecorder] = []
+
+    def __enter__(self) -> "TraceSession":
+        _SESSIONS.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _SESSIONS.remove(self)
+
+    def new_recorder(self, label: str = "") -> TraceRecorder:
+        rec = TraceRecorder(label or f"sim{len(self.recorders)}")
+        self.recorders.append(rec)
+        return rec
+
+    def total_rounds(self) -> int:
+        return sum(rec.total_rounds() for rec in self.recorders)
+
+    def write_jsonl(self, path: str) -> None:
+        """One line per (simulation, round) record, in creation order."""
+        with open(path, "w") as handle:
+            for rec in self.recorders:
+                for d in rec.to_dicts():
+                    handle.write(json.dumps(d, sort_keys=True) + "\n")
+
+
+def active_session() -> Optional[TraceSession]:
+    """The innermost active :class:`TraceSession`, if any."""
+    return _SESSIONS[-1] if _SESSIONS else None

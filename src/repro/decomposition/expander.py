@@ -30,6 +30,7 @@ from ..spectral.conductance import (
     EXACT_CONDUCTANCE_LIMIT,
     conductance_lower_bound,
     exact_conductance,
+    lambda2_and_fiedler,
     sweep_cut,
 )
 
@@ -173,13 +174,32 @@ def expander_decomposition(
             max_cluster_size is None
             or len(cluster) <= max(1, max_cluster_size)
         )
-        certificate = _certify(sub, phi) if small_enough else None
+        # Certify and (if that fails) split off ONE eigensolve: the
+        # Cheeger certificate lambda_2 / 2 and the Fiedler sweep vector
+        # come from the same normalized Laplacian, so large clusters
+        # that fail certification hand their vector straight to
+        # sweep_cut instead of solving again (see _certify for the
+        # equivalent single-purpose check).
+        certificate = None
+        fiedler = None
+        if small_enough:
+            if sub.n <= 1:
+                certificate = 1.0
+            elif sub.n == 2:
+                certificate = 1.0 if sub.m == 1 else None
+            elif sub.n <= min(12, EXACT_CONDUCTANCE_LIMIT):
+                value, _ = exact_conductance(sub)
+                certificate = value if value >= phi else None
+            else:
+                gap, fiedler = lambda2_and_fiedler(sub)
+                lower = gap / 2.0
+                certificate = lower if lower >= phi else None
         if certificate is not None:
             result.clusters.append(cluster)
             result.certificates.append(certificate)
             continue
         # Not certified: split along a (possibly randomized) sweep cut.
-        _, side = sweep_cut(sub, rng=rng, slack=cut_slack)
+        _, side = sweep_cut(sub, vector=fiedler, rng=rng, slack=cut_slack)
         if not side or len(side) == len(cluster):
             # Degenerate sweep (should not happen); fall back to a
             # single-vertex shave to guarantee progress.

@@ -50,6 +50,21 @@ def edge_key(u: Vertex, v: Vertex) -> Edge:
         return (u, v) if repr(u) <= repr(v) else (v, u)
 
 
+def canonical_vertex_order(vertices: Iterable[Vertex]) -> List[Vertex]:
+    """Vertices in canonical order: natural sort, with a typed fallback.
+
+    Integer vertices (what every generator produces) sort numerically —
+    unlike the historical ``key=repr`` ordering, which put 10 before 2.
+    Mixed or unorderable vertex sets fall back to sorting by
+    ``(type name, repr)`` so the order stays total and deterministic.
+    """
+    vs = list(vertices)
+    try:
+        return sorted(vs)  # type: ignore[type-var]
+    except TypeError:
+        return sorted(vs, key=lambda v: (type(v).__name__, repr(v)))
+
+
 class Graph:
     """A simple undirected graph with float edge weights.
 
@@ -285,12 +300,19 @@ class Graph:
         if missing:
             raise GraphError(f"vertices not in graph: {sorted(map(repr, missing))}")
         g = Graph()
+        g_adj = g._adj
         for v in s_set:
-            g.add_vertex(v)
+            g_adj[v] = {}
+        # Fill adjacency rows directly: each undirected edge is visited
+        # once from each endpoint, so the half-edge count is even.
+        half_edges = 0
         for u in s_set:
+            row = g_adj[u]
             for v, w in self._adj[u].items():
-                if v in s_set and not g.has_edge(u, v):
-                    g.add_edge(u, v, w)
+                if v in s_set:
+                    row[v] = w
+                    half_edges += 1
+        g._m = half_edges // 2
         return g
 
     def edge_subgraph(self, edges: Iterable[Edge]) -> "Graph":
@@ -329,12 +351,16 @@ class Graph:
             raise GraphError(f"vertex {source!r} not in graph")
         dist = {source: 0}
         queue = deque([source])
+        adj = self._adj
+        pop = queue.popleft
+        push = queue.append
         while queue:
-            u = queue.popleft()
-            for v in self._adj[u]:
+            u = pop()
+            du = dist[u] + 1
+            for v in adj[u]:
                 if v not in dist:
-                    dist[v] = dist[u] + 1
-                    queue.append(v)
+                    dist[v] = du
+                    push(v)
         return dist
 
     def bfs_layers(self, source: Vertex) -> List[List[Vertex]]:
@@ -415,10 +441,10 @@ class Graph:
         if len(index) != self.n:
             raise GraphError("order must enumerate each vertex exactly once")
         a = np.zeros((self.n, self.n))
-        for u, v in self.edges():
-            i, j = index[u], index[v]
-            a[i, j] = 1.0
-            a[j, i] = 1.0
+        for u, nbrs in self._adj.items():
+            i = index[u]
+            for v in nbrs:
+                a[i, index[v]] = 1.0
         return a
 
     def to_networkx(self):

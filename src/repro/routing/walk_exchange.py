@@ -115,6 +115,12 @@ class WalkExchange(VertexAlgorithm):
         # Origin state: responses received, requests issued.
         self.received_responses: Dict[TokenKey, Any] = {}
         self.issued: List[TokenKey] = []
+        # Bound RNG primitives, captured on first forwarding step.
+        self._random = None
+        self._randbelow = None
+        # Schedule landmarks, precomputed for the wakeup hot path.
+        self._total_rounds = 2 * forward_steps + 2
+        self._halt_round = self._total_rounds + 1
 
     # ------------------------------------------------------------------
     def initialize(self, ctx: VertexContext) -> None:
@@ -173,16 +179,29 @@ class WalkExchange(VertexAlgorithm):
     def _forward_round(
         self, ctx: VertexContext, inbox: Dict[Any, List[Any]], t: int
     ) -> None:
-        self._forward_receive(ctx, inbox, t)
-        if ctx.vertex == self.leader or not self.holding:
+        if inbox:
+            self._forward_receive(ctx, inbox, t)
+        holding = self.holding
+        if ctx.vertex == self.leader or not holding:
             return
+        lazy_stay = self._random
+        if lazy_stay is None:
+            rng = ctx.rng
+            lazy_stay = self._random = rng.random
+            # choice(seq) is seq[rng._randbelow(len(seq))]; calling the
+            # primitive directly keeps the RNG stream identical while
+            # skipping a call layer on the hottest randomness in the repo.
+            self._randbelow = rng._randbelow
+        randbelow = self._randbelow
+        neighbors = ctx.neighbors
+        fanout = len(neighbors)
+        send = ctx.send
         still_holding: Dict[TokenKey, Any] = {}
-        for key, payload in self.holding.items():
-            if ctx.rng.random() < 0.5:
+        for key, payload in holding.items():
+            if lazy_stay() < 0.5:
                 still_holding[key] = payload
                 continue
-            target = ctx.rng.choice(ctx.neighbors)
-            ctx.send(target, ("F", key[0], key[1], payload))
+            send(neighbors[randbelow(fanout)], ("F", key[0], key[1], payload))
         self.holding = still_holding
 
     # ------------------------------------------------------------------
@@ -206,27 +225,30 @@ class WalkExchange(VertexAlgorithm):
         self, ctx: VertexContext, inbox: Dict[Any, List[Any]], t: int
     ) -> None:
         # Take delivery of response tokens.
+        responding = self.responding
+        vertex = ctx.vertex
         for sender, payloads in inbox.items():
             for tag, origin, seq, payload in payloads:
                 if tag != "R":
                     continue
                 key = (origin, seq)
-                if ctx.vertex == origin:
+                if vertex == origin:
                     self.received_responses[key] = payload
                 else:
-                    self.responding[key] = payload
+                    responding[key] = payload
         # Reverse round r undoes forward round T - r + 1.
         r = t - (self.forward_steps + 1)
         forward_round = self.forward_steps - r + 1
-        if forward_round < 0:
+        if forward_round < 0 or not responding:
             return
+        arrival_log = self.arrival_log
         to_send = []
-        for key in list(self.responding):
-            log = self.arrival_log.get(key, {})
-            if forward_round in log:
+        for key in responding:
+            log = arrival_log.get(key)
+            if log is not None and forward_round in log:
                 to_send.append((key, log[forward_round]))
         for key, back in to_send:
-            payload = self.responding.pop(key)
+            payload = responding.pop(key)
             ctx.send(back, ("R", key[0], key[1], payload))
 
     # ------------------------------------------------------------------
@@ -242,14 +264,13 @@ class WalkExchange(VertexAlgorithm):
 
     def next_wakeup(self, ctx: VertexContext) -> Optional[int]:
         t = ctx.round_number
-        total = 2 * self.forward_steps + 2
-        halt_round = total + 1
+        halt_round = self._halt_round
         if t <= self.forward_steps:
             if ctx.vertex == self.leader:
                 # Wake to run the responder right after the forward phase.
                 return self.forward_steps + 1
             return halt_round
-        if t <= total and self.responding:
+        if t <= self._total_rounds and self.responding:
             # Wake at the earliest reverse round matching a logged hop.
             candidates = []
             for key in self.responding:

@@ -27,9 +27,41 @@ from ..graph import Graph
 #: Largest vertex count for which exact (2^n) conductance is allowed.
 EXACT_CONDUCTANCE_LIMIT = 20
 
+#: Matrix size above which only the two smallest eigenpairs are computed
+#: (LAPACK ``syevr`` range selection) instead of the full spectrum.
+_PARTIAL_EIGH_MIN_N = 64
+
+try:
+    from scipy.linalg import eigh as _scipy_eigh
+except ImportError:  # pragma: no cover - scipy ships with the toolchain
+    _scipy_eigh = None
+
+
+def _smallest_two(lap: np.ndarray, vectors: bool):
+    """Eigenvalues (and optionally vectors) for the two smallest pairs.
+
+    Large Laplacians only ever need ``lambda_2`` and its eigenvector, so
+    restricting the solve to the bottom of the spectrum avoids the full
+    O(n^3) dense eigendecomposition on big clusters.
+    """
+    if _scipy_eigh is not None and lap.shape[0] >= _PARTIAL_EIGH_MIN_N:
+        return _scipy_eigh(
+            lap, subset_by_index=[0, 1], eigvals_only=not vectors
+        )
+    if vectors:
+        return np.linalg.eigh(lap)
+    return np.linalg.eigvalsh(lap)
+
 
 def exact_conductance(graph: Graph) -> Tuple[float, Set]:
-    """Brute-force Phi(G) and an optimal cut; exponential, small n only."""
+    """Brute-force Phi(G) and an optimal cut; exponential, small n only.
+
+    Subsets are walked as adjacency bitmasks (cut size and volume come
+    from ``int.bit_count`` instead of set algebra), which makes the
+    2^n sweep cheap enough that the expander decomposition can afford
+    exact certificates for every small cluster.  Enumeration order and
+    tie-breaking match the original set-based implementation exactly.
+    """
     if graph.n > EXACT_CONDUCTANCE_LIMIT:
         raise SolverError(
             f"exact conductance is limited to n <= {EXACT_CONDUCTANCE_LIMIT}"
@@ -37,25 +69,48 @@ def exact_conductance(graph: Graph) -> Tuple[float, Set]:
     if graph.n < 2:
         raise GraphError("conductance needs at least two vertices")
     vertices = graph.vertices()
+    n = graph.n
+    index = {v: i for i, v in enumerate(vertices)}
+    degrees = [graph.degree(v) for v in vertices]
+    adj_masks = []
+    for v in vertices:
+        mask = 0
+        for u in graph.neighbors(v):
+            mask |= 1 << index[u]
+        adj_masks.append(mask)
+    total_volume = 2 * graph.m
+    full = (1 << n) - 1
+
     best = float("inf")
-    best_cut: Set = set()
+    best_mask = 0
+    anchor_deg = degrees[0]
+    anchor_adj = adj_masks[0]
     # It suffices to enumerate subsets containing vertices[0] (cut
     # symmetry) of size 1..n-1.
-    rest = vertices[1:]
-    anchor = vertices[0]
+    rest = list(range(1, n))
     for r in range(len(rest) + 1):
+        if r + 1 == n:
+            continue
         for combo in combinations(rest, r):
-            s = {anchor, *combo}
-            if len(s) == graph.n:
-                continue
-            phi = graph.conductance_of_cut(s)
-            vol_s = graph.volume(s)
-            if min(vol_s, 2 * graph.m - vol_s) == 0:
+            mask = 1
+            vol_s = anchor_deg
+            for i in combo:
+                mask |= 1 << i
+                vol_s += degrees[i]
+            complement = full & ~mask
+            other = min(vol_s, total_volume - vol_s)
+            if other == 0:
                 # A side with zero volume is a disconnection witness.
                 phi = 0.0
+            else:
+                cut = (anchor_adj & complement).bit_count()
+                for i in combo:
+                    cut += (adj_masks[i] & complement).bit_count()
+                phi = cut / other
             if phi < best:
                 best = phi
-                best_cut = s
+                best_mask = mask
+    best_cut = {vertices[i] for i in range(n) if best_mask >> i & 1}
     return best, best_cut
 
 
@@ -77,7 +132,7 @@ def spectral_gap(graph: Graph) -> float:
     if graph.n < 2:
         raise GraphError("spectral gap needs at least two vertices")
     lap = normalized_laplacian(graph)
-    eigenvalues = np.linalg.eigvalsh(lap)
+    eigenvalues = _smallest_two(lap, vectors=False)
     return float(max(0.0, eigenvalues[1]))
 
 
@@ -86,8 +141,25 @@ def fiedler_vector(graph: Graph, order: Optional[List] = None) -> np.ndarray:
     if order is None:
         order = graph.vertices()
     lap = normalized_laplacian(graph, order)
-    _, vectors = np.linalg.eigh(lap)
+    _, vectors = _smallest_two(lap, vectors=True)
     return vectors[:, 1]
+
+
+def lambda2_and_fiedler(graph: Graph) -> Tuple[float, np.ndarray]:
+    """``(lambda_2, Fiedler vector)`` from a single partial eigensolve.
+
+    The expander decomposition needs both the Cheeger certificate
+    (``lambda_2 / 2``) and — when the certificate fails — the Fiedler
+    vector to sweep along.  Both come from the same normalized
+    Laplacian, so solving once halves the dominant eigensolver cost of
+    the decomposition.  The vector is in ``graph.vertices()`` order,
+    matching what :func:`sweep_cut` expects via its ``vector`` argument.
+    """
+    if graph.n < 2:
+        raise GraphError("spectral gap needs at least two vertices")
+    lap = normalized_laplacian(graph)
+    values, vectors = _smallest_two(lap, vectors=True)
+    return float(max(0.0, values[1])), vectors[:, 1]
 
 
 def cheeger_bounds(graph: Graph) -> Tuple[float, float]:

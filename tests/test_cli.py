@@ -66,3 +66,18 @@ class TestCLI:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+    def test_trace_flag_writes_jsonl(self, capsys, tmp_path):
+        from repro.congest import TraceRecorder
+
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["maxis", "--n", "40", "--seed", "11", "--trace", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and str(path) in out
+        lines = path.read_text().splitlines()
+        assert lines  # at least one simulated round was recorded
+        back = TraceRecorder.from_jsonl(lines)
+        assert back.total_messages() > 0
+        assert all(r.round >= 1 for r in back.rounds)

@@ -1,0 +1,112 @@
+"""Strict-mode capacity enforcement, parametrized over both engines.
+
+The textbook CONGEST model allows at most one O(log n)-bit message per
+directed edge per round; the simulator generalizes this to a per-edge
+``capacity``.  These tests pin the boundary exactly: ``capacity`` sends
+on one edge in one round are legal, ``capacity + 1`` raise
+:class:`ProtocolError` — and in non-strict mode the overflow is instead
+charged to ``effective_rounds``.
+"""
+
+import pytest
+
+from repro.congest import CongestSimulator, VertexAlgorithm
+from repro.errors import ProtocolError
+from repro.generators import path_graph, star_graph
+
+ENGINES = ("fast", "reference")
+
+
+class BurstOnce(VertexAlgorithm):
+    """Vertex 0 sends ``count`` unit messages to each neighbor, once."""
+
+    def __init__(self, vertex, count):
+        self.count = count if vertex == 0 else 0
+
+    def initialize(self, ctx):
+        for u in ctx.neighbors:
+            for i in range(self.count):
+                ctx.send(u, i)
+
+    def step(self, ctx, inbox):
+        ctx.halt(sum(len(p) for p in inbox.values()))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("capacity", [1, 2, 3, 5])
+class TestStrictCapacity:
+    def test_exactly_capacity_messages_allowed(self, engine, capacity):
+        sim = CongestSimulator(
+            path_graph(2),
+            lambda v: BurstOnce(v, capacity),
+            strict=True,
+            capacity=capacity,
+            seed=0,
+            engine=engine,
+        )
+        result = sim.run(3)
+        assert result.halted
+        # All `capacity` messages arrived at vertex 1.
+        assert result.outputs[1] == capacity
+
+    def test_capacity_plus_one_raises(self, engine, capacity):
+        sim = CongestSimulator(
+            path_graph(2),
+            lambda v: BurstOnce(v, capacity + 1),
+            strict=True,
+            capacity=capacity,
+            seed=0,
+            engine=engine,
+        )
+        with pytest.raises(ProtocolError) as excinfo:
+            sim.run(3)
+        # The error names the offending multiplicity and the capacity.
+        assert str(capacity + 1) in str(excinfo.value)
+        assert str(capacity) in str(excinfo.value)
+
+    def test_capacity_is_per_edge_not_per_vertex(self, engine, capacity):
+        # A star center sending `capacity` messages to EACH leaf is
+        # legal: the limit binds per directed edge, not per sender.
+        sim = CongestSimulator(
+            star_graph(4),
+            lambda v: BurstOnce(v, capacity),
+            strict=True,
+            capacity=capacity,
+            seed=0,
+            engine=engine,
+        )
+        result = sim.run(3)
+        assert result.halted
+        for leaf in range(1, 5):
+            assert result.outputs[leaf] == capacity
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("burst", [2, 4, 7])
+class TestNonStrictCharging:
+    def test_overflow_charged_to_effective_rounds(self, engine, burst):
+        sim = CongestSimulator(
+            path_graph(2),
+            lambda v: BurstOnce(v, burst),
+            strict=False,
+            seed=0,
+            engine=engine,
+        )
+        result = sim.run(3)
+        assert result.halted
+        m = result.metrics
+        assert m.max_edge_congestion == burst
+        # Round 1 delivers the burst (charged `burst`); every other
+        # executed round carries at most one message per edge.
+        assert m.effective_rounds == m.rounds + (burst - 1)
+
+    def test_non_strict_never_raises(self, engine, burst):
+        sim = CongestSimulator(
+            star_graph(4),
+            lambda v: BurstOnce(v, burst),
+            strict=False,
+            seed=0,
+            engine=engine,
+        )
+        result = sim.run(3)  # must not raise
+        assert result.halted

@@ -1,0 +1,203 @@
+"""Differential harness: fast engine vs. reference engine.
+
+Every algorithm family that runs on the CONGEST simulator is executed
+twice — once on the interned fast-path engine, once on the kept-as-
+reference dict-based engine — over seeded random graphs, and the two
+executions must agree *exactly*: same per-vertex outputs, same
+``CongestMetrics.summary()``, same per-round message series, and same
+structured traces.  This is the contract that lets the fast engine
+evolve aggressively without re-verifying every algorithm on top of it.
+"""
+
+import pytest
+
+from repro.congest import (
+    CongestSimulator,
+    TraceRecorder,
+    VertexAlgorithm,
+    use_engine,
+)
+from repro.core.framework import run_framework
+from repro.decomposition.mpx import mpx_ldd
+from repro.generators import delaunay_planar_graph, gnp_random_graph, k_tree
+from repro.routing.gather import gather_topology
+from repro.routing.leader import elect_leader
+from repro.routing.walk_exchange import walk_exchange
+
+SEEDS = (11, 29, 47)
+
+
+def _metrics_fingerprint(metrics):
+    return (metrics.summary(), metrics.messages_per_round)
+
+
+def _run_both(runner, seed):
+    """Run ``runner(seed)`` under each engine; return both results."""
+    with use_engine("reference"):
+        ref = runner(seed)
+    with use_engine("fast"):
+        fast = runner(seed)
+    return ref, fast
+
+
+def _graph_for(seed, n=40):
+    return delaunay_planar_graph(n, seed=seed)
+
+
+class Flood(VertexAlgorithm):
+    """Max-ID flooding with a round budget (pure simulator workload)."""
+
+    def __init__(self, budget):
+        self.budget = budget
+        self.best = None
+
+    def initialize(self, ctx):
+        self.best = ctx.vertex
+        ctx.broadcast(self.best)
+
+    def step(self, ctx, inbox):
+        for payloads in inbox.values():
+            for value in payloads:
+                if value > self.best:
+                    self.best = value
+                    ctx.broadcast(self.best)
+        if ctx.round_number >= self.budget:
+            ctx.halt(self.best)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_flood_equivalent(seed):
+    g = gnp_random_graph(30, 0.15, seed=seed)
+
+    def runner(s):
+        sim = CongestSimulator(g, lambda v: Flood(10), seed=s)
+        return sim.run(max_rounds=25)
+
+    ref, fast = _run_both(runner, seed)
+    assert ref.outputs == fast.outputs
+    assert ref.halted == fast.halted
+    assert _metrics_fingerprint(ref.metrics) == _metrics_fingerprint(
+        fast.metrics
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_leader_election_equivalent(seed):
+    g = _graph_for(seed)
+
+    def runner(s):
+        return elect_leader(g, seed=s)
+
+    (ref_leader, ref), (fast_leader, fast) = _run_both(runner, seed)
+    assert ref_leader == fast_leader
+    assert ref.outputs == fast.outputs
+    assert _metrics_fingerprint(ref.metrics) == _metrics_fingerprint(
+        fast.metrics
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_walk_exchange_equivalent(seed):
+    g = _graph_for(seed, n=32)
+    leader = max(g.vertices(), key=g.degree)
+    requests = {v: [("Q", v)] for v in g.vertices()}
+
+    def runner(s):
+        return walk_exchange(g, leader, requests, phi=0.2, seed=s)
+
+    ref, fast = _run_both(runner, seed)
+    assert ref.responses == fast.responses
+    assert ref.requests_delivered == fast.requests_delivered
+    assert ref.undelivered == fast.undelivered
+    assert ref.unanswered == fast.unanswered
+    assert _metrics_fingerprint(ref.metrics) == _metrics_fingerprint(
+        fast.metrics
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_gather_equivalent(seed):
+    g = k_tree(28, 3, seed=seed)
+
+    def solver(sub, leader, notes):
+        return {v: sub.degree(v) for v in sub.vertices()}
+
+    def runner(s):
+        return gather_topology(g, phi=0.2, solver=solver, seed=s)
+
+    ref, fast = _run_both(runner, seed)
+    assert ref.leader == fast.leader
+    assert ref.answers == fast.answers
+    assert ref.success == fast.success
+    assert ref.gathered == fast.gathered
+    assert _metrics_fingerprint(ref.metrics) == _metrics_fingerprint(
+        fast.metrics
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_mpx_equivalent(seed):
+    g = _graph_for(seed, n=48)
+
+    def runner(s):
+        return mpx_ldd(g, 0.3, seed=s)
+
+    (ref_ldd, ref), (fast_ldd, fast) = _run_both(runner, seed)
+    assert ref.outputs == fast.outputs
+    assert sorted(map(sorted, ref_ldd.clusters)) == sorted(
+        map(sorted, fast_ldd.clusters)
+    )
+    assert _metrics_fingerprint(ref.metrics) == _metrics_fingerprint(
+        fast.metrics
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_expander_framework_equivalent(seed):
+    """Full Theorem 2.6 pipeline: decomposition, election, orientation,
+    walk routing, and solver answers, end to end on both engines."""
+    g = _graph_for(seed, n=56)
+
+    def solver(sub, leader, notes):
+        return {v: sub.degree(v) for v in sub.vertices()}
+
+    def runner(s):
+        return run_framework(g, 0.9, solver=solver, phi=0.1, seed=s)
+
+    ref, fast = _run_both(runner, seed)
+    assert ref.answers == fast.answers
+    assert ref.leaders == fast.leaders
+    assert [sorted(c.vertices) for c in ref.clusters] == [
+        sorted(c.vertices) for c in fast.clusters
+    ]
+    assert _metrics_fingerprint(ref.metrics) == _metrics_fingerprint(
+        fast.metrics
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_traces_equivalent(seed):
+    """The structured round traces agree record-for-record."""
+    g = gnp_random_graph(24, 0.2, seed=seed)
+    traces = {}
+    for engine in ("reference", "fast"):
+        rec = TraceRecorder(engine)
+        sim = CongestSimulator(
+            g, lambda v: Flood(8), seed=seed, engine=engine, trace=rec
+        )
+        sim.run(max_rounds=20)
+        traces[engine] = rec
+    ref, fast = traces["reference"], traces["fast"]
+    assert len(ref.rounds) == len(fast.rounds)
+    for a, b in zip(ref.rounds, fast.rounds):
+        assert a == b
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_rounds_counter_matches_metrics(seed):
+    """Satellite: metrics.rounds equals the rounds actually executed."""
+    g = gnp_random_graph(26, 0.18, seed=seed)
+    for engine in ("reference", "fast"):
+        sim = CongestSimulator(g, lambda v: Flood(9), seed=seed, engine=engine)
+        result = sim.run(max_rounds=30)
+        assert result.metrics.rounds == sim.rounds_executed
