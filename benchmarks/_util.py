@@ -5,6 +5,19 @@ being pure theory, has no tables of its own — see DESIGN.md section 2
 for the experiment index) and also writes it under
 ``benchmarks/results/`` so EXPERIMENTS.md can quote the measured
 numbers.
+
+Experiments that have been converted to the cell model (E01, E03, E10)
+run through :mod:`repro.runner`: the suite definition enumerates the
+parameter grid, each cell executes independently, and the table here is
+assembled from the per-cell result objects.  Two environment variables
+let CI and local runs exercise the scaling path without changing the
+tests:
+
+* ``REPRO_BENCH_JOBS`` — worker processes for converted suites
+  (default 1: in-process, exactly the historical serial execution);
+* ``REPRO_BENCH_CACHE`` — set to ``1`` to memoize artifacts under
+  ``benchmarks/.cache/``; benchmarks default to cache-off so the
+  numbers they print are always honest recomputations.
 """
 
 from __future__ import annotations
@@ -12,23 +25,62 @@ from __future__ import annotations
 import os
 
 from repro.analysis import Table
+from repro.runner import SuiteRun, run_suite
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def results_path(filename: str) -> str:
+    """Absolute path under ``benchmarks/results/``, parent dirs created.
+
+    Centralizing directory creation means every experiment file — and
+    any single test picked out of one — works on a fresh clone where
+    ``benchmarks/results/`` does not exist yet (it is gitignored).
+    """
+    path = os.path.join(RESULTS_DIR, filename)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    return path
+
+
 def record_table(filename: str, table: Table) -> None:
     """Print the table and persist it under benchmarks/results/."""
-    os.makedirs(RESULTS_DIR, exist_ok=True)
     rendered = table.render()
     print("\n" + rendered)
-    path = os.path.join(RESULTS_DIR, filename)
-    with open(path, "a") as handle:
+    with open(results_path(filename), "a") as handle:
         handle.write(rendered + "\n\n")
 
 
 def reset_result(filename: str) -> None:
     """Truncate a result file at the start of its experiment."""
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, filename)
-    with open(path, "w"):
+    with open(results_path(filename), "w"):
         pass
+
+
+def bench_jobs() -> int:
+    """Worker count for converted suites (``REPRO_BENCH_JOBS``)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def bench_cache_enabled() -> bool:
+    """Whether benchmark runs may use the artifact cache."""
+    return os.environ.get("REPRO_BENCH_CACHE", "") == "1"
+
+
+def run_recorded_suite(name: str, filename: str, reset: bool = True) -> SuiteRun:
+    """Execute a converted suite and record its assembled table.
+
+    The table is built from the per-cell :class:`repro.runner.CellResult`
+    objects in grid order, so its bytes do not depend on the job count.
+    """
+    run = run_suite(
+        name,
+        jobs=bench_jobs(),
+        use_cache=bench_cache_enabled(),
+    )
+    if reset:
+        reset_result(filename)
+    record_table(filename, run.table())
+    return run

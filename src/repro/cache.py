@@ -1,0 +1,513 @@
+"""Content-addressed artifact cache for expensive experiment intermediates.
+
+The benchmark grid (family x n x seed x epsilon/phi) recomputes the
+same generator outputs and expander decompositions over and over: every
+E-suite cell regenerates its graph from scratch, and several cells of
+one experiment share a single decomposition.  This module memoizes
+those intermediates behind a two-tier cache:
+
+* an in-memory LRU of serialized artifact bytes (fast, per process);
+* a content-addressed store under ``benchmarks/.cache/`` shared by all
+  processes of a parallel run (see :mod:`repro.runner`).
+
+Keys are SHA-256 hashes of a canonical JSON encoding of
+``(kind, name, params, seed, code-version salt)``.  The salt hashes the
+source files whose behavior the cached artifacts depend on, so editing
+the generators or the decomposition automatically invalidates every
+stale entry — no manual cache busting.
+
+The determinism contract (see ``docs/runner.md``): a cache hit must be
+*bit-transparent* — every downstream number must come out identical
+whether the artifact was recomputed or rehydrated.  Two design points
+enforce that: artifacts serialize through canonical payloads (sorted
+cluster lists, pickled graphs whose adjacency-dict insertion order is
+preserved exactly), and :meth:`repro.graph.Graph.subgraph` canonicalizes
+vertex insertion order so set-iteration-order differences between fresh
+and rehydrated cluster sets cannot leak into any simulation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from .errors import GraphError
+from .graph import Graph
+
+#: Pickle protocol pinned so identical artifacts produce identical bytes
+#: across interpreter minor versions.
+PICKLE_PROTOCOL = 4
+
+#: Bump to invalidate every cache entry independently of source hashing
+#: (e.g. when the payload schema itself changes).
+CACHE_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Canonical keys
+# ----------------------------------------------------------------------
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-stable form (sorted dicts, repr floats)."""
+    if isinstance(obj, dict):
+        return {str(k): _canonical(obj[k]) for k in sorted(obj, key=str)}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, float):
+        # repr() round-trips exactly; JSON float formatting may not.
+        return f"float:{obj!r}"
+    if obj is None or isinstance(obj, (str, int, bool)):
+        return obj
+    raise TypeError(f"unhashable cache parameter of type {type(obj).__name__}")
+
+
+def cache_key(
+    kind: str,
+    name: str,
+    params: Dict[str, Any],
+    seed: Optional[int] = None,
+    salt: Optional[str] = None,
+) -> str:
+    """SHA-256 content address for one artifact."""
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "kind": kind,
+        "name": name,
+        "params": _canonical(params),
+        "seed": seed,
+        "salt": code_salt() if salt is None else salt,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+#: Source files whose behavior cached artifacts depend on.  Anything in
+#: these locations changing flips :func:`code_salt` and therefore every
+#: key, making stale reuse impossible after a code edit.
+_SALT_SOURCES = (
+    "graph.py",
+    "rng.py",
+    "cache.py",
+    "generators",
+    "decomposition",
+    "spectral",
+)
+
+_code_salt: Optional[str] = None
+
+
+def code_salt() -> str:
+    """Hash of the artifact-relevant source tree (memoized per process)."""
+    global _code_salt
+    if _code_salt is None:
+        digest = hashlib.sha256()
+        package_root = os.path.dirname(os.path.abspath(__file__))
+        for entry in _SALT_SOURCES:
+            path = os.path.join(package_root, entry)
+            for file_path in sorted(_iter_source_files(path)):
+                digest.update(os.path.relpath(file_path, package_root).encode())
+                with open(file_path, "rb") as handle:
+                    digest.update(handle.read())
+        _code_salt = digest.hexdigest()
+    return _code_salt
+
+
+_simulation_salt: Optional[str] = None
+
+
+def simulation_salt() -> str:
+    """Hash of the *entire* ``repro`` source tree (memoized per process).
+
+    Cell-level artifacts (:mod:`repro.runner`) memoize the output of
+    whole simulations, so any code change anywhere in the library must
+    invalidate them — unlike generator/decomposition artifacts, whose
+    narrower :func:`code_salt` survives edits to unrelated modules.
+    """
+    global _simulation_salt
+    if _simulation_salt is None:
+        digest = hashlib.sha256()
+        package_root = os.path.dirname(os.path.abspath(__file__))
+        for file_path in sorted(_iter_source_files(package_root)):
+            digest.update(os.path.relpath(file_path, package_root).encode())
+            with open(file_path, "rb") as handle:
+                digest.update(handle.read())
+        _simulation_salt = digest.hexdigest()
+    return _simulation_salt
+
+
+def _iter_source_files(path: str) -> Iterator[str]:
+    if os.path.isfile(path):
+        yield path
+        return
+    for dirpath, _dirnames, filenames in os.walk(path):
+        for filename in filenames:
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Content hash of a graph (canonical vertex and edge order)."""
+    digest = hashlib.sha256()
+    from .graph import canonical_vertex_order, edge_key
+
+    for v in canonical_vertex_order(graph.vertices()):
+        digest.update(repr(v).encode())
+    for u, v, w in sorted(
+        (( *edge_key(u, v), w) for u, v, w in graph.weighted_edges()),
+        key=lambda e: (repr(e[0]), repr(e[1])),
+    ):
+        digest.update(repr((u, v, w)).encode())
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The cache proper
+# ----------------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, reported by ``repro bench``."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }
+
+    def add(self, other: "CacheStats | Dict[str, int]") -> "CacheStats":
+        data = other.as_dict() if isinstance(other, CacheStats) else other
+        self.memory_hits += data.get("memory_hits", 0)
+        self.disk_hits += data.get("disk_hits", 0)
+        self.misses += data.get("misses", 0)
+        self.stores += data.get("stores", 0)
+        self.corrupt += data.get("corrupt", 0)
+        return self
+
+    def snapshot(self) -> Dict[str, int]:
+        return self.as_dict()
+
+    def delta_since(self, snapshot: Dict[str, int]) -> Dict[str, int]:
+        return {k: v - snapshot.get(k, 0) for k, v in self.as_dict().items()}
+
+
+def default_cache_root() -> str:
+    """``$REPRO_CACHE_DIR`` or ``benchmarks/.cache`` next to the repo."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    package_root = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(os.path.dirname(package_root))
+    if os.path.isdir(os.path.join(repo_root, "benchmarks")):
+        return os.path.join(repo_root, "benchmarks", ".cache")
+    return os.path.join(os.getcwd(), "benchmarks", ".cache")
+
+
+class ArtifactCache:
+    """Two-tier (memory LRU over disk) content-addressed artifact store.
+
+    The memory tier holds serialized bytes, not live objects, so hits
+    always rehydrate a fresh object — a caller mutating its copy cannot
+    poison later hits.  Disk writes are atomic (`os.replace` of a
+    temporary file) so a crashed or concurrent writer can never leave a
+    half-written entry visible; a corrupted entry is detected on load,
+    deleted, recomputed, and rewritten.
+    """
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        memory_items: int = 256,
+        persist: bool = True,
+    ) -> None:
+        self.root = root or default_cache_root()
+        self.persist = persist
+        self.memory_items = max(0, memory_items)
+        self._memory: "OrderedDict[str, bytes]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # -- key helpers ---------------------------------------------------
+    def key(
+        self,
+        kind: str,
+        name: str,
+        params: Dict[str, Any],
+        seed: Optional[int] = None,
+        salt: Optional[str] = None,
+    ) -> str:
+        return cache_key(kind, name, params, seed=seed, salt=salt)
+
+    def _path(self, kind: str, key: str) -> str:
+        return os.path.join(self.root, kind, key[:2], key + ".bin")
+
+    # -- tiers ---------------------------------------------------------
+    def _memory_get(self, slot: str) -> Optional[bytes]:
+        blob = self._memory.get(slot)
+        if blob is not None:
+            self._memory.move_to_end(slot)
+        return blob
+
+    def _memory_put(self, slot: str, blob: bytes) -> None:
+        if self.memory_items == 0:
+            return
+        self._memory[slot] = blob
+        self._memory.move_to_end(slot)
+        while len(self._memory) > self.memory_items:
+            self._memory.popitem(last=False)
+
+    def _disk_get(self, kind: str, key: str) -> Optional[bytes]:
+        if not self.persist:
+            return None
+        path = self._path(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
+
+    def _disk_put(self, kind: str, key: str, blob: bytes) -> None:
+        if not self.persist:
+            return
+        path = self._path(kind, key)
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp_path, path)
+            finally:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp_path)
+        except OSError:
+            # A read-only or full disk degrades to memory-only caching.
+            pass
+
+    def _evict(self, kind: str, key: str, slot: str) -> None:
+        self._memory.pop(slot, None)
+        with contextlib.suppress(OSError):
+            os.unlink(self._path(kind, key))
+
+    # -- the one entry point -------------------------------------------
+    def get_or_compute(
+        self,
+        kind: str,
+        key: str,
+        compute: Callable[[], Any],
+        serialize: Callable[[Any], bytes] = None,  # type: ignore[assignment]
+        deserialize: Callable[[bytes], Any] = None,  # type: ignore[assignment]
+    ) -> Any:
+        """Return the artifact for ``key``, computing and storing on miss.
+
+        A corrupted entry (any exception while deserializing) is
+        counted, evicted, and transparently recomputed.
+        """
+        if serialize is None:
+            serialize = _pickle_dumps
+        if deserialize is None:
+            deserialize = pickle.loads
+        slot = f"{kind}/{key}"
+        blob = self._memory_get(slot)
+        from_disk = False
+        if blob is None:
+            blob = self._disk_get(kind, key)
+            from_disk = blob is not None
+        if blob is not None:
+            try:
+                value = deserialize(blob)
+            except Exception:
+                self.stats.corrupt += 1
+                self._evict(kind, key, slot)
+            else:
+                if from_disk:
+                    self.stats.disk_hits += 1
+                    self._memory_put(slot, blob)
+                else:
+                    self.stats.memory_hits += 1
+                return value
+        self.stats.misses += 1
+        value = compute()
+        blob = serialize(value)
+        self._memory_put(slot, blob)
+        self._disk_put(kind, key, blob)
+        self.stats.stores += 1
+        return value
+
+
+def _pickle_dumps(value: Any) -> bytes:
+    return pickle.dumps(value, protocol=PICKLE_PROTOCOL)
+
+
+# ----------------------------------------------------------------------
+# Active-cache context (how the framework finds the cache, if any)
+# ----------------------------------------------------------------------
+
+_active_cache: Optional[ArtifactCache] = None
+
+
+def active_cache() -> Optional[ArtifactCache]:
+    """The cache installed by :func:`activate`, or None."""
+    return _active_cache
+
+
+@contextlib.contextmanager
+def activate(cache: Optional[ArtifactCache]) -> Iterator[Optional[ArtifactCache]]:
+    """Install ``cache`` as the process-wide active cache.
+
+    ``partition_minor_free`` and the generator helpers consult the
+    active cache; with none installed they compute directly, so library
+    behavior is unchanged unless a runner opts in.
+    """
+    global _active_cache
+    previous = _active_cache
+    _active_cache = cache
+    try:
+        yield cache
+    finally:
+        _active_cache = previous
+
+
+# ----------------------------------------------------------------------
+# Cached artifact kinds
+# ----------------------------------------------------------------------
+
+def generator_registry() -> Dict[str, Callable[..., Graph]]:
+    """Named graph generators addressable by cache keys and cell specs."""
+    from . import generators
+
+    return {
+        "delaunay": generators.delaunay_planar_graph,
+        "grid": generators.grid_graph,
+        "trigrid": generators.triangulated_grid_graph,
+        "ktree": generators.k_tree,
+        "torus": generators.toroidal_grid_graph,
+        "cycle": generators.cycle_graph,
+    }
+
+
+def cached_graph(
+    name: str,
+    params: Dict[str, Any],
+    cache: Optional[ArtifactCache] = None,
+) -> Graph:
+    """Build (or rehydrate) the generator output for ``name(**params)``.
+
+    Graphs are pickled whole: pickle preserves adjacency-dict insertion
+    order exactly, so a rehydrated graph is indistinguishable from a
+    freshly generated one to every deterministic consumer.
+    """
+    registry = generator_registry()
+    if name not in registry:
+        raise GraphError(f"unknown generator {name!r} "
+                         f"(known: {sorted(registry)})")
+    build = registry[name]
+    cache = cache if cache is not None else active_cache()
+    if cache is None:
+        return build(**params)
+    key = cache.key("graph", name, params)
+    return cache.get_or_compute("graph", key, lambda: build(**params))
+
+
+def _decomposition_payload(dec) -> bytes:
+    """Canonical bytes for a decomposition (graph stripped, lists sorted)."""
+    from .graph import canonical_vertex_order
+
+    payload = {
+        "epsilon": dec.epsilon,
+        "phi": dec.phi,
+        "clusters": [canonical_vertex_order(c) for c in dec.clusters],
+        "cut_edges": list(dec.cut_edges),
+        "certificates": list(dec.certificates),
+    }
+    return pickle.dumps(payload, protocol=PICKLE_PROTOCOL)
+
+
+def cached_expander_decomposition(
+    graph: Graph,
+    epsilon: float,
+    phi: float,
+    seed: int,
+    enforce_budget: bool = True,
+    cut_slack: float = 1.0,
+    max_cluster_size: Optional[int] = None,
+    cache: Optional[ArtifactCache] = None,
+):
+    """Memoized :func:`repro.decomposition.expander_decomposition`.
+
+    The key covers the graph's content fingerprint plus every parameter
+    that can change the output, and the artifact stores only the
+    decomposition data (clusters / cut edges / certificates) — the
+    caller's graph object is re-attached on rehydration.
+    """
+    from .decomposition.expander import (
+        ExpanderDecomposition,
+        expander_decomposition,
+    )
+
+    cache = cache if cache is not None else active_cache()
+    if cache is None:
+        return expander_decomposition(
+            graph, epsilon, phi=phi, seed=seed,
+            enforce_budget=enforce_budget, cut_slack=cut_slack,
+            max_cluster_size=max_cluster_size,
+        )
+
+    params = {
+        "graph": graph_fingerprint(graph),
+        "epsilon": epsilon,
+        "phi": phi,
+        "enforce_budget": enforce_budget,
+        "cut_slack": cut_slack,
+        "max_cluster_size": max_cluster_size,
+    }
+    key = cache.key("decomposition", "expander_decomposition", params,
+                    seed=seed)
+
+    def compute():
+        return expander_decomposition(
+            graph, epsilon, phi=phi, seed=seed,
+            enforce_budget=enforce_budget, cut_slack=cut_slack,
+            max_cluster_size=max_cluster_size,
+        )
+
+    def deserialize(blob: bytes) -> ExpanderDecomposition:
+        payload = pickle.loads(blob)
+        return ExpanderDecomposition(
+            graph=graph,
+            epsilon=payload["epsilon"],
+            phi=payload["phi"],
+            clusters=[set(c) for c in payload["clusters"]],
+            cut_edges=[tuple(e) for e in payload["cut_edges"]],
+            certificates=list(payload["certificates"]),
+        )
+
+    return cache.get_or_compute(
+        "decomposition", key, compute,
+        serialize=_decomposition_payload, deserialize=deserialize,
+    )

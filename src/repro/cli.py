@@ -215,6 +215,71 @@ def cmd_ldd(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run experiment suites through the parallel cell runner."""
+    import json
+    import os
+    import time
+
+    from .runner import run_suite, suite_names
+
+    names = args.suite or suite_names()
+    unknown = [n for n in names if n not in suite_names()]
+    if unknown:
+        raise SystemExit(
+            f"unknown suite(s) {unknown}; available: {suite_names()}"
+        )
+
+    runs = []
+    total_start = time.perf_counter()
+    for name in names:
+        run = run_suite(
+            name,
+            jobs=args.jobs,
+            use_cache=args.cache,
+            cache_root=args.cache_dir,
+            mp_start=args.mp_start,
+            limit=args.limit,
+            trace=args.trace is not None,
+        )
+        runs.append(run)
+        rendered = run.render_table()
+        print("\n" + rendered)
+        stats = run.cache_stats()
+        print(
+            f"[{name}] cells={len(run.results)} jobs={run.jobs} "
+            f"wall={run.wall_seconds:.3f}s "
+            f"compute={run.compute_seconds():.3f}s "
+            f"cache: {stats['memory_hits']} mem hits, "
+            f"{stats['disk_hits']} disk hits, {stats['misses']} misses, "
+            f"{stats['stores']} stores, {stats['corrupt']} corrupt"
+            + ("" if args.cache else " (cache disabled)")
+        )
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            with open(os.path.join(args.out, f"{name}.txt"), "w") as handle:
+                handle.write(rendered + "\n")
+    total_wall = time.perf_counter() - total_start
+
+    if args.trace:
+        lines = [line for run in runs for line in run.trace_lines()]
+        with open(args.trace, "w") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+        print(f"trace: {len(lines)} round records -> {args.trace}")
+    if args.stats_json:
+        payload = {
+            "suites": [run.summary() for run in runs],
+            "wall_seconds": round(total_wall, 4),
+            "jobs": args.jobs,
+            "cache_enabled": args.cache,
+        }
+        with open(args.stats_json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"stats -> {args.stats_json}")
+    return 0
+
+
 def cmd_triangles(args) -> int:
     from .subgraphs import distributed_triangle_listing, list_triangles
 
@@ -268,13 +333,56 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "ldd":
             p.add_argument("--algorithm", default="thm15",
                            choices=["thm15", "ball", "chop", "mpx"])
+
+    bench = sub.add_parser(
+        "bench",
+        help="run experiment suites through the parallel cell runner",
+        description=(
+            "Execute E-suite experiment grids as independent cells, "
+            "optionally across worker processes and backed by the "
+            "content-addressed artifact cache."
+        ),
+    )
+    bench.add_argument("--suite", action="append", default=None,
+                       metavar="NAME",
+                       help="suite to run (repeatable; default: all)")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (<=1 runs in-process)")
+    cache_group = bench.add_mutually_exclusive_group()
+    cache_group.add_argument("--cache", dest="cache", action="store_true",
+                             default=True,
+                             help="memoize artifacts (default)")
+    cache_group.add_argument("--no-cache", dest="cache",
+                             action="store_false",
+                             help="recompute everything")
+    bench.add_argument("--cache-dir", default=None, metavar="PATH",
+                       help="artifact cache root "
+                            "(default: benchmarks/.cache)")
+    bench.add_argument("--mp-start", default=None,
+                       choices=["fork", "spawn", "forkserver"],
+                       help="multiprocessing start method "
+                            "(default: fork if available, else spawn)")
+    bench.add_argument("--limit", type=int, default=None, metavar="K",
+                       help="run only the first K cells of each suite")
+    bench.add_argument("--out", default=None, metavar="DIR",
+                       help="also write each suite table to DIR/<suite>.txt")
+    bench.add_argument("--stats-json", default=None, metavar="PATH",
+                       help="write wall-clock + cache-hit stats as JSON")
+    bench.add_argument("--trace", metavar="PATH", default=None,
+                       help="write merged per-round JSONL traces of all "
+                            "cells to PATH (bypasses the cell-result "
+                            "cache tier)")
+    bench.set_defaults(handler=cmd_bench)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "trace", None):
+    # `bench` manages tracing itself (per-cell sessions merged across
+    # worker processes); the session wrapper below is for the
+    # single-simulation commands.
+    if getattr(args, "trace", None) and args.command != "bench":
         from .congest import TraceSession
 
         try:

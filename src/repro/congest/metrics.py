@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterable, List
 
 
 @dataclass
@@ -76,6 +76,71 @@ class CongestMetrics:
             messages_per_round=self.messages_per_round + other.messages_per_round,
         )
         return merged
+
+    @classmethod
+    def merge_sequential(cls, items: Iterable["CongestMetrics"]) -> "CongestMetrics":
+        """Fold executions run back to back (generalizes :meth:`merge`)."""
+        merged = cls()
+        for m in items:
+            merged = merged.merge(m)
+        return merged
+
+    @classmethod
+    def merge_parallel(cls, items: Iterable["CongestMetrics"]) -> "CongestMetrics":
+        """Compose executions that run *in parallel* on disjoint networks.
+
+        Rounds compose as a maximum (all shards advance through the
+        same global rounds), volumes as sums, congestion as a maximum.
+        This is the merge rule both for edge-disjoint clusters inside
+        one framework run and for experiment cells merged back from a
+        sharded :mod:`repro.runner` execution.
+        """
+        merged = cls()
+        for m in items:
+            merged.rounds = max(merged.rounds, m.rounds)
+            merged.effective_rounds = max(
+                merged.effective_rounds, m.effective_rounds
+            )
+            merged.total_messages += m.total_messages
+            merged.total_bits += m.total_bits
+            merged.max_message_bits = max(
+                merged.max_message_bits, m.max_message_bits
+            )
+            merged.max_edge_congestion = max(
+                merged.max_edge_congestion, m.max_edge_congestion
+            )
+        return merged
+
+    def to_dict(self, include_per_round: bool = False) -> Dict:
+        """Plain-data form that survives a process boundary.
+
+        ``repro.runner`` workers ship metrics back to the parent as
+        dicts; :meth:`from_dict` rebuilds an equivalent object so the
+        merge rules above apply identically in sharded and serial runs.
+        """
+        data: Dict = {
+            "rounds": self.rounds,
+            "effective_rounds": self.effective_rounds,
+            "total_messages": self.total_messages,
+            "total_bits": self.total_bits,
+            "max_message_bits": self.max_message_bits,
+            "max_edge_congestion": self.max_edge_congestion,
+        }
+        if include_per_round:
+            data["messages_per_round"] = list(self.messages_per_round)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CongestMetrics":
+        return cls(
+            rounds=data.get("rounds", 0),
+            effective_rounds=data.get("effective_rounds", 0),
+            total_messages=data.get("total_messages", 0),
+            total_bits=data.get("total_bits", 0),
+            max_message_bits=data.get("max_message_bits", 0),
+            max_edge_congestion=data.get("max_edge_congestion", 0),
+            messages_per_round=list(data.get("messages_per_round", [])),
+        )
 
     def summary(self) -> Dict[str, int]:
         """Compact dict for reporting tables."""

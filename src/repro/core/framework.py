@@ -98,17 +98,7 @@ def parallel_merge(metrics_list: List[CongestMetrics]) -> CongestMetrics:
     Rounds compose as a maximum (all clusters advance in the same
     global rounds), volumes as sums, and congestion as a maximum.
     """
-    merged = CongestMetrics()
-    for m in metrics_list:
-        merged.rounds = max(merged.rounds, m.rounds)
-        merged.effective_rounds = max(merged.effective_rounds, m.effective_rounds)
-        merged.total_messages += m.total_messages
-        merged.total_bits += m.total_bits
-        merged.max_message_bits = max(merged.max_message_bits, m.max_message_bits)
-        merged.max_edge_congestion = max(
-            merged.max_edge_congestion, m.max_edge_congestion
-        )
-    return merged
+    return CongestMetrics.merge_parallel(metrics_list)
 
 
 def density_bound(graph: Graph) -> float:
@@ -150,15 +140,32 @@ def partition_minor_free(
     effective_epsilon = min(0.999, epsilon / t)
     if phi is None:
         phi = phi_for_epsilon(effective_epsilon, max(1, graph.m))
-    decomposition = expander_decomposition(
-        graph,
-        effective_epsilon,
-        phi=phi,
-        seed=rng.getrandbits(64),
-        enforce_budget=enforce_budget,
-        cut_slack=cut_slack,
-        max_cluster_size=max_cluster_size,
-    )
+    # The decomposition seed is drawn from the outer rng either way, so
+    # a cache hit leaves the RNG stream — and therefore every later
+    # cluster gather — exactly where a recomputation would have left it.
+    decomposition_seed = rng.getrandbits(64)
+    from ..cache import active_cache, cached_expander_decomposition
+
+    if active_cache() is not None:
+        decomposition = cached_expander_decomposition(
+            graph,
+            effective_epsilon,
+            phi=phi,
+            seed=decomposition_seed,
+            enforce_budget=enforce_budget,
+            cut_slack=cut_slack,
+            max_cluster_size=max_cluster_size,
+        )
+    else:
+        decomposition = expander_decomposition(
+            graph,
+            effective_epsilon,
+            phi=phi,
+            seed=decomposition_seed,
+            enforce_budget=enforce_budget,
+            cut_slack=cut_slack,
+            max_cluster_size=max_cluster_size,
+        )
 
     diameter_cap = diameter_bound(phi, graph.n)
     runs: List[ClusterRun] = []

@@ -294,19 +294,29 @@ class Graph:
     # Subgraphs
     # ------------------------------------------------------------------
     def subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
-        """Vertex-induced subgraph G[S] (weights preserved)."""
+        """Vertex-induced subgraph G[S] (weights preserved).
+
+        Vertices are inserted in *canonical* order, so the subgraph's
+        adjacency iteration order depends only on the vertex set, never
+        on the order (or set-iteration history) of ``vertices``.  This
+        is what lets cache-rehydrated cluster sets (:mod:`repro.cache`)
+        drive bit-identical simulations: a ``set`` deserialized from
+        disk may iterate differently from the freshly computed one, but
+        every consumer goes through this canonical subgraph.
+        """
         s_set = set(vertices)
         missing = s_set - set(self._adj)
         if missing:
             raise GraphError(f"vertices not in graph: {sorted(map(repr, missing))}")
+        order = canonical_vertex_order(s_set)
         g = Graph()
         g_adj = g._adj
-        for v in s_set:
+        for v in order:
             g_adj[v] = {}
         # Fill adjacency rows directly: each undirected edge is visited
         # once from each endpoint, so the half-edge count is even.
         half_edges = 0
-        for u in s_set:
+        for u in order:
             row = g_adj[u]
             for v, w in self._adj[u].items():
                 if v in s_set:

@@ -1,0 +1,56 @@
+"""The cell model: one grid point of an experiment suite.
+
+A cell is the unit of scheduling, caching, and merging:
+
+* **identity** — ``(suite, index)`` addresses the cell; ``params`` are
+  the grid coordinates (family, n, seed, epsilon, phi, ...), fixed
+  statically by the suite definition so that serial and parallel runs
+  see exactly the same cells in exactly the same order;
+* **determinism** — every random choice inside a cell derives from
+  seeds stored in ``params``; nothing is drawn from shared state, so a
+  cell's result is a pure function of its parameters (plus the code
+  version, which the artifact cache hashes into its keys);
+* **result** — a :class:`CellResult` is plain data (tuples, dicts,
+  strings) so it crosses the ``ProcessPoolExecutor`` boundary under the
+  ``spawn`` start method without pickling any live graph or simulator
+  state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One grid point: parameters only, no behavior."""
+
+    suite: str
+    index: int
+    label: str
+    params: Dict[str, Any]
+
+
+@dataclass
+class CellResult:
+    """What one executed cell sends back to the merge step.
+
+    ``rows`` hold *raw* values (not rendered strings); the suite's
+    table assembly renders them, so serial and sharded runs format
+    identically.  ``metrics`` is a :meth:`CongestMetrics.to_dict`
+    payload when the cell ran a CONGEST simulation.  ``trace_lines``
+    are JSONL round records when tracing was requested, labeled by
+    cell so a merged sharded trace is unambiguous.  ``cache`` is the
+    artifact-cache hit/miss delta attributable to this cell.
+    """
+
+    suite: str
+    index: int
+    label: str
+    rows: List[Tuple] = field(default_factory=list)
+    metrics: Optional[Dict[str, Any]] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+    trace_lines: List[str] = field(default_factory=list)
+    elapsed: float = 0.0
+    cache: Dict[str, int] = field(default_factory=dict)

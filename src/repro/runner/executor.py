@@ -1,0 +1,169 @@
+"""Serial and process-parallel execution of suite cell grids.
+
+``run_suite`` fans the cells of one suite out across a
+``ProcessPoolExecutor`` (``--jobs N``) or runs them inline
+(``jobs <= 1``).  Both paths execute the *same* per-cell code
+(:func:`repro.runner.suites.execute_cell`) on the *same* statically
+seeded cell list and merge results in grid order, so the assembled
+table is byte-identical no matter the job count — the differential
+guarantee ``tests/test_runner.py`` locks in.
+
+Spawn safety: every task argument is a primitive tuple and every task
+function is a module-level name, so the pool works identically under
+the ``spawn`` start method (workers import ``repro`` fresh, nothing
+inherited) — the differential tests exercise spawn explicitly.  The
+*default* start method prefers ``fork`` where the platform offers it,
+because spawning a worker re-imports numpy/scipy (~0.5 s each) and
+that fixed cost would swamp sub-second suite grids.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cache import ArtifactCache, CacheStats, activate
+from ..congest import CongestMetrics
+from .cells import CellResult
+from .suites import SUITES, execute_cell
+
+#: Worker-process-global cache, installed by the pool initializer so the
+#: in-memory tier persists across the cells one worker executes.
+_WORKER_CACHE: Optional[ArtifactCache] = None
+
+
+def _worker_init(cache_root: Optional[str], use_cache: bool,
+                 memory_items: int) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = (
+        ArtifactCache(root=cache_root, memory_items=memory_items)
+        if use_cache else None
+    )
+
+
+def _worker_run_cell(args) -> CellResult:
+    suite_name, index, trace = args
+    with activate(_WORKER_CACHE):
+        return execute_cell(suite_name, index, trace=trace)
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap workers), else ``spawn``."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+@dataclass
+class SuiteRun:
+    """The merged outcome of one suite execution."""
+
+    name: str
+    jobs: int
+    use_cache: bool
+    results: List[CellResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def spec(self):
+        return SUITES[self.name]
+
+    def table(self):
+        return self.spec.assemble_table(self.results)
+
+    def render_table(self) -> str:
+        return self.table().render()
+
+    def merged_metrics(self) -> CongestMetrics:
+        """Parallel-compose the CONGEST metrics of all simulated cells."""
+        return CongestMetrics.merge_parallel(
+            CongestMetrics.from_dict(r.metrics)
+            for r in self.results if r.metrics is not None
+        )
+
+    def cache_stats(self) -> Dict[str, int]:
+        stats = CacheStats()
+        for result in self.results:
+            stats.add(result.cache)
+        return stats.as_dict()
+
+    def trace_lines(self) -> List[str]:
+        lines: List[str] = []
+        for result in sorted(self.results, key=lambda r: r.index):
+            lines.extend(result.trace_lines)
+        return lines
+
+    def compute_seconds(self) -> float:
+        return sum(r.elapsed for r in self.results)
+
+    def summary(self) -> Dict[str, object]:
+        stats = self.cache_stats()
+        return {
+            "suite": self.name,
+            "cells": len(self.results),
+            "jobs": self.jobs,
+            "cache": stats,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "compute_seconds": round(self.compute_seconds(), 4),
+        }
+
+
+def run_suite(
+    name: str,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_root: Optional[str] = None,
+    memory_items: int = 256,
+    mp_start: Optional[str] = None,
+    limit: Optional[int] = None,
+    trace: bool = False,
+) -> SuiteRun:
+    """Execute every cell of suite ``name`` and merge deterministically.
+
+    ``jobs <= 1`` runs inline (no subprocesses); ``jobs > 1`` shards the
+    cells across a process pool.  ``limit`` truncates the grid to its
+    first ``limit`` cells (suites order cells smallest-first precisely
+    so this is a cheap smoke slice).  Results always come back sorted
+    by cell index, never by completion order.
+    """
+    if name not in SUITES:
+        raise KeyError(f"unknown suite {name!r} (known: {sorted(SUITES)})")
+    cells = SUITES[name].cells()
+    if limit is not None:
+        cells = cells[:max(0, limit)]
+    indices = [cell.index for cell in cells]
+
+    start = time.perf_counter()
+    if jobs <= 1 or len(indices) <= 1:
+        cache = (
+            ArtifactCache(root=cache_root, memory_items=memory_items)
+            if use_cache else None
+        )
+        with activate(cache):
+            results = [execute_cell(name, i, trace=trace) for i in indices]
+        effective_jobs = 1
+    else:
+        effective_jobs = min(jobs, len(indices))
+        context = multiprocessing.get_context(mp_start or default_start_method())
+        tasks = [(name, i, trace) for i in indices]
+        with ProcessPoolExecutor(
+            max_workers=effective_jobs,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(cache_root, use_cache, memory_items),
+        ) as pool:
+            results = list(pool.map(_worker_run_cell, tasks, chunksize=1))
+    wall = time.perf_counter() - start
+
+    results.sort(key=lambda r: r.index)
+    return SuiteRun(
+        name=name,
+        jobs=effective_jobs,
+        use_cache=use_cache,
+        results=results,
+        wall_seconds=wall,
+    )

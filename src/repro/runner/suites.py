@@ -1,0 +1,323 @@
+"""Suite definitions: the E-suite sweeps as explicit cell grids.
+
+Each suite declares (a) its cell list — the full parameter grid in a
+fixed order — and (b) a module-level cell function that turns one cell
+into rows + metrics.  Both benchmarks (``benchmarks/test_e*.py``) and
+the ``repro bench`` CLI consume the same definitions, so the table a
+benchmark asserts over is the same table the CLI prints, cell for cell.
+
+Cell functions are ordinary top-level functions so the parallel
+executor can address them by reference under the ``spawn`` start
+method; all expensive intermediates route through :mod:`repro.cache`
+(a no-op when no cache is active).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..analysis import Table
+from ..cache import (
+    active_cache,
+    cached_expander_decomposition,
+    cached_graph,
+    simulation_salt,
+)
+from ..congest import TraceSession
+from ..congest.message import MessageBudget
+from ..decomposition.expander import phi_for_epsilon, verify_expander_decomposition
+from .cells import CellResult, ExperimentCell
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """One experiment suite: a titled table over a cell grid."""
+
+    name: str
+    title: str
+    columns: Tuple[str, ...]
+    description: str
+    build_cells: Callable[[], List[ExperimentCell]]
+    cell_fn: Callable[[ExperimentCell], Tuple[List[Tuple], Optional[Dict], Dict]]
+
+    def cells(self) -> List[ExperimentCell]:
+        return self.build_cells()
+
+    def assemble_table(self, results: List[CellResult]) -> Table:
+        """Merge per-cell rows into the suite table, in grid order."""
+        table = Table(self.title, list(self.columns))
+        for result in sorted(results, key=lambda r: r.index):
+            for row in result.rows:
+                table.add_row(*row)
+        return table
+
+
+# ----------------------------------------------------------------------
+# E01 — expander decomposition quality (family x epsilon grid)
+# ----------------------------------------------------------------------
+
+_E01_FAMILIES: Tuple[Tuple[str, str, Dict[str, Any]], ...] = (
+    ("grid", "grid", {"rows": 16, "cols": 16}),
+    ("tri-grid", "trigrid", {"rows": 16, "cols": 16}),
+    ("delaunay", "delaunay", {"n": 256, "seed": 11}),
+    ("k-tree(3)", "ktree", {"n": 256, "k": 3, "seed": 12}),
+    ("torus", "torus", {"rows": 16, "cols": 16}),
+)
+
+_E01_EPSILONS = (0.1, 0.2, 0.3, 0.4)
+
+
+def _e01_cells() -> List[ExperimentCell]:
+    cells = []
+    for family_label, generator, gen_params in _E01_FAMILIES:
+        for epsilon in _E01_EPSILONS:
+            cells.append(ExperimentCell(
+                suite="E01",
+                index=len(cells),
+                label=f"E01[{family_label},eps={epsilon}]",
+                params={
+                    "family": family_label,
+                    "generator": generator,
+                    "generator_params": dict(gen_params),
+                    "epsilon": epsilon,
+                    "seed": 0,
+                },
+            ))
+    return cells
+
+
+def _run_e01(cell: ExperimentCell):
+    p = cell.params
+    g = cached_graph(p["generator"], p["generator_params"])
+    epsilon = p["epsilon"]
+    phi = phi_for_epsilon(epsilon, g.m)
+    dec = cached_expander_decomposition(g, epsilon, phi=phi, seed=p["seed"])
+    report = verify_expander_decomposition(dec)
+    row = (
+        p["family"], g.n, g.m, epsilon, dec.phi, dec.k,
+        report["cut_fraction"], report["min_certificate"],
+        int(report["max_cluster_size"]),
+    )
+    extra = {"cut_fraction": report["cut_fraction"],
+             "min_certificate": report["min_certificate"]}
+    return [row], None, extra
+
+
+# ----------------------------------------------------------------------
+# E03 — walk vs tree gathering on the largest clusters
+# ----------------------------------------------------------------------
+
+_E03_GRAPH = {"n": 200, "seed": 31}
+_E03_PHI = 0.04
+_E03_TOP_CLUSTERS = 3
+
+
+def _e03_cells() -> List[ExperimentCell]:
+    cells = []
+    for rank in range(_E03_TOP_CLUSTERS):
+        for transport in ("walk", "tree"):
+            cells.append(ExperimentCell(
+                suite="E03",
+                index=len(cells),
+                label=f"E03[cluster{rank},{transport}]",
+                params={
+                    "generator": "delaunay",
+                    "generator_params": dict(_E03_GRAPH),
+                    "decomposition_epsilon": 0.9,
+                    "phi": _E03_PHI,
+                    "decomposition_seed": 0,
+                    "rank": rank,
+                    "transport": transport,
+                    "gather_seed": 7,
+                },
+            ))
+    return cells
+
+
+def _run_e03(cell: ExperimentCell):
+    from ..routing import gather_topology
+
+    p = cell.params
+    g = cached_graph(p["generator"], p["generator_params"])
+    dec = cached_expander_decomposition(
+        g, p["decomposition_epsilon"], phi=p["phi"],
+        seed=p["decomposition_seed"], enforce_budget=False,
+    )
+    ranked = sorted(dec.clusters, key=len, reverse=True)
+    cluster = ranked[p["rank"]]
+    cluster_index = dec.clusters.index(cluster)
+    sub = g.subgraph(cluster)
+    result = gather_topology(
+        sub,
+        phi=max(dec.phi, dec.certificates[cluster_index]),
+        seed=p["gather_seed"],
+        network_n=g.n,
+        transport=p["transport"],
+    )
+    m = result.metrics
+    row = (
+        p["rank"], sub.n, sub.m, p["transport"],
+        m.rounds, m.effective_rounds, m.max_edge_congestion,
+        m.max_message_bits, result.success,
+    )
+    extra = {
+        "success": result.success,
+        "topology_complete": result.topology_complete(sub),
+        "network_n": g.n,
+    }
+    return [row], m.to_dict(), extra
+
+
+# ----------------------------------------------------------------------
+# E10 — framework cost scaling across n, replicated over seeds
+# ----------------------------------------------------------------------
+
+_E10_NS = (64, 128, 256, 384, 512)
+_E10_SEEDS = (102, 202, 302)
+_E10_GRAPH_SEED = 101
+_E10_EPSILON = 0.9
+_E10_PHI = 0.05
+
+
+def _e10_cells() -> List[ExperimentCell]:
+    cells = []
+    # Smallest instances first so `--limit k` is a cheap smoke slice.
+    for n in _E10_NS:
+        for seed in _E10_SEEDS:
+            cells.append(ExperimentCell(
+                suite="E10",
+                index=len(cells),
+                label=f"E10[n={n},seed={seed}]",
+                params={
+                    "generator": "delaunay",
+                    "generator_params": {"n": n, "seed": _E10_GRAPH_SEED},
+                    "epsilon": _E10_EPSILON,
+                    "phi": _E10_PHI,
+                    "seed": seed,
+                },
+            ))
+    return cells
+
+
+def _degree_solver(sub, leader, notes):
+    return {v: sub.degree(v) for v in sub.vertices()}
+
+
+def _run_e10(cell: ExperimentCell):
+    from ..core.framework import run_framework
+
+    p = cell.params
+    g = cached_graph(p["generator"], p["generator_params"])
+    result = run_framework(
+        g, p["epsilon"], solver=_degree_solver, phi=p["phi"], seed=p["seed"]
+    )
+    budget = MessageBudget(g.n).bits
+    m = result.metrics
+    row = (
+        g.n, p["seed"], len(result.clusters), m.rounds, m.effective_rounds,
+        m.total_messages, m.max_message_bits, budget, m.max_edge_congestion,
+    )
+    extra = {"budget_bits": budget}
+    return [row], m.to_dict(), extra
+
+
+# ----------------------------------------------------------------------
+# Registry + the worker-side entry point
+# ----------------------------------------------------------------------
+
+SUITES: Dict[str, SuiteSpec] = {
+    "E01": SuiteSpec(
+        name="E01",
+        title="E1: expander decomposition (cut fraction <= eps, certified phi)",
+        columns=("family", "n", "m", "eps", "phi", "clusters", "cut_frac",
+                 "min_cert", "max|V_i|"),
+        description="Decomposition quality across minor-free families.",
+        build_cells=_e01_cells,
+        cell_fn=_run_e01,
+    ),
+    "E03": SuiteSpec(
+        name="E03",
+        title="E3: gathering G[V_i] to the leader, walk (Lemma 2.4) vs tree",
+        columns=("cluster", "n_i", "m_i", "transport", "rounds", "eff_rounds",
+                 "max_congestion", "max_bits", "success"),
+        description="Random-walk vs BFS-tree information gathering.",
+        build_cells=_e03_cells,
+        cell_fn=_run_e03,
+    ),
+    "E10": SuiteSpec(
+        name="E10",
+        title=("E10: framework cost vs n "
+               "(delaunay, eps = 0.9, phi = 0.05, 3 seeds)"),
+        columns=("n", "seed", "clusters", "rounds", "eff_rounds", "messages",
+                 "max_bits", "budget_bits", "congestion"),
+        description="Round/congestion scaling of the Theorem 2.6 framework.",
+        build_cells=_e10_cells,
+        cell_fn=_run_e10,
+    ),
+}
+
+
+def suite_names() -> List[str]:
+    return sorted(SUITES)
+
+
+def execute_cell(
+    suite_name: str,
+    index: int,
+    trace: bool = False,
+) -> CellResult:
+    """Run one cell in the current process and package its result.
+
+    Uses whatever artifact cache is currently active (see
+    :func:`repro.cache.activate`); cache statistics are reported as the
+    delta this cell caused, which sums correctly across any sharding.
+    """
+    spec = SUITES[suite_name]
+    cells = spec.cells()
+    cell = cells[index]
+    cache = active_cache()
+    before = cache.stats.snapshot() if cache is not None else None
+
+    start = time.perf_counter()
+    trace_lines: List[str] = []
+    if trace:
+        # Tracing needs the simulation to actually run, so it bypasses
+        # the cell-result tier (intermediate artifacts still apply).
+        with TraceSession() as session:
+            rows, metrics, extra = spec.cell_fn(cell)
+        for i, recorder in enumerate(session.recorders):
+            recorder.label = f"{cell.label}/sim{i}"
+            dumped = recorder.dumps_jsonl()
+            if dumped:
+                trace_lines.extend(dumped.splitlines())
+    elif cache is not None:
+        # Cell results are themselves content-addressed artifacts: the
+        # key covers the full grid coordinates plus a salt over the
+        # whole source tree, so any code change recomputes the cell.
+        key = cache.key(
+            "cell", suite_name, cell.params, salt=simulation_salt()
+        )
+        rows, metrics, extra = cache.get_or_compute(
+            "cell", key, lambda: spec.cell_fn(cell)
+        )
+    else:
+        rows, metrics, extra = spec.cell_fn(cell)
+    elapsed = time.perf_counter() - start
+
+    cache_delta = (
+        cache.stats.delta_since(before) if cache is not None and before is not None
+        else {}
+    )
+    return CellResult(
+        suite=suite_name,
+        index=index,
+        label=cell.label,
+        rows=rows,
+        metrics=metrics,
+        extra=extra,
+        trace_lines=trace_lines,
+        elapsed=elapsed,
+        cache=cache_delta,
+    )

@@ -1,0 +1,193 @@
+"""Correctness contract of the content-addressed artifact cache.
+
+The cache is only admissible because a hit is *bit-transparent*: for
+one key the stored bytes are a pure function of the inputs, any input
+change (param, seed, code salt) changes the key, and a damaged entry
+degrades to a recompute rather than an error.  Each of those clauses is
+pinned here, along with the LRU memory tier and the ``activate``
+scoping the runner relies on.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.cache import (
+    ArtifactCache,
+    CacheStats,
+    activate,
+    active_cache,
+    cache_key,
+    cached_expander_decomposition,
+    cached_graph,
+    code_salt,
+    graph_fingerprint,
+    simulation_salt,
+)
+from repro.decomposition import expander_decomposition
+from repro.generators import delaunay_planar_graph
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(root=str(tmp_path / "cache"))
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+
+def test_same_inputs_same_key_and_identical_bytes(cache):
+    params = {"n": 32, "seed": 3}
+    key_a = cache_key("graph", "delaunay", params, seed=3)
+    key_b = cache_key("graph", "delaunay", dict(reversed(params.items())),
+                      seed=3)
+    assert key_a == key_b  # dict order is canonicalized away
+
+    g1 = cached_graph("delaunay", {"n": 32, "seed": 3}, cache=cache)
+    g2 = cached_graph("delaunay", {"n": 32, "seed": 3}, cache=cache)
+    assert pickle.dumps(g1, protocol=4) == pickle.dumps(g2, protocol=4)
+    assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+
+@pytest.mark.parametrize(
+    "variant",
+    [
+        {"params": {"n": 33, "seed": 3}, "seed": 3, "salt": None},
+        {"params": {"n": 32, "seed": 4}, "seed": 3, "salt": None},
+        {"params": {"n": 32, "seed": 3}, "seed": 4, "salt": None},
+        {"params": {"n": 32, "seed": 3}, "seed": 3, "salt": "other-code"},
+    ],
+)
+def test_any_input_change_changes_key(variant):
+    base = cache_key("graph", "delaunay", {"n": 32, "seed": 3}, seed=3)
+    assert base != cache_key(
+        "graph", "delaunay", variant["params"],
+        seed=variant["seed"], salt=variant["salt"],
+    )
+
+
+def test_float_params_key_on_exact_bits():
+    key_a = cache_key("k", "n", {"phi": 0.1}, seed=0)
+    key_b = cache_key("k", "n", {"phi": 0.1 + 1e-18}, seed=0)
+    key_c = cache_key("k", "n", {"phi": 0.2}, seed=0)
+    assert key_a == key_b  # same double
+    assert key_a != key_c
+
+
+def test_salts_are_hex_and_distinct():
+    assert len(code_salt()) == 64
+    assert len(simulation_salt()) == 64
+    assert code_salt() != simulation_salt()
+
+
+# ----------------------------------------------------------------------
+# Tiers and failure modes
+# ----------------------------------------------------------------------
+
+def test_disk_hit_after_fresh_process_equivalent(tmp_path):
+    root = str(tmp_path / "cache")
+    first = ArtifactCache(root=root)
+    g1 = cached_graph("grid", {"rows": 4, "cols": 5}, cache=first)
+    assert first.stats.misses == 1
+
+    second = ArtifactCache(root=root)  # cold memory tier, warm disk
+    g2 = cached_graph("grid", {"rows": 4, "cols": 5}, cache=second)
+    assert second.stats.disk_hits == 1 and second.stats.misses == 0
+    assert pickle.dumps(g1, protocol=4) == pickle.dumps(g2, protocol=4)
+
+
+def test_corrupted_entry_recomputes_not_crashes(tmp_path):
+    root = str(tmp_path / "cache")
+    cache = ArtifactCache(root=root, memory_items=0)  # force disk path
+    cached_graph("cycle", {"n": 9}, cache=cache)
+
+    entries = [
+        os.path.join(dirpath, name)
+        for dirpath, _dirs, names in os.walk(root)
+        for name in names
+        if name.endswith(".bin")
+    ]
+    assert len(entries) == 1
+    with open(entries[0], "wb") as handle:
+        handle.write(b"not a pickle")
+
+    g = cached_graph("cycle", {"n": 9}, cache=cache)
+    assert g.n == 9
+    assert cache.stats.corrupt == 1
+    assert cache.stats.misses == 2  # original + recompute
+    # The rewritten entry is healthy again.
+    cached_graph("cycle", {"n": 9}, cache=cache)
+    assert cache.stats.disk_hits == 1
+
+
+def test_memory_lru_evicts_oldest(tmp_path):
+    cache = ArtifactCache(root=str(tmp_path / "c"), memory_items=2,
+                          persist=False)
+    for n in (5, 6, 7):  # n=5 evicted when n=7 arrives
+        cached_graph("cycle", {"n": n}, cache=cache)
+    cached_graph("cycle", {"n": 7}, cache=cache)
+    assert cache.stats.memory_hits == 1
+    cached_graph("cycle", {"n": 5}, cache=cache)  # gone: recompute
+    assert cache.stats.misses == 4
+
+
+def test_stats_delta_accounting():
+    stats = CacheStats()
+    before = stats.snapshot()
+    stats.misses += 2
+    stats.disk_hits += 1
+    assert stats.delta_since(before) == {
+        "memory_hits": 0, "disk_hits": 1, "misses": 2,
+        "stores": 0, "corrupt": 0,
+    }
+    total = CacheStats().add(stats).add({"misses": 1})
+    assert total.misses == 3 and total.lookups == 4
+
+
+# ----------------------------------------------------------------------
+# Decomposition artifacts and the activate() scope
+# ----------------------------------------------------------------------
+
+def test_cached_decomposition_rehydrates_equal(cache):
+    g = delaunay_planar_graph(48, seed=21)
+    fresh = expander_decomposition(g, 0.3, phi=0.05, seed=0)
+    first = cached_expander_decomposition(g, 0.3, phi=0.05, seed=0,
+                                          cache=cache)
+    second = cached_expander_decomposition(g, 0.3, phi=0.05, seed=0,
+                                           cache=cache)
+    assert cache.stats.misses == 1 and cache.stats.hits == 1
+    for dec in (first, second):
+        assert dec.graph is g
+        assert sorted(map(sorted, dec.clusters)) == sorted(
+            map(sorted, fresh.clusters)
+        )
+        assert sorted(dec.cut_edges) == sorted(fresh.cut_edges)
+        assert dec.certificates == fresh.certificates
+
+
+def test_graph_fingerprint_tracks_content():
+    a = delaunay_planar_graph(40, seed=1)
+    b = delaunay_planar_graph(40, seed=1)
+    c = delaunay_planar_graph(40, seed=2)
+    assert graph_fingerprint(a) == graph_fingerprint(b)
+    assert graph_fingerprint(a) != graph_fingerprint(c)
+
+
+def test_activate_scoping(cache):
+    assert active_cache() is None
+    with activate(cache) as installed:
+        assert installed is cache and active_cache() is cache
+        with activate(None):
+            assert active_cache() is None
+        assert active_cache() is cache
+    assert active_cache() is None
+
+
+def test_uncached_call_paths_bypass_cleanly(tmp_path):
+    # No active cache, none passed: plain computation, no cache files.
+    g = cached_graph("cycle", {"n": 6})
+    dec = cached_expander_decomposition(g, 0.5, phi=0.05, seed=0)
+    assert dec.graph is g
+    assert not os.path.exists(str(tmp_path / "never-created"))

@@ -1,0 +1,98 @@
+"""Exactness contract of the batched MT19937 stream.
+
+:class:`repro.routing._mt_stream.MTStream` claims to be a word-for-word
+clone of ``random.Random``: same raw 32-bit words, same ``random()``
+floats, same ``_randbelow`` rejection consumption, and a ``commit``
+that lets scalar draws continue the stream seamlessly.  These tests pin
+each of those claims directly against CPython's generator, then run
+whole walk exchanges with vectorization forced on and forced off and
+assert the executions are identical — the guarantee that makes
+``VECTOR_THRESHOLD`` a pure performance knob.
+"""
+
+import importlib
+import math
+import random
+
+import pytest
+
+from repro.generators import k_tree
+from repro.routing import walk_exchange
+from repro.routing._mt_stream import HAVE_NUMPY, MTStream
+
+# The package re-exports the walk_exchange *function* under the same
+# name as its defining module; go through importlib for the module.
+walk_exchange_module = importlib.import_module("repro.routing.walk_exchange")
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+
+#: More than two full twist blocks (624 words each), so the vectorized
+#: state transition is exercised repeatedly, not just the tempering.
+LONG = 1500
+
+
+def test_word_stream_matches_getrandbits():
+    ours, theirs = random.Random(42), random.Random(42)
+    words = MTStream(ours).words(LONG)
+    assert [int(w) for w in words] == [
+        theirs.getrandbits(32) for _ in range(LONG)
+    ]
+
+
+def test_random_batch_matches_random():
+    ours, theirs = random.Random(7), random.Random(7)
+    batch = MTStream(ours).random_batch(LONG)
+    assert [float(x) for x in batch] == [
+        theirs.random() for _ in range(LONG)
+    ]
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 6, 17, 100, 2**31 - 1])
+def test_randbelow_batch_matches_randbelow(n):
+    ours, theirs = random.Random(n), random.Random(n)
+    batch = MTStream(ours).randbelow_batch(n, 400)
+    expected = [theirs._randbelow(n) for _ in range(400)]
+    assert [int(x) for x in batch] == expected
+    assert all(0 <= value < n for value in expected)
+
+
+def test_commit_resumes_scalar_stream_exactly():
+    ours, theirs = random.Random(99), random.Random(99)
+    # Desynchronize from a fresh state: adopt mid-block, mid-word-pair.
+    ours.random(), ours.getrandbits(13)
+    theirs.random(), theirs.getrandbits(13)
+    stream = MTStream(ours)
+    reference = [theirs.random() for _ in range(10)]
+    assert [float(x) for x in stream.random_batch(10)] == reference
+    stream.commit()
+    assert ours.getstate() == theirs.getstate()
+    assert ours.random() == theirs.random()
+
+
+def test_randbelow_batch_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        MTStream(random.Random(0)).randbelow_batch(0, 3)
+
+
+def _run_exchange():
+    g = k_tree(60, 3, seed=5)
+    leader = max(g.vertices(), key=g.degree)
+    requests = {v: [(v, 1)] for v in g.vertices()}
+    return walk_exchange(
+        g, leader, requests, phi=0.1, forward_steps=192, seed=8
+    )
+
+
+def test_walk_exchange_invariant_under_threshold(monkeypatch):
+    """Forced-scalar and forced-vector executions are identical."""
+    monkeypatch.setattr(walk_exchange_module, "VECTOR_THRESHOLD", 1)
+    vectorized = _run_exchange()
+    monkeypatch.setattr(
+        walk_exchange_module, "VECTOR_THRESHOLD", math.inf
+    )
+    scalar = _run_exchange()
+    assert vectorized.requests_delivered == scalar.requests_delivered
+    assert vectorized.responses == scalar.responses
+    assert vectorized.undelivered == scalar.undelivered
+    assert vectorized.unanswered == scalar.unanswered
+    assert vectorized.metrics.summary() == scalar.metrics.summary()

@@ -1,0 +1,167 @@
+"""Differential guarantees of the parallel experiment runner.
+
+The load-bearing claim: for every suite, the assembled table is a pure
+function of the grid — byte-identical whether cells run serially,
+across a process pool, with the artifact cache cold, warm, or disabled.
+These tests execute the same suites under those configurations and
+compare the rendered bytes, then pin the merge order, the metrics
+composition, and the ``repro bench`` CLI surface.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.congest import CongestMetrics
+from repro.runner import SUITES, run_suite, suite_names
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+# ----------------------------------------------------------------------
+# Grid structure
+# ----------------------------------------------------------------------
+
+def test_suite_registry_well_formed():
+    assert set(suite_names()) >= {"E01", "E03", "E10"}
+    for name in suite_names():
+        cells = SUITES[name].cells()
+        assert [c.index for c in cells] == list(range(len(cells)))
+        assert len({c.label for c in cells}) == len(cells)
+
+
+def test_unknown_suite_raises():
+    with pytest.raises(KeyError):
+        run_suite("E99")
+
+
+def test_limit_takes_grid_prefix(tmp_path):
+    run = run_suite("E10", limit=2, cache_root=str(tmp_path / "c"))
+    assert [r.index for r in run.results] == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# Serial / parallel / cache equivalence (the acceptance criterion)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "name,limit",
+    [("E01", 4), ("E03", None), ("E10", 4)],
+)
+def test_parallel_tables_byte_identical_to_serial(name, limit, tmp_path):
+    root = str(tmp_path / "cache")
+    serial_nocache = run_suite(name, jobs=1, use_cache=False, limit=limit)
+    serial_cold = run_suite(name, jobs=1, cache_root=root, limit=limit)
+    parallel_warm = run_suite(name, jobs=2, cache_root=root, limit=limit)
+    parallel_nocache = run_suite(name, jobs=2, use_cache=False, limit=limit)
+
+    reference = serial_nocache.render_table()
+    assert serial_cold.render_table() == reference
+    assert parallel_warm.render_table() == reference
+    assert parallel_nocache.render_table() == reference
+    # The warm run actually hit the cache (cells memoized by the cold run).
+    warm_stats = parallel_warm.cache_stats()
+    assert warm_stats["disk_hits"] + warm_stats["memory_hits"] > 0
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+def test_spawn_and_fork_agree(tmp_path):
+    root = str(tmp_path / "cache")
+    forked = run_suite("E10", jobs=2, limit=3, cache_root=root,
+                       mp_start="fork")
+    spawned = run_suite("E10", jobs=2, limit=3, cache_root=root,
+                        mp_start="spawn")
+    assert forked.render_table() == spawned.render_table()
+
+
+def test_results_sorted_by_index_not_completion(tmp_path):
+    run = run_suite("E01", jobs=2, limit=6,
+                    cache_root=str(tmp_path / "c"))
+    assert [r.index for r in run.results] == sorted(
+        r.index for r in run.results
+    )
+
+
+# ----------------------------------------------------------------------
+# Metrics, traces, stats
+# ----------------------------------------------------------------------
+
+def test_merged_metrics_compose_parallel(tmp_path):
+    run = run_suite("E10", limit=2, cache_root=str(tmp_path / "c"))
+    merged = run.merged_metrics()
+    parts = [CongestMetrics.from_dict(r.metrics) for r in run.results]
+    assert merged.rounds == max(p.rounds for p in parts)
+    assert merged.total_messages == sum(p.total_messages for p in parts)
+    assert run.compute_seconds() >= 0.0
+
+
+def test_metrics_round_trip_dict():
+    a = CongestMetrics()
+    a.record_round({("u", "v"): 3}, 5, 80)
+    a.record_round({("u", "w"): 1}, 3, 40)
+    a.record_message(17)
+    b = CongestMetrics.from_dict(a.to_dict(include_per_round=True))
+    assert b.summary() == a.summary()
+    assert b.messages_per_round == a.messages_per_round
+
+
+def test_trace_collection_in_cell_order(tmp_path):
+    run = run_suite("E10", limit=2, jobs=2, trace=True,
+                    cache_root=str(tmp_path / "c"))
+    lines = run.trace_lines()
+    assert lines, "traced run produced no trace lines"
+    labels = [json.loads(line)["sim"] for line in lines]
+    # Every recorder is tagged with its cell label; cells appear in order.
+    first_cell = run.results[0].label
+    second_cell = run.results[1].label
+    assert any(label.startswith(first_cell) for label in labels)
+    boundary = max(
+        i for i, label in enumerate(labels)
+        if label.startswith(first_cell)
+    )
+    assert all(
+        label.startswith(second_cell) for label in labels[boundary + 1:]
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+
+def test_cli_bench_smoke(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    out_dir = str(tmp_path / "out")
+    stats_path = str(tmp_path / "stats.json")
+    code = main([
+        "bench", "--suite", "E10", "--limit", "2", "--jobs", "2",
+        "--cache-dir", cache_dir, "--out", out_dir,
+        "--stats-json", stats_path,
+    ])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "E10" in printed and "cache:" in printed
+
+    with open(stats_path) as handle:
+        stats = json.load(handle)
+    assert stats["suites"][0]["suite"] == "E10"
+    assert stats["suites"][0]["cells"] == 2
+    assert stats["jobs"] == 2 and stats["cache_enabled"] is True
+
+    table_path = os.path.join(out_dir, "E10.txt")
+    with open(table_path) as handle:
+        written = handle.read()
+    # Byte-identity of the persisted table against an in-process run.
+    serial = run_suite("E10", limit=2, use_cache=False)
+    assert written.strip() == serial.render_table().strip()
+
+
+def test_cli_bench_no_cache(tmp_path, capsys):
+    code = main([
+        "bench", "--suite", "E10", "--limit", "1", "--no-cache",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "misses" in out
