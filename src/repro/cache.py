@@ -34,6 +34,7 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
@@ -180,6 +181,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    evictions: int = 0
 
     @property
     def hits(self) -> int:
@@ -196,6 +198,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "evictions": self.evictions,
         }
 
     def add(self, other: "CacheStats | Dict[str, int]") -> "CacheStats":
@@ -205,6 +208,7 @@ class CacheStats:
         self.misses += data.get("misses", 0)
         self.stores += data.get("stores", 0)
         self.corrupt += data.get("corrupt", 0)
+        self.evictions += data.get("evictions", 0)
         return self
 
     def snapshot(self) -> Dict[str, int]:
@@ -341,8 +345,18 @@ class ArtifactCache:
         if blob is not None:
             try:
                 value = deserialize(blob)
-            except Exception:
+            except Exception as exc:
                 self.stats.corrupt += 1
+                self.stats.evictions += 1
+                # Loud but non-fatal: one corrupt entry is routine
+                # (killed worker, disk hiccup); a stream of them with
+                # the same key prefix points at real trouble.
+                warnings.warn(
+                    f"evicting corrupt cache entry {kind}/{key}: "
+                    f"{type(exc).__name__}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
                 self._evict(kind, key, slot)
             else:
                 if from_disk:

@@ -221,10 +221,15 @@ def cmd_bench(args) -> int:
     import os
     import time
 
-    from .runner import run_suite, suite_names
+    from .runner import SUITES, run_suite, suite_names
 
-    names = args.suite or suite_names()
-    unknown = [n for n in names if n not in suite_names()]
+    if args.faults:
+        names = (args.suite or []) + ["E11"]
+    else:
+        names = args.suite or suite_names()
+    # Hidden suites stay out of the default sweep but remain reachable
+    # by explicit --suite NAME.
+    unknown = [n for n in names if n not in SUITES]
     if unknown:
         raise SystemExit(
             f"unknown suite(s) {unknown}; available: {suite_names()}"
@@ -241,10 +246,19 @@ def cmd_bench(args) -> int:
             mp_start=args.mp_start,
             limit=args.limit,
             trace=args.trace is not None,
+            cell_timeout=args.cell_timeout,
+            retries=args.retries,
         )
         runs.append(run)
         rendered = run.render_table()
         print("\n" + rendered)
+        if run.recovery.intervened or run.quarantined:
+            r = run.recovery
+            print(f"[{name}] recovery: {r.retries} retries, "
+                  f"{r.timeouts} timeouts, {r.pool_rebuilds} pool rebuilds")
+        for q in run.quarantined:
+            print(f"[{name}] QUARANTINED {q.label} "
+                  f"after {q.attempts} attempt(s): {q.reason}")
         stats = run.cache_stats()
         print(
             f"[{name}] cells={len(run.results)} jobs={run.jobs} "
@@ -277,7 +291,69 @@ def cmd_bench(args) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"stats -> {args.stats_json}")
-    return 0
+    return 1 if any(run.quarantined for run in runs) else 0
+
+
+def cmd_faults(args) -> int:
+    """Run one algorithm under an explicit fault plan and grade it."""
+    from .congest import FaultPlan, use_faults
+    from .resilience import (
+        Verdict,
+        validate_framework,
+        validate_independent_set,
+    )
+
+    crashes = []
+    for spec in args.crash or []:
+        try:
+            vertex, round_number = spec.split(":", 1)
+            crashes.append((int(vertex), int(round_number)))
+        except ValueError:
+            raise SystemExit(
+                f"bad --crash {spec!r}; expected VERTEX:ROUND"
+            )
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        drop=args.drop,
+        duplicate=args.duplicate,
+        corrupt=args.corrupt,
+        crashes=tuple(crashes),
+    )
+    g = _build_graph(args)
+    metrics = None
+    try:
+        with use_faults(plan):
+            if args.algorithm == "maxis":
+                from .independent_set.greedy import luby_mis
+
+                mis, result = luby_mis(g, seed=args.seed)
+                metrics = result.metrics
+                verdict = validate_independent_set(g, mis)
+            else:
+                from .core.framework import run_framework
+
+                def _solver(sub, leader, notes):
+                    return {v: sub.degree(v) for v in sub.vertices()}
+
+                result = run_framework(
+                    g, args.eps, solver=_solver, phi=args.phi,
+                    seed=args.seed,
+                )
+                metrics = result.metrics
+                verdict = validate_framework(result)
+    except Exception as exc:  # graded outcome, not a crash
+        verdict = Verdict.failed(f"{type(exc).__name__}: {exc}")
+
+    print(f"plan: drop={plan.drop} duplicate={plan.duplicate} "
+          f"corrupt={plan.corrupt} crashes={len(plan.crashes)} "
+          f"seed={plan.seed}")
+    if metrics is not None:
+        _print_metrics(metrics)
+        if metrics.faulted:
+            print("faults:", metrics.fault_summary())
+    print(f"verdict: {verdict.label()}"
+          + (f" ({verdict.detail})" if verdict.detail else ""))
+    return 0 if verdict.ok else 1
 
 
 def cmd_triangles(args) -> int:
@@ -372,7 +448,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write merged per-round JSONL traces of all "
                             "cells to PATH (bypasses the cell-result "
                             "cache tier)")
+    bench.add_argument("--faults", action="store_true",
+                       help="include the E11 fault-tolerance suite "
+                            "(shorthand for --suite E11)")
+    bench.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="kill any cell attempt exceeding this "
+                            "wall-clock budget (parallel runs only)")
+    bench.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="extra attempts per failed cell before it "
+                            "is quarantined (default: 0)")
     bench.set_defaults(handler=cmd_bench)
+
+    faults = sub.add_parser(
+        "faults",
+        help="run one algorithm under an explicit fault plan",
+        description=(
+            "Inject deterministic message/vertex faults into a single "
+            "run and grade the outcome (correct / degraded / failed)."
+        ),
+    )
+    _add_common(faults)
+    faults.add_argument("--algorithm", default="maxis",
+                        choices=["maxis", "framework"],
+                        help="which algorithm to subject to faults")
+    faults.add_argument("--drop", type=float, default=0.0,
+                        help="per-message drop probability")
+    faults.add_argument("--duplicate", type=float, default=0.0,
+                        help="per-message duplication probability")
+    faults.add_argument("--corrupt", type=float, default=0.0,
+                        help="per-message corruption probability")
+    faults.add_argument("--crash", action="append", default=None,
+                        metavar="VERTEX:ROUND",
+                        help="fail-stop a vertex at a round (repeatable)")
+    faults.add_argument("--fault-seed", type=int, default=0,
+                        help="seed of the deterministic fault stream")
+    faults.set_defaults(handler=cmd_faults)
     return parser
 
 

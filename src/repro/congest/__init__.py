@@ -12,6 +12,14 @@ experiments.
 from .message import MessageBudget, message_bits
 from .metrics import CongestMetrics
 from .algorithm import VertexAlgorithm, VertexContext
+from .faults import (
+    CorruptedPayload,
+    FaultInjector,
+    FaultPlan,
+    LinkFailure,
+    active_fault_plan,
+    use_faults,
+)
 from .trace import RoundTrace, TraceRecorder, TraceSession
 from .network import (
     CongestSimulator,
@@ -32,6 +40,12 @@ __all__ = [
     "RoundTrace",
     "TraceRecorder",
     "TraceSession",
+    "CorruptedPayload",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFailure",
+    "active_fault_plan",
+    "use_faults",
     "default_engine",
     "set_default_engine",
     "use_engine",

@@ -31,6 +31,7 @@ from ..errors import MessageTooLargeError, ProtocolError
 from ..graph import Graph, canonical_vertex_order
 from ..rng import ensure_rng
 from .algorithm import VertexAlgorithm, VertexContext
+from .faults import CORRUPT, DELIVER, DROP, DUPLICATE, NO_FAULTS, FaultInjector
 from .message import (
     _BOOL_BITS,
     _FLOAT_TOTAL,
@@ -42,8 +43,9 @@ from .message import (
 from .metrics import CongestMetrics
 from .trace import TraceRecorder
 
-#: Sentinel for "no traffic in flight": (per-edge counts, messages, bits).
-_NO_TRAFFIC: Tuple[Dict, int, int] = ({}, 0, 0)
+#: Sentinel for "no traffic in flight":
+#: (per-edge counts, messages, bits, (dropped, duplicated, corrupted)).
+_NO_TRAFFIC: Tuple[Dict, int, int, Tuple[int, int, int]] = ({}, 0, 0, NO_FAULTS)
 
 #: Private sentinel no user payload can be identical to.
 _UNSET = object()
@@ -96,6 +98,7 @@ class FastEngine:
         capacity: int = 1,
         seed=None,
         trace: Optional[TraceRecorder] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.graph = graph
         self.budget = budget if budget is not None else MessageBudget(graph.n)
@@ -103,6 +106,7 @@ class FastEngine:
         self.capacity = capacity
         self.metrics = CongestMetrics()
         self.trace = trace
+        self.faults = faults
 
         order, contexts, algorithms = build_vertex_state(
             graph, algorithm_factory, seed
@@ -132,7 +136,16 @@ class FastEngine:
         self._live = n
         # Traffic collected at the end of the previous round, awaiting
         # delivery (and metric attribution) at the next executed round.
-        self._inflight: Tuple[Dict, int, int] = _NO_TRAFFIC
+        self._inflight: Tuple[Dict, int, int, Tuple[int, int, int]] = _NO_TRAFFIC
+        # Crash schedule (per vertex id), or None when the plan has no
+        # crashes so the hot path can skip the lookup entirely.
+        if faults is not None and faults.plan.crashes:
+            self._crash_rounds: Optional[List[Optional[int]]] = [
+                faults.crash_round(v) for v in order
+            ]
+        else:
+            self._crash_rounds = None
+        self._crashed_ids: Set[int] = set()
 
     # ------------------------------------------------------------------
     @property
@@ -146,8 +159,20 @@ class FastEngine:
 
         contexts = self._contexts
         algorithms = self._algorithms
+        crash_rounds = self._crash_rounds
+        init_crashed = 0
         for i in range(self._n):
+            if crash_rounds is not None:
+                cr = crash_rounds[i]
+                if cr is not None and cr <= 0:
+                    # Fail-stopped before round 0: never initializes.
+                    contexts[i]._halted = True
+                    self._crashed_ids.add(i)
+                    init_crashed += 1
+                    continue
             algorithms[i].initialize(contexts[i])
+        if init_crashed:
+            self.metrics.record_crashed(init_crashed)
         self._collect(range(self._n))
         self._runnable = {
             i for i in range(self._n) if not contexts[i]._halted
@@ -180,12 +205,29 @@ class FastEngine:
                 next_round = target
                 due = due_vertices(next_round)
             self._round = next_round
-            per_edge, messages, bits = self._inflight
+            per_edge, messages, bits, fcounts = self._inflight
             self._inflight = _NO_TRAFFIC
-            record_round(per_edge, messages, bits)
+            if self.faults is None:
+                record_round(per_edge, messages, bits)
+            else:
+                record_round(per_edge, messages, bits, fcounts)
             live_before = self._live
+            crashed_now = 0
             for i in due:
                 ctx = contexts[i]
+                if crash_rounds is not None:
+                    cr = crash_rounds[i]
+                    if cr is not None and next_round >= cr:
+                        # Fail-stop: the vertex never steps at or after
+                        # its crash round and its mail dies with it.
+                        ctx._halted = True
+                        ctx._output = None
+                        self._crashed_ids.add(i)
+                        crashed_now += 1
+                        if pending[i] is not None:
+                            pending[i] = None
+                            pending_ids_discard(i)
+                        continue
                 ctx.round_number = next_round
                 box = pending[i]
                 if box is None:
@@ -196,21 +238,30 @@ class FastEngine:
                 algorithms[i].step(ctx, box)
             collect(due)
             reschedule(due)
+            if crashed_now:
+                self.metrics.record_crashed(crashed_now)
             if trace is not None:
                 trace.record_round(
                     round_number=next_round,
                     per_edge_counts=per_edge,
                     messages=messages,
                     bits=bits,
-                    stepped=len(due),
+                    stepped=len(due) - crashed_now,
                     idle=live_before - len(due),
                     halted=self._n - self._live,
                     skipped_before=skipped,
+                    dropped=fcounts[0],
+                    duplicated=fcounts[1],
+                    corrupted=fcounts[2],
+                    crashed=crashed_now,
                 )
 
         outputs = {self._verts[i]: contexts[i]._output for i in range(self._n)}
         return SimulationResult(
-            outputs=outputs, metrics=self.metrics, halted=self._live == 0
+            outputs=outputs,
+            metrics=self.metrics,
+            halted=self._live == 0,
+            crashed=frozenset(self._verts[i] for i in self._crashed_ids),
         )
 
     # ------------------------------------------------------------------
@@ -255,6 +306,7 @@ class FastEngine:
         wake = self._wake_round
         heap = self._heap
         current_round = self._round
+        crash_rounds = self._crash_rounds
         for i in stepped:
             ctx = contexts[i]
             runnable_discard(i)
@@ -268,6 +320,16 @@ class FastEngine:
             algo = algorithms[i]
             if algo.is_idle(ctx):
                 w = algo.next_wakeup(ctx)
+                if crash_rounds is not None:
+                    # Clamp the wakeup so a scheduled crash is noticed
+                    # at its exact round even while the vertex is idle.
+                    cr = crash_rounds[i]
+                    if (
+                        cr is not None
+                        and cr > current_round
+                        and (w is None or cr < w)
+                    ):
+                        w = cr
                 if w is not None and w > current_round:
                     wake[i] = w
                     heappush(heap, (w, i))
@@ -301,6 +363,9 @@ class FastEngine:
         budget_bits = self.budget.bits
         strict = self.strict
         capacity = self.capacity
+        injector = self.faults
+        send_round = self._round
+        dropped = duplicated = corrupted = 0
         for i in senders:
             ctx = contexts[i]
             outbox = ctx._outbox
@@ -363,16 +428,46 @@ class FastEngine:
                     )
                 messages += 1
                 bits += size
+                copies = 1
+                if injector is not None:
+                    # The sender has paid; what follows is the channel.
+                    # Fault decisions key on the per-edge sequence
+                    # number ``count - 1``, identical in both engines.
+                    if injector.link_down(v, neighbor, send_round):
+                        dropped += 1
+                        continue
+                    action = injector.classify(
+                        send_round, v, neighbor, count - 1
+                    )
+                    if action == DROP:
+                        dropped += 1
+                        continue
+                    if action == DUPLICATE:
+                        duplicated += 1
+                        copies = 2
+                    elif action == CORRUPT:
+                        corrupted += 1
+                        payload = injector.corrupted_payload(
+                            send_round, v, neighbor, count - 1
+                        )
                 box = pending[j]
                 if box is None:
-                    pending[j] = {v: [payload]}
+                    pending[j] = {v: [payload] * copies}
                     pending_ids_add(j)
                 else:
                     lst = box.get(v)
                     if lst is None:
-                        box[v] = [payload]
+                        box[v] = [payload] * copies
                     else:
                         lst.append(payload)
+                        if copies == 2:
+                            lst.append(payload)
         if max_bits > self.metrics.max_message_bits:
             self.metrics.max_message_bits = max_bits
-        self._inflight = (per_edge, messages, bits)
+        self._inflight = (
+            per_edge,
+            messages,
+            bits,
+            (dropped, duplicated, corrupted) if injector is not None
+            else NO_FAULTS,
+        )

@@ -1,0 +1,305 @@
+"""Deterministic fault injection for the CONGEST engines.
+
+The paper's round-complexity theorems assume a perfectly synchronous,
+lossless network.  This module lets experiments *remove* that
+assumption in a controlled way: a :class:`FaultPlan` declares message
+drop / duplicate / corrupt probabilities, scheduled link failures, and
+vertex crash rounds, and compiles into a :class:`FaultInjector` that
+both engines (:class:`~repro.congest.engine.FastEngine` and
+:class:`~repro.congest.reference.ReferenceEngine`) consult at delivery
+time.
+
+Determinism contract
+--------------------
+Every fault decision is a pure function of
+``(plan seed, send round, sender, receiver, per-edge sequence number)``
+via a keyed hash — *not* a sequentially drawn RNG stream.  Iteration
+order therefore cannot influence any decision, which is what makes
+faulted runs bit-identical across the two engines (pinned by
+``tests/test_faults.py``) and across repeated executions.
+
+Accounting semantics
+--------------------
+Fault decisions happen on the wire, *after* the sender has paid for the
+transmission: a dropped, duplicated, or corrupted message still counts
+once in ``total_messages`` / ``total_bits`` / per-edge congestion (and
+once against strict-mode capacity — a duplicate is the network's fault,
+not the sender's protocol violation).  What the channel then did is
+tracked separately in the ``messages_dropped`` / ``messages_duplicated``
+/ ``messages_corrupted`` / ``vertices_crashed`` counters of
+:class:`~repro.congest.metrics.CongestMetrics` and per round in
+:class:`~repro.congest.trace.RoundTrace`.
+
+Scoping
+-------
+Like tracing, fault injection is opt-in and zero-overhead when off:
+pass ``faults=FaultPlan(...)`` to ``CongestSimulator``, or open a
+:func:`use_faults` region to subject every simulator constructed inside
+(framework runs, whole experiment cells) to the same plan.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import FaultError
+from ..graph import edge_key
+
+#: Fault classification outcomes, in decision order.
+DELIVER = 0
+DROP = 1
+DUPLICATE = 2
+CORRUPT = 3
+
+#: Zero per-round fault counters: (dropped, duplicated, corrupted).
+NO_FAULTS: Tuple[int, int, int] = (0, 0, 0)
+
+
+class CorruptedPayload:
+    """Deterministic stand-in delivered in place of a corrupted message.
+
+    Algorithms that inspect payload shapes can detect it (the
+    :mod:`repro.resilience` transport treats it as a lost frame and
+    retransmits); algorithms that don't will typically raise on it,
+    which the post-run validators report as a ``failed`` verdict rather
+    than a silently wrong number.  The nonce is derived from the same
+    keyed hash as the fault decision, so both engines deliver *equal*
+    corrupted payloads.
+    """
+
+    __slots__ = ("nonce",)
+
+    #: Wire size charged if an algorithm forwards a corrupted payload
+    #: (a tag plus a 32-bit garbage word); consumed by ``message_bits``.
+    congest_bits = 34
+
+    def __init__(self, nonce: int) -> None:
+        self.nonce = nonce
+
+    def __repr__(self) -> str:
+        return f"CorruptedPayload(0x{self.nonce:08x})"
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, CorruptedPayload) and other.nonce == self.nonce
+
+    def __hash__(self) -> int:
+        return hash(("CorruptedPayload", self.nonce))
+
+
+@dataclass(frozen=True)
+class LinkFailure:
+    """Undirected link ``{u, v}`` down for send rounds [start, end]."""
+
+    u: Any
+    v: Any
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise FaultError(
+                f"link failure window [{self.start}, {self.end}] is empty"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, fully deterministic description of what goes wrong.
+
+    ``drop`` / ``duplicate`` / ``corrupt`` are independent per-message
+    probabilities (their sum must stay <= 1; a single uniform draw per
+    message is partitioned between them).  ``link_failures`` silence an
+    undirected edge for a window of *send* rounds.  ``crashes`` maps a
+    vertex to the round at which it fail-stops: it never steps at or
+    after that round and its output is permanently ``None``.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    link_failures: Tuple[LinkFailure, ...] = ()
+    crashes: Tuple[Tuple[Any, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "corrupt"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultError(f"{name} rate {rate!r} outside [0, 1]")
+        if self.drop + self.duplicate + self.corrupt > 1.0 + 1e-12:
+            raise FaultError(
+                "drop + duplicate + corrupt rates sum past 1 "
+                f"({self.drop} + {self.duplicate} + {self.corrupt})"
+            )
+        # Normalize mutable inputs so plans hash and compare by value.
+        object.__setattr__(
+            self,
+            "link_failures",
+            tuple(
+                f if isinstance(f, LinkFailure) else LinkFailure(*f)
+                for f in self.link_failures
+            ),
+        )
+        object.__setattr__(
+            self, "crashes", tuple((v, int(r)) for v, r in self.crashes)
+        )
+
+    def is_empty(self) -> bool:
+        """True iff this plan can never inject anything."""
+        return (
+            self.drop == 0.0
+            and self.duplicate == 0.0
+            and self.corrupt == 0.0
+            and not self.link_failures
+            and not self.crashes
+        )
+
+    def compile(self) -> Optional["FaultInjector"]:
+        """The engine-facing hook, or ``None`` for an empty plan."""
+        if self.is_empty():
+            return None
+        return FaultInjector(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "drop": self.drop,
+            "duplicate": self.duplicate,
+            "corrupt": self.corrupt,
+            "link_failures": [
+                [f.u, f.v, f.start, f.end] for f in self.link_failures
+            ],
+            "crashes": [[v, r] for v, r in self.crashes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls(
+            seed=data.get("seed", 0),
+            drop=data.get("drop", 0.0),
+            duplicate=data.get("duplicate", 0.0),
+            corrupt=data.get("corrupt", 0.0),
+            link_failures=tuple(
+                LinkFailure(u, v, start, end)
+                for u, v, start, end in data.get("link_failures", ())
+            ),
+            crashes=tuple(
+                (v, r) for v, r in data.get("crashes", ())
+            ),
+        )
+
+
+class FaultInjector:
+    """Compiled :class:`FaultPlan`, consulted by the engines per message.
+
+    One injector is built per simulator; it is stateless across calls
+    (every answer is recomputed from the keyed hash), so sharing or
+    rebuilding it cannot change any outcome.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._key = blake2b(
+            str(plan.seed).encode("utf-8"), digest_size=16
+        ).digest()
+        # Cumulative thresholds partitioning the unit interval.
+        self._drop_at = plan.drop
+        self._duplicate_at = plan.drop + plan.duplicate
+        self._corrupt_at = plan.drop + plan.duplicate + plan.corrupt
+        self._has_message_faults = self._corrupt_at > 0.0
+        self._links: Dict[Tuple, List[Tuple[int, int]]] = {}
+        for failure in plan.link_failures:
+            key = edge_key(failure.u, failure.v)
+            self._links.setdefault(key, []).append(
+                (failure.start, failure.end)
+            )
+        self._crashes: Dict[Any, int] = {}
+        for vertex, round_number in plan.crashes:
+            previous = self._crashes.get(vertex)
+            if previous is None or round_number < previous:
+                self._crashes[vertex] = round_number
+
+    # -- crash schedule -------------------------------------------------
+    def crash_round(self, vertex: Any) -> Optional[int]:
+        """Round at which ``vertex`` fail-stops, or None."""
+        return self._crashes.get(vertex)
+
+    # -- link schedule --------------------------------------------------
+    def link_down(self, u: Any, v: Any, send_round: int) -> bool:
+        """Is the undirected link {u, v} failed for this send round?"""
+        if not self._links:
+            return False
+        windows = self._links.get(edge_key(u, v))
+        if not windows:
+            return False
+        return any(start <= send_round <= end for start, end in windows)
+
+    # -- per-message classification -------------------------------------
+    def _hash64(self, send_round: int, sender: Any, receiver: Any,
+                seq: int) -> int:
+        token = f"{send_round}|{sender!r}|{receiver!r}|{seq}"
+        digest = blake2b(
+            token.encode("utf-8"), digest_size=8, key=self._key
+        ).digest()
+        return int.from_bytes(digest, "big")
+
+    def classify(self, send_round: int, sender: Any, receiver: Any,
+                 seq: int) -> int:
+        """DELIVER / DROP / DUPLICATE / CORRUPT for one transmission.
+
+        ``seq`` is the zero-based index of the message among those sent
+        over the same directed edge in the same round, which both
+        engines derive from the identical per-edge congestion count.
+        """
+        if not self._has_message_faults:
+            return DELIVER
+        unit = self._hash64(send_round, sender, receiver, seq) / 2.0 ** 64
+        if unit < self._drop_at:
+            return DROP
+        if unit < self._duplicate_at:
+            return DUPLICATE
+        if unit < self._corrupt_at:
+            return CORRUPT
+        return DELIVER
+
+    def corrupted_payload(self, send_round: int, sender: Any, receiver: Any,
+                          seq: int) -> CorruptedPayload:
+        """The deterministic garbage delivered for a corrupted message."""
+        nonce = self._hash64(send_round, sender, receiver, seq + 1_000_003)
+        return CorruptedPayload(nonce & 0xFFFFFFFF)
+
+
+# ----------------------------------------------------------------------
+# Session scoping: subject every simulator in a region to one plan.
+# ----------------------------------------------------------------------
+
+_ACTIVE_PLANS: List[FaultPlan] = []
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """The innermost :func:`use_faults` plan, if any."""
+    return _ACTIVE_PLANS[-1] if _ACTIVE_PLANS else None
+
+
+@contextlib.contextmanager
+def use_faults(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Apply ``plan`` to every simulator constructed in this region.
+
+    High-level entry points (``run_framework``, ``distributed_maxis``,
+    experiment cells) build many simulators internally; this is how a
+    whole pipeline is run under one fault model without threading a
+    plan through every call signature::
+
+        with use_faults(FaultPlan(seed=1, drop=0.05)):
+            result = run_framework(g, eps, solver=solver, seed=0)
+    """
+    if not isinstance(plan, FaultPlan):
+        raise FaultError(f"use_faults expects a FaultPlan, got {plan!r}")
+    _ACTIVE_PLANS.append(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE_PLANS.remove(plan)

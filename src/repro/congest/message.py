@@ -49,6 +49,11 @@ def _message_bits_general(payload: Any) -> int:
         return 8 * len(payload) + FIELD_OVERHEAD_BITS
     if isinstance(payload, (tuple, list)):
         return FIELD_OVERHEAD_BITS + sum(message_bits(item) for item in payload)
+    # Wire-level stand-ins (e.g. repro.congest.faults.CorruptedPayload)
+    # declare their own encoded size instead of extending this chain.
+    declared = getattr(type(payload), "congest_bits", None)
+    if isinstance(declared, int):
+        return declared
     raise TypeError(
         f"unsupported CONGEST payload type {type(payload).__name__!r}; "
         "send tuples of ints/floats/short strings"

@@ -31,6 +31,12 @@ class CongestMetrics:
     ``max_edge_congestion``
         max over (round, edge) of messages carried — Lemma 2.4 claims
         this is O(log n) for the random-walk router.
+    ``messages_dropped`` / ``messages_duplicated`` / ``messages_corrupted``
+        What the (injected-fault) channel did to transmissions that the
+        volume counters above already charged to the sender: see
+        :mod:`repro.congest.faults`.  All zero in a fault-free run.
+    ``vertices_crashed``
+        Vertices fail-stopped by a fault plan during this execution.
     """
 
     rounds: int = 0
@@ -39,10 +45,24 @@ class CongestMetrics:
     total_bits: int = 0
     max_message_bits: int = 0
     max_edge_congestion: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_corrupted: int = 0
+    vertices_crashed: int = 0
     messages_per_round: List[int] = field(default_factory=list)
 
-    def record_round(self, per_edge_counts: Dict, messages: int, bits: int) -> None:
-        """Fold one round of traffic into the aggregates."""
+    def record_round(
+        self,
+        per_edge_counts: Dict,
+        messages: int,
+        bits: int,
+        faults: "tuple[int, int, int] | None" = None,
+    ) -> None:
+        """Fold one round of traffic into the aggregates.
+
+        ``faults`` is the optional (dropped, duplicated, corrupted)
+        triple for the traffic delivered into this round.
+        """
         self.rounds += 1
         round_congestion = max(per_edge_counts.values(), default=0)
         self.effective_rounds += max(1, round_congestion)
@@ -50,6 +70,15 @@ class CongestMetrics:
         self.total_bits += bits
         self.max_edge_congestion = max(self.max_edge_congestion, round_congestion)
         self.messages_per_round.append(messages)
+        if faults is not None:
+            self.messages_dropped += faults[0]
+            self.messages_duplicated += faults[1]
+            self.messages_corrupted += faults[2]
+
+    def record_crashed(self, count: int) -> None:
+        """Account ``count`` vertices fail-stopped by a fault plan."""
+        if count > 0:
+            self.vertices_crashed += count
 
     def record_skipped(self, rounds: int) -> None:
         """Account a fast-forwarded quiescent stretch (no messages)."""
@@ -73,6 +102,14 @@ class CongestMetrics:
             max_edge_congestion=max(
                 self.max_edge_congestion, other.max_edge_congestion
             ),
+            messages_dropped=self.messages_dropped + other.messages_dropped,
+            messages_duplicated=(
+                self.messages_duplicated + other.messages_duplicated
+            ),
+            messages_corrupted=(
+                self.messages_corrupted + other.messages_corrupted
+            ),
+            vertices_crashed=self.vertices_crashed + other.vertices_crashed,
             messages_per_round=self.messages_per_round + other.messages_per_round,
         )
         return merged
@@ -109,6 +146,10 @@ class CongestMetrics:
             merged.max_edge_congestion = max(
                 merged.max_edge_congestion, m.max_edge_congestion
             )
+            merged.messages_dropped += m.messages_dropped
+            merged.messages_duplicated += m.messages_duplicated
+            merged.messages_corrupted += m.messages_corrupted
+            merged.vertices_crashed += m.vertices_crashed
         return merged
 
     def to_dict(self, include_per_round: bool = False) -> Dict:
@@ -125,6 +166,10 @@ class CongestMetrics:
             "total_bits": self.total_bits,
             "max_message_bits": self.max_message_bits,
             "max_edge_congestion": self.max_edge_congestion,
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+            "messages_corrupted": self.messages_corrupted,
+            "vertices_crashed": self.vertices_crashed,
         }
         if include_per_round:
             data["messages_per_round"] = list(self.messages_per_round)
@@ -139,12 +184,34 @@ class CongestMetrics:
             total_bits=data.get("total_bits", 0),
             max_message_bits=data.get("max_message_bits", 0),
             max_edge_congestion=data.get("max_edge_congestion", 0),
+            messages_dropped=data.get("messages_dropped", 0),
+            messages_duplicated=data.get("messages_duplicated", 0),
+            messages_corrupted=data.get("messages_corrupted", 0),
+            vertices_crashed=data.get("vertices_crashed", 0),
             messages_per_round=list(data.get("messages_per_round", [])),
         )
 
-    def summary(self) -> Dict[str, int]:
-        """Compact dict for reporting tables."""
+    def fault_summary(self) -> Dict[str, int]:
+        """The four fault counters as a dict (all zero when fault-free)."""
         return {
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+            "messages_corrupted": self.messages_corrupted,
+            "vertices_crashed": self.vertices_crashed,
+        }
+
+    @property
+    def faulted(self) -> bool:
+        """Did any injected fault actually fire during this execution?"""
+        return any(self.fault_summary().values())
+
+    def summary(self) -> Dict[str, int]:
+        """Compact dict for reporting tables.
+
+        Fault counters appear only when at least one fault fired, so
+        fault-free summaries keep their historical shape.
+        """
+        data = {
             "rounds": self.rounds,
             "effective_rounds": self.effective_rounds,
             "total_messages": self.total_messages,
@@ -152,3 +219,6 @@ class CongestMetrics:
             "max_message_bits": self.max_message_bits,
             "max_edge_congestion": self.max_edge_congestion,
         }
+        if self.faulted:
+            data.update(self.fault_summary())
+        return data

@@ -26,11 +26,13 @@ seeded runs) by the differential harness in
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Optional
 
+from ..errors import CrashedVertexError
 from ..graph import Graph
 from .algorithm import VertexAlgorithm
+from .faults import FaultPlan, active_fault_plan
 from .message import MessageBudget
 from .metrics import CongestMetrics
 from .trace import TraceRecorder, active_session
@@ -43,8 +45,23 @@ class SimulationResult:
     outputs: Dict[Any, Any]
     metrics: CongestMetrics
     halted: bool
+    #: Vertices fail-stopped by an injected fault plan during the run.
+    crashed: FrozenSet[Any] = field(default_factory=frozenset)
 
     def output_of(self, vertex: Any) -> Any:
+        """The vertex's output, refusing to read a crashed vertex.
+
+        Crashed vertices report ``None`` in :attr:`outputs`; reading
+        one through this accessor raises
+        :class:`~repro.errors.CrashedVertexError` so that resilience
+        experiments cannot silently treat a dead vertex's ``None`` as
+        a legitimate answer.
+        """
+        if vertex in self.crashed:
+            raise CrashedVertexError(
+                f"vertex {vertex!r} crashed during the run; "
+                "its output is not valid"
+            )
         return self.outputs[vertex]
 
 
@@ -118,6 +135,12 @@ class CongestSimulator:
         per executed round.  When ``None`` and a
         :class:`~repro.congest.trace.TraceSession` is active, a fresh
         recorder is attached automatically.
+    faults:
+        Optional :class:`~repro.congest.faults.FaultPlan` describing
+        injected message/link/vertex faults.  When ``None`` and a
+        :func:`~repro.congest.faults.use_faults` region is active, the
+        region's plan applies.  Empty plans compile to nothing, so the
+        fault-free hot path is untouched.
 
     Scheduling contract (see :class:`VertexAlgorithm`): a vertex is
     stepped in every round until it reports ``is_idle() == True`` after
@@ -135,6 +158,7 @@ class CongestSimulator:
         seed=None,
         engine: Optional[str] = None,
         trace: Optional[TraceRecorder] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         name = engine if engine is not None else _default_engine
         if name not in _ENGINES:
@@ -145,6 +169,9 @@ class CongestSimulator:
             session = active_session()
             if session is not None:
                 trace = session.new_recorder(f"{name}:n={graph.n}")
+        if faults is None:
+            faults = active_fault_plan()
+        injector = faults.compile() if faults is not None else None
         if name == "fast":
             from .engine import FastEngine as engine_cls
         else:
@@ -157,6 +184,7 @@ class CongestSimulator:
             capacity=capacity,
             seed=seed,
             trace=trace,
+            faults=injector,
         )
 
     # -- delegation ------------------------------------------------------
@@ -187,6 +215,11 @@ class CongestSimulator:
     @property
     def trace(self) -> Optional[TraceRecorder]:
         return self._engine.trace
+
+    @property
+    def faults(self):
+        """The compiled :class:`FaultInjector`, or ``None`` when fault-free."""
+        return self._engine.faults
 
     @property
     def rounds_executed(self) -> int:

@@ -24,6 +24,7 @@ from ..errors import MessageTooLargeError, ProtocolError
 from ..graph import Graph, canonical_vertex_order
 from .algorithm import VertexAlgorithm, VertexContext
 from .engine import _NO_TRAFFIC, build_vertex_state
+from .faults import CORRUPT, DROP, DUPLICATE, NO_FAULTS, FaultInjector
 from .message import MessageBudget, message_bits
 from .metrics import CongestMetrics
 from .trace import TraceRecorder
@@ -43,6 +44,7 @@ class ReferenceEngine:
         capacity: int = 1,
         seed=None,
         trace: Optional[TraceRecorder] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.graph = graph
         self.budget = budget if budget is not None else MessageBudget(graph.n)
@@ -50,6 +52,7 @@ class ReferenceEngine:
         self.capacity = capacity
         self.metrics = CongestMetrics()
         self.trace = trace
+        self.faults = faults
 
         order, contexts, algorithms = build_vertex_state(
             graph, algorithm_factory, seed
@@ -69,7 +72,17 @@ class ReferenceEngine:
         # Scheduled wakeups for idle vertices: vertex -> round number.
         self._wakeups: Dict[Any, int] = {}
         # Traffic awaiting delivery at the next executed round.
-        self._inflight: Tuple[Dict, int, int] = _NO_TRAFFIC
+        self._inflight: Tuple[Dict, int, int, Tuple[int, int, int]] = _NO_TRAFFIC
+        # Crash schedule, or None when the plan has no crashes.
+        if faults is not None and faults.plan.crashes:
+            self._crash_rounds: Optional[Dict[Any, int]] = {
+                v: faults.crash_round(v)
+                for v in order
+                if faults.crash_round(v) is not None
+            }
+        else:
+            self._crash_rounds = None
+        self._crashed: Set[Any] = set()
 
     # ------------------------------------------------------------------
     @property
@@ -81,8 +94,20 @@ class ReferenceEngine:
         """Execute until all vertices halt or ``max_rounds`` elapse."""
         from .network import SimulationResult
 
+        crash_rounds = self._crash_rounds
+        init_crashed = 0
         for v in self._order:
+            if crash_rounds is not None:
+                cr = crash_rounds.get(v)
+                if cr is not None and cr <= 0:
+                    # Fail-stopped before round 0: never initializes.
+                    self._contexts[v]._halted = True
+                    self._crashed.add(v)
+                    init_crashed += 1
+                    continue
             self._algorithms[v].initialize(self._contexts[v])
+        if init_crashed:
+            self.metrics.record_crashed(init_crashed)
         self._collect()
         self._runnable = {
             v for v in self._order if not self._contexts[v].halted
@@ -111,17 +136,33 @@ class ReferenceEngine:
                 next_round = target
                 due = self._due_vertices(next_round)
             self._round = next_round
-            per_edge, messages, bits = self._inflight
+            per_edge, messages, bits, fcounts = self._inflight
             self._inflight = _NO_TRAFFIC
-            self.metrics.record_round(per_edge, messages, bits)
+            if self.faults is None:
+                self.metrics.record_round(per_edge, messages, bits)
+            else:
+                self.metrics.record_round(per_edge, messages, bits, fcounts)
             live_before = sum(
                 1 for ctx in self._contexts.values() if not ctx.halted
             )
             stepped: List[Any] = []
+            crashed_now = 0
             for v in due:
                 ctx = self._contexts[v]
                 if ctx.halted:
                     continue
+                if crash_rounds is not None:
+                    cr = crash_rounds.get(v)
+                    if cr is not None and next_round >= cr:
+                        # Fail-stop: the vertex never steps at or after
+                        # its crash round and its mail dies with it.
+                        ctx._halted = True
+                        ctx._output = None
+                        self._crashed.add(v)
+                        crashed_now += 1
+                        self._pending[v] = {}
+                        self._has_pending.discard(v)
+                        continue
                 ctx.round_number = self._round
                 inbox = self._pending[v]
                 self._pending[v] = {}
@@ -130,6 +171,8 @@ class ReferenceEngine:
                 stepped.append(v)
             self._collect()
             self._reschedule(stepped)
+            if crashed_now:
+                self.metrics.record_crashed(crashed_now)
             if self.trace is not None:
                 live_after = sum(
                     1 for ctx in self._contexts.values() if not ctx.halted
@@ -140,14 +183,21 @@ class ReferenceEngine:
                     messages=messages,
                     bits=bits,
                     stepped=len(stepped),
-                    idle=live_before - len(stepped),
+                    idle=live_before - len(stepped) - crashed_now,
                     halted=len(self._order) - live_after,
                     skipped_before=skipped,
+                    dropped=fcounts[0],
+                    duplicated=fcounts[1],
+                    corrupted=fcounts[2],
+                    crashed=crashed_now,
                 )
 
         outputs = {v: self._contexts[v].output for v in self._order}
         return SimulationResult(
-            outputs=outputs, metrics=self.metrics, halted=self._all_halted()
+            outputs=outputs,
+            metrics=self.metrics,
+            halted=self._all_halted(),
+            crashed=frozenset(self._crashed),
         )
 
     # ------------------------------------------------------------------
@@ -170,6 +220,16 @@ class ReferenceEngine:
             algo = self._algorithms[v]
             if algo.is_idle(ctx):
                 wake = algo.next_wakeup(ctx)
+                if self._crash_rounds is not None:
+                    # Clamp the wakeup so a scheduled crash is noticed
+                    # at its exact round even while the vertex is idle.
+                    cr = self._crash_rounds.get(v)
+                    if (
+                        cr is not None
+                        and cr > self._round
+                        and (wake is None or cr < wake)
+                    ):
+                        wake = cr
                 if wake is not None and wake > self._round:
                     self._wakeups[v] = wake
             else:
@@ -185,6 +245,9 @@ class ReferenceEngine:
         bits = 0
         max_bits = 0
         budget_bits = self.budget.bits
+        injector = self.faults
+        send_round = self._round
+        dropped = duplicated = corrupted = 0
         for v in self._order:
             ctx = self._contexts[v]
             outbox = ctx._drain_outbox()
@@ -208,8 +271,39 @@ class ReferenceEngine:
                     )
                 messages += 1
                 bits += size
-                self._pending[neighbor].setdefault(v, []).append(payload)
+                copies = 1
+                if injector is not None:
+                    # The sender has paid; what follows is the channel.
+                    # Fault decisions key on the per-edge sequence
+                    # number ``count - 1``, identical in both engines.
+                    if injector.link_down(v, neighbor, send_round):
+                        dropped += 1
+                        continue
+                    action = injector.classify(
+                        send_round, v, neighbor, count - 1
+                    )
+                    if action == DROP:
+                        dropped += 1
+                        continue
+                    if action == DUPLICATE:
+                        duplicated += 1
+                        copies = 2
+                    elif action == CORRUPT:
+                        corrupted += 1
+                        payload = injector.corrupted_payload(
+                            send_round, v, neighbor, count - 1
+                        )
+                inbox = self._pending[neighbor].setdefault(v, [])
+                inbox.append(payload)
+                if copies == 2:
+                    inbox.append(payload)
                 self._has_pending.add(neighbor)
         if max_bits > self.metrics.max_message_bits:
             self.metrics.max_message_bits = max_bits
-        self._inflight = (per_edge, messages, bits)
+        self._inflight = (
+            per_edge,
+            messages,
+            bits,
+            (dropped, duplicated, corrupted) if injector is not None
+            else NO_FAULTS,
+        )

@@ -37,6 +37,12 @@ class RoundTrace:
     :class:`~repro.congest.metrics.CongestMetrics`.  The congestion
     histogram maps per-directed-edge message multiplicity to the number
     of edges that carried that many messages this round.
+
+    ``dropped`` / ``duplicated`` / ``corrupted`` count what the
+    injected-fault channel (:mod:`repro.congest.faults`) did to the
+    traffic delivered into this round; ``crashed`` counts vertices that
+    fail-stopped *in* this round.  All four are zero in fault-free runs
+    and absent from historical JSONL files (read back as zero).
     """
 
     round: int
@@ -48,9 +54,13 @@ class RoundTrace:
     skipped_before: int
     max_congestion: int
     congestion_histogram: Dict[int, int] = field(default_factory=dict)
+    dropped: int = 0
+    duplicated: int = 0
+    corrupted: int = 0
+    crashed: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "round": self.round,
             "messages": self.messages,
             "bits": self.bits,
@@ -65,6 +75,14 @@ class RoundTrace:
                 str(k): v for k, v in sorted(self.congestion_histogram.items())
             },
         }
+        # Fault counters appear only when a fault fired, keeping
+        # fault-free trace files byte-compatible with earlier versions.
+        if self.dropped or self.duplicated or self.corrupted or self.crashed:
+            data["dropped"] = self.dropped
+            data["duplicated"] = self.duplicated
+            data["corrupted"] = self.corrupted
+            data["crashed"] = self.crashed
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RoundTrace":
@@ -80,6 +98,10 @@ class RoundTrace:
             congestion_histogram={
                 int(k): v for k, v in data["congestion_histogram"].items()
             },
+            dropped=data.get("dropped", 0),
+            duplicated=data.get("duplicated", 0),
+            corrupted=data.get("corrupted", 0),
+            crashed=data.get("crashed", 0),
         )
 
 
@@ -101,6 +123,10 @@ class TraceRecorder:
         idle: int,
         halted: int,
         skipped_before: int,
+        dropped: int = 0,
+        duplicated: int = 0,
+        corrupted: int = 0,
+        crashed: int = 0,
     ) -> None:
         histogram: Dict[int, int] = {}
         for count in per_edge_counts.values():
@@ -116,6 +142,10 @@ class TraceRecorder:
                 skipped_before=skipped_before,
                 max_congestion=max(histogram, default=0),
                 congestion_histogram=histogram,
+                dropped=dropped,
+                duplicated=duplicated,
+                corrupted=corrupted,
+                crashed=crashed,
             )
         )
 
@@ -133,14 +163,27 @@ class TraceRecorder:
     def max_congestion(self) -> int:
         return max((r.max_congestion for r in self.rounds), default=0)
 
-    def summary(self) -> Dict[str, int]:
+    def total_faults(self) -> Dict[str, int]:
+        """Summed per-round fault counters (all zero when fault-free)."""
         return {
+            "dropped": sum(r.dropped for r in self.rounds),
+            "duplicated": sum(r.duplicated for r in self.rounds),
+            "corrupted": sum(r.corrupted for r in self.rounds),
+            "crashed": sum(r.crashed for r in self.rounds),
+        }
+
+    def summary(self) -> Dict[str, int]:
+        data = {
             "recorded_rounds": len(self.rounds),
             "total_rounds": self.total_rounds(),
             "total_messages": self.total_messages(),
             "total_bits": self.total_bits(),
             "max_congestion": self.max_congestion(),
         }
+        faults = self.total_faults()
+        if any(faults.values()):
+            data.update(faults)
+        return data
 
     # -- export / import ------------------------------------------------
     def to_dicts(self) -> List[Dict[str, Any]]:

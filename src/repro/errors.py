@@ -69,3 +69,26 @@ class RoutingError(ReproError):
 
 class SolverError(ReproError):
     """An exact combinatorial solver was used outside its valid range."""
+
+
+class FaultError(ReproError):
+    """A fault-injection plan is malformed or misapplied.
+
+    Raised when a :class:`repro.congest.faults.FaultPlan` carries
+    invalid parameters (rates outside [0, 1], rates summing past 1,
+    non-positive failure windows) or is applied in a way the fault
+    model forbids.  Faults themselves never raise — an injected drop,
+    duplicate, corruption, or crash is a *simulated* event, recorded in
+    the metrics and trace rather than surfaced as an exception.
+    """
+
+
+class CrashedVertexError(FaultError):
+    """The output of a crashed vertex was read as if it were valid.
+
+    A vertex crashed by a fault plan halts with no output; reading its
+    "result" through :meth:`SimulationResult.output_of` would silently
+    treat ``None`` as a computed answer.  This error makes that misuse
+    loud, which is how faulted experiments stay "correct / degraded /
+    failed" instead of silently wrong.
+    """

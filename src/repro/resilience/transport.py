@@ -1,0 +1,214 @@
+"""Reliable transport over a faulty CONGEST channel.
+
+:class:`ReliableAlgorithm` wraps any :class:`VertexAlgorithm` in an
+ack/retransmit protocol so that the wrapped algorithm sees a lossless
+(but higher-latency) network even when the simulator is injecting
+message faults (:mod:`repro.congest.faults`):
+
+* every application payload travels in a ``("DAT", seq, payload)``
+  frame with a per-receiver sequence number and is acknowledged by a
+  ``("ACK", seq)`` frame;
+* unacknowledged frames are retransmitted after ``timeout`` rounds,
+  backing off exponentially (doubling per attempt) up to
+  ``max_backoff`` rounds between attempts, and are abandoned after
+  ``max_attempts`` transmissions (a crashed receiver would otherwise
+  hold the sender hostage forever);
+* duplicated frames are discarded by sequence number, corrupted frames
+  (:class:`~repro.congest.faults.CorruptedPayload` or anything else
+  that is not a well-formed frame) are dropped and recovered by the
+  sender's retransmission;
+* frames are *delivered in sequence order* per sender, preserving the
+  FIFO link semantics the fault-free simulator provides.
+
+The wrapper is deterministic: its behavior is a pure function of the
+frames it receives, so wrapped runs stay bit-identical across the two
+engines just like unwrapped ones.
+
+Cost model: the wrapper pays for what it sends.  Each data frame
+carries a tag and a sequence number on top of the payload, acks are
+extra messages, and retransmissions are charged like any other
+traffic — the experiments in E11 report exactly how much reliability
+costs under each fault rate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..congest.algorithm import VertexAlgorithm, VertexContext
+
+#: Frame tags (short strings: cheap under the bit-accounting model).
+DATA = "D"
+ACK = "A"
+
+
+class _FlowState:
+    """Per-neighbor transport state (one direction each way)."""
+
+    __slots__ = ("next_seq", "unacked", "next_deliver", "buffer")
+
+    def __init__(self) -> None:
+        self.next_seq = 0  # next sequence number to assign
+        # seq -> [payload, next_retry_round, attempts]
+        self.unacked: Dict[int, List[Any]] = {}
+        self.next_deliver = 0  # next in-order seq owed to the inner
+        self.buffer: Dict[int, Any] = {}  # out-of-order holdback
+
+
+class ReliableAlgorithm(VertexAlgorithm):
+    """Ack/retransmit wrapper making ``inner`` loss-tolerant.
+
+    Parameters
+    ----------
+    inner:
+        The vertex program to protect.
+    timeout:
+        Rounds to wait for an ack before the first retransmission.
+    max_backoff:
+        Cap on the exponentially growing retry interval, in rounds.
+    max_attempts:
+        Total transmissions (first send + retries) before a frame is
+        abandoned; abandoning is what lets a sender finish when its
+        peer has crashed.
+    """
+
+    def __init__(
+        self,
+        inner: VertexAlgorithm,
+        timeout: int = 4,
+        max_backoff: int = 64,
+        max_attempts: int = 10,
+    ) -> None:
+        if timeout < 1:
+            raise ValueError("timeout must be at least one round")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.inner = inner
+        self.timeout = timeout
+        self.max_backoff = max_backoff
+        self.max_attempts = max_attempts
+        self._inner_ctx: Optional[VertexContext] = None
+        self._flows: Dict[Any, _FlowState] = {}
+        # Observability: what the transport had to absorb.
+        self.retransmissions = 0
+        self.duplicates_discarded = 0
+        self.invalid_discarded = 0
+        self.abandoned = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def initialize(self, ctx: VertexContext) -> None:
+        # The inner algorithm runs against its own context so its
+        # sends can be intercepted and framed.  It shares the outer
+        # RNG seed, so a wrapped algorithm draws the same stream it
+        # would have drawn unwrapped.
+        self._inner_ctx = VertexContext(
+            vertex=ctx.vertex,
+            neighbors=ctx.neighbors,
+            edge_weights=ctx.edge_weights,
+            n=ctx.n,
+            rng=ctx._rng,
+            rng_seed=ctx._rng_seed,
+        )
+        self._flows = {u: _FlowState() for u in ctx.neighbors}
+        self.inner.initialize(self._inner_ctx)
+        self._ship_outbox(ctx)
+
+    def step(self, ctx: VertexContext, inbox: Dict[Any, List[Any]]) -> None:
+        inner_ctx = self._inner_ctx
+        assert inner_ctx is not None, "step before initialize"
+        round_number = ctx.round_number
+
+        # 1. Absorb incoming frames: acks clear pending state, data
+        #    frames are acked and queued for in-order delivery.
+        delivered: Dict[Any, List[Any]] = {}
+        for sender, payloads in inbox.items():
+            flow = self._flows[sender]
+            for frame in payloads:
+                # CorruptedPayload (and any other malformed frame)
+                # fails the shape check and is treated as lost.
+                if type(frame) is not tuple or len(frame) < 2:
+                    self.invalid_discarded += 1
+                    continue
+                tag = frame[0]
+                if tag == ACK and len(frame) == 2:
+                    flow.unacked.pop(frame[1], None)
+                elif tag == DATA and len(frame) == 3:
+                    seq = frame[1]
+                    # Always re-ack: the previous ack may have been lost.
+                    ctx.send(sender, (ACK, seq))
+                    if seq < flow.next_deliver or seq in flow.buffer:
+                        self.duplicates_discarded += 1
+                        continue
+                    flow.buffer[seq] = frame[2]
+                    while flow.next_deliver in flow.buffer:
+                        delivered.setdefault(sender, []).append(
+                            flow.buffer.pop(flow.next_deliver)
+                        )
+                        flow.next_deliver += 1
+                else:
+                    self.invalid_discarded += 1
+
+        # 2. Step the inner algorithm with whatever became deliverable.
+        if not inner_ctx.halted:
+            inner_ctx.round_number = round_number
+            self.inner.step(inner_ctx, delivered)
+            self._ship_outbox(ctx)
+
+        # 3. Retransmit overdue frames with capped exponential backoff.
+        for neighbor, flow in self._flows.items():
+            if not flow.unacked:
+                continue
+            for seq in sorted(flow.unacked):
+                entry = flow.unacked[seq]
+                if entry[1] > round_number:
+                    continue
+                if entry[2] >= self.max_attempts:
+                    del flow.unacked[seq]
+                    self.abandoned += 1
+                    continue
+                ctx.send(neighbor, (DATA, seq, entry[0]))
+                entry[2] += 1
+                self.retransmissions += 1
+                entry[1] = round_number + min(
+                    self.timeout * 2 ** (entry[2] - 1), self.max_backoff
+                )
+
+        # 4. Halt once the inner has halted and nothing is in flight.
+        if inner_ctx.halted and not any(
+            flow.unacked for flow in self._flows.values()
+        ):
+            ctx.halt(inner_ctx.output)
+
+    # -- helpers --------------------------------------------------------
+    def _ship_outbox(self, ctx: VertexContext) -> None:
+        """Frame and send everything the inner algorithm queued."""
+        round_number = ctx.round_number
+        for neighbor, payload in self._inner_ctx._drain_outbox():
+            flow = self._flows[neighbor]
+            seq = flow.next_seq
+            flow.next_seq += 1
+            ctx.send(neighbor, (DATA, seq, payload))
+            flow.unacked[seq] = [payload, round_number + self.timeout, 1]
+
+
+def reliable(
+    inner_factory: Callable[[Any], VertexAlgorithm],
+    timeout: int = 4,
+    max_backoff: int = 64,
+    max_attempts: int = 10,
+) -> Callable[[Any], ReliableAlgorithm]:
+    """Lift an algorithm factory into its reliable-transport version.
+
+    ``CongestSimulator(g, reliable(lambda v: Flood(10)), ...)`` runs
+    the flood over the ack/retransmit wrapper on every vertex.
+    """
+
+    def factory(vertex: Any) -> ReliableAlgorithm:
+        return ReliableAlgorithm(
+            inner_factory(vertex),
+            timeout=timeout,
+            max_backoff=max_backoff,
+            max_attempts=max_attempts,
+        )
+
+    return factory

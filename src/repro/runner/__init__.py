@@ -12,12 +12,14 @@ order rather than completion order.
 """
 
 from .cells import CellResult, ExperimentCell
-from .executor import SuiteRun, run_suite
+from .executor import QuarantinedCell, RecoveryStats, SuiteRun, run_suite
 from .suites import SUITES, execute_cell, suite_names
 
 __all__ = [
     "CellResult",
     "ExperimentCell",
+    "QuarantinedCell",
+    "RecoveryStats",
     "SuiteRun",
     "SUITES",
     "execute_cell",

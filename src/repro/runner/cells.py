@@ -54,3 +54,6 @@ class CellResult:
     trace_lines: List[str] = field(default_factory=list)
     elapsed: float = 0.0
     cache: Dict[str, int] = field(default_factory=dict)
+    #: Executions it took the executor to land this result (1 = first
+    #: try; >1 means the self-healing retry path was exercised).
+    attempts: int = 1

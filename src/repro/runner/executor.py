@@ -15,16 +15,41 @@ inherited) — the differential tests exercise spawn explicitly.  The
 *default* start method prefers ``fork`` where the platform offers it,
 because spawning a worker re-imports numpy/scipy (~0.5 s each) and
 that fixed cost would swamp sub-second suite grids.
+
+Self-healing: long sweeps die to one bad cell far more often than to
+anything else, so the parallel path is built to *absorb* cell failure
+instead of aborting the suite:
+
+* a cell that raises is retried up to ``retries`` times with a
+  deterministic jittered exponential backoff;
+* a cell that exceeds ``cell_timeout`` wall-clock seconds is killed
+  with its (hung) worker — the pool is torn down, innocent in-flight
+  cells are resubmitted without being charged an attempt, and the
+  pool is rebuilt;
+* a worker that dies outright (``BrokenProcessPool``) likewise
+  triggers a rebuild, charging an attempt to every cell that was in
+  flight (the culprit cannot be identified from the parent);
+* a cell that exhausts its attempts is **quarantined**: recorded in
+  ``SuiteRun.quarantined`` (and ``--stats-json``), excluded from the
+  merged table, and the rest of the suite completes normally.
+
+``Ctrl-C`` (or any other exception escaping the scheduling loop)
+cancels all queued work and abandons the pool without waiting on hung
+workers, so an interrupted ``repro bench`` returns to the prompt
+promptly instead of leaking a process pool.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
 
 from ..cache import ArtifactCache, CacheStats, activate
 from ..congest import CongestMetrics
@@ -34,6 +59,14 @@ from .suites import SUITES, execute_cell
 #: Worker-process-global cache, installed by the pool initializer so the
 #: in-memory tier persists across the cells one worker executes.
 _WORKER_CACHE: Optional[ArtifactCache] = None
+
+#: First-retry backoff in seconds; doubles per attempt up to the cap.
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 2.0
+
+#: How long the scheduling loop sleeps waiting for completions before
+#: re-checking deadlines, in seconds.
+_POLL_SECONDS = 0.05
 
 
 def _worker_init(cache_root: Optional[str], use_cache: bool,
@@ -58,6 +91,58 @@ def default_start_method() -> str:
     return "spawn"
 
 
+def _backoff_seconds(suite: str, index: int, attempt: int) -> float:
+    """Deterministic jittered exponential backoff before a retry.
+
+    Seeding the jitter from the (suite, cell, attempt) coordinates
+    keeps reruns reproducible while still de-synchronizing cells that
+    failed together (e.g. all victims of one pool rebuild).
+    """
+    base = min(_BACKOFF_BASE * 2 ** (attempt - 1), _BACKOFF_CAP)
+    jitter = random.Random(f"{suite}:{index}:{attempt}").uniform(0.5, 1.0)
+    return base * jitter
+
+
+@dataclass
+class QuarantinedCell:
+    """A cell excluded from the merge after exhausting its attempts."""
+
+    suite: str
+    index: int
+    label: str
+    attempts: int
+    reason: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "suite": self.suite,
+            "index": self.index,
+            "label": self.label,
+            "attempts": self.attempts,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class RecoveryStats:
+    """What the self-healing machinery had to do during one run."""
+
+    retries: int = 0        # resubmissions after a failed attempt
+    timeouts: int = 0       # cells killed for exceeding cell_timeout
+    pool_rebuilds: int = 0  # pools torn down (hung worker / broken pool)
+
+    @property
+    def intervened(self) -> bool:
+        return bool(self.retries or self.timeouts or self.pool_rebuilds)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+        }
+
+
 @dataclass
 class SuiteRun:
     """The merged outcome of one suite execution."""
@@ -67,6 +152,8 @@ class SuiteRun:
     use_cache: bool
     results: List[CellResult] = field(default_factory=list)
     wall_seconds: float = 0.0
+    quarantined: List[QuarantinedCell] = field(default_factory=list)
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
 
     @property
     def spec(self):
@@ -109,6 +196,8 @@ class SuiteRun:
             "cache": stats,
             "wall_seconds": round(self.wall_seconds, 4),
             "compute_seconds": round(self.compute_seconds(), 4),
+            "quarantined": [q.as_dict() for q in self.quarantined],
+            "recovery": self.recovery.as_dict(),
         }
 
 
@@ -121,6 +210,8 @@ def run_suite(
     mp_start: Optional[str] = None,
     limit: Optional[int] = None,
     trace: bool = False,
+    cell_timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> SuiteRun:
     """Execute every cell of suite ``name`` and merge deterministically.
 
@@ -129,13 +220,26 @@ def run_suite(
     first ``limit`` cells (suites order cells smallest-first precisely
     so this is a cheap smoke slice).  Results always come back sorted
     by cell index, never by completion order.
+
+    ``retries`` grants each cell that many extra attempts after a
+    failure; ``cell_timeout`` bounds one attempt's wall-clock seconds
+    (parallel runs only — an inline cell cannot be interrupted from
+    within its own process).  Cells that exhaust their attempts are
+    quarantined rather than aborting the suite; see the module
+    docstring for the full recovery policy.
     """
     if name not in SUITES:
         raise KeyError(f"unknown suite {name!r} (known: {sorted(SUITES)})")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
     cells = SUITES[name].cells()
     if limit is not None:
         cells = cells[:max(0, limit)]
+    labels = {cell.index: cell.label for cell in cells}
     indices = [cell.index for cell in cells]
+    quarantined: List[QuarantinedCell] = []
+    recovery = RecoveryStats()
+    max_attempts = 1 + retries
 
     start = time.perf_counter()
     if jobs <= 1 or len(indices) <= 1:
@@ -143,27 +247,219 @@ def run_suite(
             ArtifactCache(root=cache_root, memory_items=memory_items)
             if use_cache else None
         )
+        results: List[CellResult] = []
         with activate(cache):
-            results = [execute_cell(name, i, trace=trace) for i in indices]
+            for i in indices:
+                attempt = 1
+                while True:
+                    try:
+                        result = execute_cell(name, i, trace=trace)
+                        result.attempts = attempt
+                        results.append(result)
+                        break
+                    except Exception as exc:
+                        if attempt >= max_attempts:
+                            quarantined.append(QuarantinedCell(
+                                suite=name,
+                                index=i,
+                                label=labels[i],
+                                attempts=attempt,
+                                reason=f"{type(exc).__name__}: {exc}",
+                            ))
+                            break
+                        recovery.retries += 1
+                        time.sleep(_backoff_seconds(name, i, attempt))
+                        attempt += 1
         effective_jobs = 1
     else:
         effective_jobs = min(jobs, len(indices))
-        context = multiprocessing.get_context(mp_start or default_start_method())
-        tasks = [(name, i, trace) for i in indices]
-        with ProcessPoolExecutor(
-            max_workers=effective_jobs,
-            mp_context=context,
-            initializer=_worker_init,
-            initargs=(cache_root, use_cache, memory_items),
-        ) as pool:
-            results = list(pool.map(_worker_run_cell, tasks, chunksize=1))
+        results = _run_parallel(
+            name=name,
+            indices=indices,
+            labels=labels,
+            trace=trace,
+            jobs=effective_jobs,
+            mp_start=mp_start,
+            cache_root=cache_root,
+            use_cache=use_cache,
+            memory_items=memory_items,
+            cell_timeout=cell_timeout,
+            max_attempts=max_attempts,
+            quarantined=quarantined,
+            recovery=recovery,
+        )
     wall = time.perf_counter() - start
 
     results.sort(key=lambda r: r.index)
+    quarantined.sort(key=lambda q: q.index)
     return SuiteRun(
         name=name,
         jobs=effective_jobs,
         use_cache=use_cache,
         results=results,
         wall_seconds=wall,
+        quarantined=quarantined,
+        recovery=recovery,
     )
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on hung or dead workers.
+
+    ``shutdown(wait=False)`` alone leaves a hung worker running
+    forever; the only way to reclaim it is to terminate the worker
+    processes directly.  ``_processes`` is private but stable across
+    the CPython versions we support, and the fallback is merely a
+    leaked process, not an error.  The snapshot must be taken *before*
+    ``shutdown``, which clears the attribute.
+    """
+    processes = dict(getattr(pool, "_processes", None) or {})
+    for process in processes.values():
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_parallel(
+    name: str,
+    indices: List[int],
+    labels: Dict[int, str],
+    trace: bool,
+    jobs: int,
+    mp_start: Optional[str],
+    cache_root: Optional[str],
+    use_cache: bool,
+    memory_items: int,
+    cell_timeout: Optional[float],
+    max_attempts: int,
+    quarantined: List[QuarantinedCell],
+    recovery: RecoveryStats,
+) -> List[CellResult]:
+    """The submit-driven scheduling loop with recovery; see module doc.
+
+    Invariant: at most ``jobs`` futures are ever in flight, which with
+    ``max_workers=jobs`` means every submitted future is *running* —
+    so a future older than ``cell_timeout`` really is a stuck attempt,
+    not one starving in the pool's queue.
+    """
+    context = multiprocessing.get_context(mp_start or default_start_method())
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(cache_root, use_cache, memory_items),
+        )
+
+    def charge_attempt(index: int, attempt: int, reason: str,
+                       now: float) -> None:
+        """A failed attempt: retry with backoff or quarantine."""
+        if attempt >= max_attempts:
+            quarantined.append(QuarantinedCell(
+                suite=name,
+                index=index,
+                label=labels[index],
+                attempts=attempt,
+                reason=reason,
+            ))
+        else:
+            recovery.retries += 1
+            heappush(
+                delayed,
+                (now + _backoff_seconds(name, index, attempt),
+                 index, attempt + 1),
+            )
+
+    results: List[CellResult] = []
+    ready: List[Tuple[int, int]] = [(i, 1) for i in indices]  # (index, attempt)
+    ready.reverse()  # pop() takes grid order
+    delayed: List[Tuple[float, int, int]] = []  # (release time, index, attempt)
+    in_flight: Dict = {}  # future -> (index, attempt, deadline or None)
+    pool = make_pool()
+    try:
+        while ready or delayed or in_flight:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _, index, attempt = heappop(delayed)
+                ready.append((index, attempt))
+            while ready and len(in_flight) < jobs:
+                index, attempt = ready.pop()
+                future = pool.submit(_worker_run_cell, (name, index, trace))
+                deadline = (
+                    now + cell_timeout if cell_timeout is not None else None
+                )
+                in_flight[future] = (index, attempt, deadline)
+            if not in_flight:
+                # Everything is backing off; sleep to the next release.
+                time.sleep(max(0.0, min(delayed[0][0] - now, _BACKOFF_CAP)))
+                continue
+
+            done, _ = wait(
+                list(in_flight),
+                timeout=_POLL_SECONDS,
+                return_when=FIRST_COMPLETED,
+            )
+            now = time.monotonic()
+
+            pool_broken = False
+            for future in done:
+                index, attempt, _ = in_flight.pop(future)
+                try:
+                    result = future.result()
+                    result.attempts = attempt
+                    results.append(result)
+                except BrokenProcessPool:
+                    pool_broken = True
+                    charge_attempt(
+                        index, attempt, "worker process died", now
+                    )
+                except Exception as exc:
+                    charge_attempt(
+                        index, attempt,
+                        f"{type(exc).__name__}: {exc}", now,
+                    )
+
+            overdue = [
+                future
+                for future, (_, _, deadline) in in_flight.items()
+                if deadline is not None and deadline <= now
+            ]
+            if overdue:
+                # A hung worker cannot be interrupted from the parent:
+                # kill the whole pool, charge the overdue cells, and
+                # resubmit the innocent bystanders at no attempt cost.
+                recovery.timeouts += len(overdue)
+                for future in overdue:
+                    index, attempt, _ = in_flight.pop(future)
+                    charge_attempt(
+                        index, attempt,
+                        f"timed out after {cell_timeout:.1f}s", now,
+                    )
+                pool_broken = True
+
+            if pool_broken:
+                recovery.pool_rebuilds += 1
+                for future, (index, attempt, _) in in_flight.items():
+                    if future.done() and future.exception() is None:
+                        result = future.result()
+                        result.attempts = attempt
+                        results.append(result)
+                    else:
+                        ready.append((index, attempt))
+                in_flight.clear()
+                _terminate_pool(pool)
+                pool = make_pool()
+    finally:
+        # Normal exit leaves nothing queued, so this is a clean close.
+        # On KeyboardInterrupt (or any escaping error) it cancels all
+        # pending work and abandons hung workers instead of blocking.
+        if in_flight:
+            for future in in_flight:
+                future.cancel()
+            _terminate_pool(pool)
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
+    return results

@@ -41,6 +41,9 @@ class SuiteSpec:
     description: str
     build_cells: Callable[[], List[ExperimentCell]]
     cell_fn: Callable[[ExperimentCell], Tuple[List[Tuple], Optional[Dict], Dict]]
+    #: Hidden suites are omitted from :func:`suite_names` (and thus the
+    #: CLI default sweep); they exist for the runner's own tests.
+    hidden: bool = False
 
     def cells(self) -> List[ExperimentCell]:
         return self.build_cells()
@@ -224,6 +227,132 @@ def _run_e10(cell: ExperimentCell):
 
 
 # ----------------------------------------------------------------------
+# E11 — fault tolerance: graded verdicts under increasing drop rates
+# ----------------------------------------------------------------------
+
+_E11_GRAPH = {"n": 48, "seed": 41}
+_E11_DROPS = (0.0, 0.01, 0.05, 0.2)
+_E11_ALGORITHMS = ("maxis", "framework")
+_E11_EPSILON = 0.9
+_E11_PHI = 0.05
+
+
+def _e11_cells() -> List[ExperimentCell]:
+    cells = []
+    # Drop-major with the cheap algorithm first, so cell 0 (the CI
+    # fault-smoke slice) is the fault-free maxis run with a forced
+    # `correct` verdict.
+    for drop in _E11_DROPS:
+        for algorithm in _E11_ALGORITHMS:
+            cells.append(ExperimentCell(
+                suite="E11",
+                index=len(cells),
+                label=f"E11[{algorithm},drop={drop}]",
+                params={
+                    "generator": "delaunay",
+                    "generator_params": dict(_E11_GRAPH),
+                    "algorithm": algorithm,
+                    "drop": drop,
+                    "fault_seed": 1100 + len(cells),
+                    "epsilon": _E11_EPSILON,
+                    "phi": _E11_PHI,
+                    "seed": 5,
+                },
+            ))
+    return cells
+
+
+def _run_e11(cell: ExperimentCell):
+    from ..congest import FaultPlan, use_faults
+    from ..resilience import (
+        Verdict,
+        validate_framework,
+        validate_independent_set,
+    )
+
+    p = cell.params
+    g = cached_graph(p["generator"], p["generator_params"])
+    plan = FaultPlan(seed=p["fault_seed"], drop=p["drop"])
+    metrics = None
+    # Message loss may break the run outright (a gather that cannot
+    # verify, a protocol that trips an invariant): that is a graded
+    # outcome for this suite, not an error.
+    try:
+        with use_faults(plan):
+            if p["algorithm"] == "maxis":
+                from ..independent_set.greedy import luby_mis
+
+                mis, result = luby_mis(g, seed=p["seed"])
+                metrics = result.metrics
+                verdict = validate_independent_set(g, mis)
+            else:
+                from ..core.framework import run_framework
+
+                result = run_framework(
+                    g, p["epsilon"], solver=_degree_solver,
+                    phi=p["phi"], seed=p["seed"],
+                )
+                metrics = result.metrics
+                verdict = validate_framework(result)
+    except Exception as exc:  # noqa: BLE001 — graded, not propagated
+        verdict = Verdict.failed(f"{type(exc).__name__}: {exc}")
+    row = (
+        p["algorithm"], p["drop"], g.n,
+        metrics.rounds if metrics is not None else 0,
+        metrics.total_messages if metrics is not None else 0,
+        metrics.messages_dropped if metrics is not None else 0,
+        verdict.label(),
+    )
+    extra = {"verdict": verdict.to_dict()}
+    return [row], metrics.to_dict() if metrics is not None else None, extra
+
+
+# ----------------------------------------------------------------------
+# CHAOS — hidden suite driving the executor's recovery machinery
+# ----------------------------------------------------------------------
+
+#: Cell misbehavior schedule.  With ``REPRO_CHAOS_DIR`` unset every
+#: cell is healthy, so the healthy subset of a chaos run can be
+#: compared byte-for-byte against a fault-free serial run.  Ordered so
+#: ``--limit`` slices isolate behaviors: limit=2 exercises only the
+#: flaky retry path, limit=4 adds the hung worker, and only the full
+#: grid reaches the crashing cell.
+_CHAOS_BEHAVIORS = ("ok", "flaky", "ok", "hang", "ok", "crash")
+
+
+def _chaos_cells() -> List[ExperimentCell]:
+    return [
+        ExperimentCell(
+            suite="CHAOS",
+            index=i,
+            label=f"CHAOS[{i}:{behavior}]",
+            params={"behavior": behavior, "value": i},
+        )
+        for i, behavior in enumerate(_CHAOS_BEHAVIORS)
+    ]
+
+
+def _run_chaos(cell: ExperimentCell):
+    import os
+
+    behavior = cell.params["behavior"]
+    chaos_dir = os.environ.get("REPRO_CHAOS_DIR")
+    if chaos_dir:
+        if behavior == "crash":
+            os._exit(17)  # hard worker death -> BrokenProcessPool
+        if behavior == "hang":
+            time.sleep(3600)  # never returns; only cell_timeout saves us
+        if behavior == "flaky":
+            marker = os.path.join(chaos_dir, f"flaky-{cell.index}")
+            if not os.path.exists(marker):
+                with open(marker, "w") as handle:
+                    handle.write("attempted\n")
+                raise RuntimeError("injected flaky failure (first attempt)")
+    row = (cell.index, behavior, (cell.params["value"] + 1) * 10)
+    return [row], None, {}
+
+
+# ----------------------------------------------------------------------
 # Registry + the worker-side entry point
 # ----------------------------------------------------------------------
 
@@ -256,11 +385,31 @@ SUITES: Dict[str, SuiteSpec] = {
         build_cells=_e10_cells,
         cell_fn=_run_e10,
     ),
+    "E11": SuiteSpec(
+        name="E11",
+        title=("E11: fault tolerance (delaunay n=48, drop rate sweep, "
+               "graded verdicts)"),
+        columns=("algorithm", "drop", "n", "rounds", "messages", "dropped",
+                 "verdict"),
+        description="Graded algorithm outcomes under message-drop faults.",
+        build_cells=_e11_cells,
+        cell_fn=_run_e11,
+    ),
+    "CHAOS": SuiteSpec(
+        name="CHAOS",
+        title="CHAOS: executor recovery exercises (hidden)",
+        columns=("cell", "behavior", "value"),
+        description="Deliberately misbehaving cells for executor tests.",
+        build_cells=_chaos_cells,
+        cell_fn=_run_chaos,
+        hidden=True,
+    ),
 }
 
 
 def suite_names() -> List[str]:
-    return sorted(SUITES)
+    """Public suite names (hidden test-only suites excluded)."""
+    return sorted(name for name, spec in SUITES.items() if not spec.hidden)
 
 
 def execute_cell(

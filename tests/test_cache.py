@@ -113,9 +113,11 @@ def test_corrupted_entry_recomputes_not_crashes(tmp_path):
     with open(entries[0], "wb") as handle:
         handle.write(b"not a pickle")
 
-    g = cached_graph("cycle", {"n": 9}, cache=cache)
+    with pytest.warns(RuntimeWarning, match="evicting corrupt cache entry"):
+        g = cached_graph("cycle", {"n": 9}, cache=cache)
     assert g.n == 9
     assert cache.stats.corrupt == 1
+    assert cache.stats.evictions == 1
     assert cache.stats.misses == 2  # original + recompute
     # The rewritten entry is healthy again.
     cached_graph("cycle", {"n": 9}, cache=cache)
@@ -140,7 +142,7 @@ def test_stats_delta_accounting():
     stats.disk_hits += 1
     assert stats.delta_since(before) == {
         "memory_hits": 0, "disk_hits": 1, "misses": 2,
-        "stores": 0, "corrupt": 0,
+        "stores": 0, "corrupt": 0, "evictions": 0,
     }
     total = CacheStats().add(stats).add({"misses": 1})
     assert total.misses == 3 and total.lookups == 4

@@ -10,11 +10,16 @@ charged to ``effective_rounds``.
 
 import pytest
 
-from repro.congest import CongestSimulator, VertexAlgorithm
+from repro.congest import CongestSimulator, FaultPlan, VertexAlgorithm
 from repro.errors import ProtocolError
 from repro.generators import path_graph, star_graph
 
 ENGINES = ("fast", "reference")
+
+#: Duplicates every message (drop/corrupt off) — used to pin down that
+#: fault-injected copies are "on the wire" phenomena the *sender* is
+#: never charged for.
+DUPLICATE_ALL = FaultPlan(seed=0, duplicate=1.0)
 
 
 class BurstOnce(VertexAlgorithm):
@@ -79,6 +84,58 @@ class TestStrictCapacity:
         assert result.halted
         for leaf in range(1, 5):
             assert result.outputs[leaf] == capacity
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("capacity", [1, 2, 3])
+class TestStrictCapacityUnderDuplication:
+    """Injected duplicates must not count against the sender's budget.
+
+    A duplicated message is a channel fault, not a second send: the
+    sender already paid for exactly one message, so strict mode must
+    neither raise :class:`ProtocolError` nor report inflated
+    congestion, even when every message on the wire is doubled.
+    """
+
+    def test_full_duplication_does_not_trip_strict_mode(
+        self, engine, capacity
+    ):
+        sim = CongestSimulator(
+            path_graph(2),
+            lambda v: BurstOnce(v, capacity),
+            strict=True,
+            capacity=capacity,
+            seed=0,
+            engine=engine,
+            faults=DUPLICATE_ALL,
+        )
+        result = sim.run(3)  # at the exact capacity boundary: legal
+        assert result.halted
+        # The receiver sees two copies of each message...
+        assert result.outputs[1] == 2 * capacity
+        # ...but the books record the single charged send per message.
+        m = sim.metrics
+        assert m.total_messages == capacity
+        assert m.max_edge_congestion == capacity
+        assert m.messages_duplicated == capacity
+
+    def test_overflow_detection_still_exact_under_duplication(
+        self, engine, capacity
+    ):
+        # capacity + 1 genuine sends must still raise — and the error
+        # must name the true multiplicity, not the duplicated one.
+        sim = CongestSimulator(
+            path_graph(2),
+            lambda v: BurstOnce(v, capacity + 1),
+            strict=True,
+            capacity=capacity,
+            seed=0,
+            engine=engine,
+            faults=DUPLICATE_ALL,
+        )
+        with pytest.raises(ProtocolError) as excinfo:
+            sim.run(3)
+        assert str(capacity + 1) in str(excinfo.value)
 
 
 @pytest.mark.parametrize("engine", ENGINES)

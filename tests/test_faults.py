@@ -1,0 +1,372 @@
+"""Deterministic fault injection: plan semantics + engine equivalence.
+
+Two things are pinned here.  First, the :class:`FaultPlan` /
+:class:`FaultInjector` contract itself: validation, serialization,
+and the keyed-hash determinism that makes every fault decision a pure
+function of (seed, send round, edge, sequence number).  Second — the
+load-bearing guarantee — *faulted* runs stay bit-identical between the
+fast and reference engines for the same algorithm families the
+fault-free differential harness covers, and an *empty* plan changes
+nothing at all.
+"""
+
+import pytest
+
+from repro.congest import (
+    CongestSimulator,
+    CorruptedPayload,
+    FaultPlan,
+    LinkFailure,
+    TraceRecorder,
+    VertexAlgorithm,
+    active_fault_plan,
+    message_bits,
+    use_engine,
+    use_faults,
+)
+from repro.congest.faults import DELIVER, FaultInjector
+from repro.decomposition.mpx import mpx_ldd
+from repro.errors import CrashedVertexError, FaultError
+from repro.generators import (
+    delaunay_planar_graph,
+    gnp_random_graph,
+    path_graph,
+)
+from repro.routing.leader import elect_leader
+
+SEEDS = (11, 29, 47)
+
+#: A plan exercising all three message-fault kinds at once.
+MESSAGE_PLAN = FaultPlan(seed=7, drop=0.08, duplicate=0.05, corrupt=0.04)
+
+
+def _metrics_fingerprint(metrics):
+    return (
+        metrics.summary(),
+        metrics.fault_summary(),
+        metrics.messages_per_round,
+    )
+
+
+class Flood(VertexAlgorithm):
+    """Max-ID flooding with a round budget (pure simulator workload)."""
+
+    def __init__(self, budget):
+        self.budget = budget
+        self.best = None
+
+    def initialize(self, ctx):
+        self.best = ctx.vertex
+        ctx.broadcast(self.best)
+
+    def step(self, ctx, inbox):
+        for payloads in inbox.values():
+            for value in payloads:
+                # A corrupted payload is not an ID; a real algorithm
+                # must survive seeing one on the wire.
+                if isinstance(value, CorruptedPayload):
+                    continue
+                if value > self.best:
+                    self.best = value
+                    ctx.broadcast(self.best)
+        if ctx.round_number >= self.budget:
+            ctx.halt(self.best)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan semantics
+# ----------------------------------------------------------------------
+
+
+def test_empty_plan_compiles_to_nothing():
+    assert FaultPlan().is_empty()
+    assert FaultPlan().compile() is None
+    assert FaultPlan(seed=99).is_empty()  # a seed alone injects nothing
+    assert not MESSAGE_PLAN.is_empty()
+    assert MESSAGE_PLAN.compile() is not None
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"drop": -0.1},
+        {"duplicate": 1.5},
+        {"corrupt": 2.0},
+        {"drop": 0.6, "duplicate": 0.5},
+    ],
+)
+def test_invalid_rates_rejected(kwargs):
+    with pytest.raises(FaultError):
+        FaultPlan(**kwargs)
+
+
+def test_invalid_link_window_rejected():
+    with pytest.raises(FaultError):
+        LinkFailure(0, 1, start=5, end=2)
+
+
+def test_plan_roundtrips_through_dict():
+    plan = FaultPlan(
+        seed=3,
+        drop=0.1,
+        link_failures=((0, 1, 2, 5),),
+        crashes=((4, 7),),
+    )
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+def test_use_faults_scoping():
+    plan = FaultPlan(seed=1, drop=0.5)
+    assert active_fault_plan() is None
+    with use_faults(plan):
+        assert active_fault_plan() is plan
+        inner = FaultPlan(seed=2, drop=0.1)
+        with use_faults(inner):
+            assert active_fault_plan() is inner
+        assert active_fault_plan() is plan
+    assert active_fault_plan() is None
+    with pytest.raises(FaultError):
+        with use_faults("not a plan"):
+            pass
+
+
+# ----------------------------------------------------------------------
+# Injector determinism
+# ----------------------------------------------------------------------
+
+
+def test_classification_is_a_pure_function():
+    """Rebuilding the injector cannot change any decision."""
+    a = FaultInjector(MESSAGE_PLAN)
+    b = FaultInjector(MESSAGE_PLAN)
+    decisions = [
+        a.classify(r, u, v, s)
+        for r in range(20)
+        for (u, v) in ((0, 1), (1, 0), (3, 7))
+        for s in range(3)
+    ]
+    assert decisions == [
+        b.classify(r, u, v, s)
+        for r in range(20)
+        for (u, v) in ((0, 1), (1, 0), (3, 7))
+        for s in range(3)
+    ]
+    assert any(d != DELIVER for d in decisions)
+
+
+def test_classification_rates_are_roughly_honored():
+    injector = FaultInjector(FaultPlan(seed=5, drop=0.5))
+    samples = [injector.classify(r, 0, 1, s) for r in range(500) for s in range(4)]
+    dropped = sum(1 for d in samples if d != DELIVER)
+    assert 0.4 < dropped / len(samples) < 0.6
+
+
+def test_different_seeds_give_different_streams():
+    a = FaultInjector(FaultPlan(seed=1, drop=0.3))
+    b = FaultInjector(FaultPlan(seed=2, drop=0.3))
+    grid = [(r, s) for r in range(50) for s in range(2)]
+    assert [a.classify(r, 0, 1, s) for r, s in grid] != [
+        b.classify(r, 0, 1, s) for r, s in grid
+    ]
+
+
+def test_corrupted_payload_is_deterministic_and_sized():
+    injector = FaultInjector(FaultPlan(seed=9, corrupt=1.0))
+    p1 = injector.corrupted_payload(3, 0, 1, 0)
+    p2 = injector.corrupted_payload(3, 0, 1, 0)
+    assert p1 == p2 and hash(p1) == hash(p2)
+    assert p1 != injector.corrupted_payload(4, 0, 1, 0)
+    assert message_bits(p1) == CorruptedPayload.congest_bits
+
+
+# ----------------------------------------------------------------------
+# Differential: faulted runs are bit-identical across engines
+# ----------------------------------------------------------------------
+
+
+def _run_both(runner, seed):
+    with use_engine("reference"):
+        ref = runner(seed)
+    with use_engine("fast"):
+        fast = runner(seed)
+    return ref, fast
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_faulted_flood_equivalent(seed):
+    g = gnp_random_graph(30, 0.15, seed=seed)
+
+    def runner(s):
+        sim = CongestSimulator(
+            g, lambda v: Flood(10), seed=s, faults=MESSAGE_PLAN
+        )
+        return sim.run(max_rounds=25)
+
+    ref, fast = _run_both(runner, seed)
+    assert ref.outputs == fast.outputs
+    assert ref.halted == fast.halted
+    assert ref.crashed == fast.crashed
+    assert _metrics_fingerprint(ref.metrics) == _metrics_fingerprint(
+        fast.metrics
+    )
+    # The plan must actually have bitten, or this test proves nothing.
+    assert ref.metrics.faulted
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_faulted_leader_election_equivalent(seed):
+    g = delaunay_planar_graph(40, seed=seed)
+    plan = FaultPlan(seed=13, drop=0.03, duplicate=0.02)
+
+    def runner(s):
+        with use_faults(plan):
+            return elect_leader(g, seed=s)
+
+    (ref_leader, ref), (fast_leader, fast) = _run_both(runner, seed)
+    assert ref_leader == fast_leader
+    assert ref.outputs == fast.outputs
+    assert _metrics_fingerprint(ref.metrics) == _metrics_fingerprint(
+        fast.metrics
+    )
+    assert ref.metrics.faulted
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_faulted_mpx_equivalent(seed):
+    g = delaunay_planar_graph(48, seed=seed)
+    plan = FaultPlan(seed=21, drop=0.05)
+
+    def runner(s):
+        with use_faults(plan):
+            return mpx_ldd(g, 0.3, seed=s)
+
+    (ref_ldd, ref), (fast_ldd, fast) = _run_both(runner, seed)
+    assert ref.outputs == fast.outputs
+    assert sorted(map(sorted, ref_ldd.clusters)) == sorted(
+        map(sorted, fast_ldd.clusters)
+    )
+    assert _metrics_fingerprint(ref.metrics) == _metrics_fingerprint(
+        fast.metrics
+    )
+    assert ref.metrics.faulted
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_faulted_traces_equivalent(seed):
+    """Per-round fault counters agree record-for-record."""
+    g = gnp_random_graph(24, 0.2, seed=seed)
+    plan = FaultPlan(seed=17, drop=0.1, duplicate=0.05, crashes=((3, 4),))
+    traces = {}
+    for engine in ("reference", "fast"):
+        rec = TraceRecorder(engine)
+        sim = CongestSimulator(
+            g,
+            lambda v: Flood(8),
+            seed=seed,
+            engine=engine,
+            trace=rec,
+            faults=plan,
+        )
+        sim.run(max_rounds=20)
+        traces[engine] = rec
+    ref, fast = traces["reference"], traces["fast"]
+    assert len(ref.rounds) == len(fast.rounds)
+    for a, b in zip(ref.rounds, fast.rounds):
+        assert a == b
+    assert any(r.dropped or r.duplicated for r in fast.rounds)
+    assert sum(r.crashed for r in fast.rounds) == 1
+
+
+# ----------------------------------------------------------------------
+# Crashes and link failures
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_crashed_vertices_fail_stop(engine):
+    g = gnp_random_graph(20, 0.25, seed=1)
+    plan = FaultPlan(crashes=((0, 0), (5, 3)))
+    sim = CongestSimulator(
+        g, lambda v: Flood(8), seed=1, engine=engine, faults=plan
+    )
+    result = sim.run(max_rounds=20)
+    assert result.crashed == frozenset({0, 5})
+    assert result.metrics.vertices_crashed == 2
+    assert result.outputs[0] is None and result.outputs[5] is None
+    with pytest.raises(CrashedVertexError):
+        result.output_of(5)
+    # Survivors still produce valid outputs through the accessor.
+    survivor = next(v for v in g.vertices() if v not in result.crashed)
+    assert result.output_of(survivor) is not None
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_crash_of_max_id_changes_flood_answer(engine):
+    """Crashing the max-ID vertex at round 0 removes it from the flood."""
+    g = path_graph(6)
+    plan = FaultPlan(crashes=((5, 0),))
+    sim = CongestSimulator(
+        g, lambda v: Flood(10), seed=0, engine=engine, faults=plan
+    )
+    result = sim.run(max_rounds=30)
+    for v in range(5):
+        assert result.output_of(v) == 4
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_link_failure_partitions_a_path(engine):
+    """Severing the middle edge of a path splits the flood in two."""
+    g = path_graph(6)
+    plan = FaultPlan(link_failures=((2, 3, 0, 10_000),))
+    sim = CongestSimulator(
+        g, lambda v: Flood(10), seed=0, engine=engine, faults=plan
+    )
+    result = sim.run(max_rounds=30)
+    assert [result.output_of(v) for v in range(6)] == [2, 2, 2, 5, 5, 5]
+    assert result.metrics.messages_dropped > 0
+
+
+class PersistentFlood(Flood):
+    """Flood that rebroadcasts every round, so late links still help."""
+
+    def step(self, ctx, inbox):
+        super().step(ctx, inbox)
+        if not ctx.halted:
+            ctx.broadcast(self.best)
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_link_failure_window_expires(engine):
+    """Once the window closes the link carries traffic again."""
+    g = path_graph(4)
+    plan = FaultPlan(link_failures=(LinkFailure(1, 2, 0, 3),))
+    sim = CongestSimulator(
+        g, lambda v: PersistentFlood(12), seed=0, engine=engine, faults=plan
+    )
+    result = sim.run(max_rounds=30)
+    assert [result.output_of(v) for v in range(4)] == [3, 3, 3, 3]
+
+
+# ----------------------------------------------------------------------
+# Empty plans are invisible
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_empty_plan_changes_nothing(engine):
+    g = gnp_random_graph(25, 0.2, seed=3)
+
+    def run(faults):
+        sim = CongestSimulator(
+            g, lambda v: Flood(9), seed=3, engine=engine, faults=faults
+        )
+        return sim.run(max_rounds=25)
+
+    clean = run(None)
+    empty = run(FaultPlan(seed=123))
+    assert clean.outputs == empty.outputs
+    assert clean.crashed == empty.crashed == frozenset()
+    assert _metrics_fingerprint(clean.metrics) == _metrics_fingerprint(
+        empty.metrics
+    )
+    assert not empty.metrics.faulted

@@ -1,0 +1,251 @@
+"""Reliable transport over faulty channels + post-run validators."""
+
+import pytest
+
+from repro.congest import CongestSimulator, FaultPlan, VertexAlgorithm
+from repro.decomposition.expander import (
+    ExpanderDecomposition,
+    expander_decomposition,
+)
+from repro.generators import delaunay_planar_graph, gnp_random_graph, path_graph
+from repro.independent_set.greedy import greedy_min_degree_is
+from repro.matching.greedy import maximal_matching
+from repro.resilience import (
+    ReliableAlgorithm,
+    Verdict,
+    reliable,
+    validate_decomposition,
+    validate_framework,
+    validate_independent_set,
+    validate_matching,
+)
+from repro.core.framework import run_framework
+
+
+class Flood(VertexAlgorithm):
+    """Max-ID flooding with a round budget."""
+
+    def __init__(self, budget):
+        self.budget = budget
+        self.best = None
+
+    def initialize(self, ctx):
+        self.best = ctx.vertex
+        ctx.broadcast(self.best)
+
+    def step(self, ctx, inbox):
+        for payloads in inbox.values():
+            for value in payloads:
+                if value > self.best:
+                    self.best = value
+                    ctx.broadcast(self.best)
+        if ctx.round_number >= self.budget:
+            ctx.halt(self.best)
+
+
+# ----------------------------------------------------------------------
+# Transport
+# ----------------------------------------------------------------------
+
+
+def test_reliable_transport_is_transparent_when_fault_free():
+    g = gnp_random_graph(20, 0.25, seed=2)
+    sim = CongestSimulator(g, reliable(lambda v: Flood(10)), seed=2)
+    result = sim.run(max_rounds=60)
+    assert result.halted
+    best = max(g.vertices())
+    assert all(result.output_of(v) == best for v in g.vertices())
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_reliable_transport_defeats_heavy_drops(engine):
+    """30% drops + corruption: the wrapped flood still converges."""
+    g = gnp_random_graph(16, 0.3, seed=4)
+    plan = FaultPlan(seed=3, drop=0.3, corrupt=0.05)
+    wrapped = []
+
+    def factory(v):
+        algo = ReliableAlgorithm(Flood(12), timeout=3, max_backoff=24)
+        wrapped.append(algo)
+        return algo
+
+    sim = CongestSimulator(g, factory, seed=4, engine=engine, faults=plan)
+    result = sim.run(max_rounds=400)
+    assert result.halted
+    best = max(g.vertices())
+    assert all(result.output_of(v) == best for v in g.vertices())
+    # The channel really was hostile and the transport really worked.
+    assert sim.metrics.messages_dropped > 0
+    assert sum(a.retransmissions for a in wrapped) > 0
+    assert sum(a.invalid_discarded for a in wrapped) > 0
+
+
+def test_unreliable_flood_fails_where_reliable_succeeds():
+    """The control: the same plan breaks the raw algorithm."""
+    g = path_graph(8)
+    plan = FaultPlan(seed=8, drop=0.5)
+    raw = CongestSimulator(g, lambda v: Flood(12), seed=1, faults=plan)
+    raw_result = raw.run(max_rounds=400)
+    best = max(g.vertices())
+    raw_correct = all(raw_result.outputs[v] == best for v in g.vertices())
+    assert not raw_correct  # 50% loss on a path must break plain flooding
+
+    cured = CongestSimulator(
+        g,
+        # The inner flood halts at its round budget whether or not the
+        # transport has finished hauling improvements across the lossy
+        # hops, so the budget must exceed the worst per-hop latency:
+        # tight retries (timeout=1) and a generous attempt cap keep
+        # every frame alive until it lands.
+        reliable(lambda v: Flood(600), timeout=1, max_attempts=40),
+        seed=1,
+        faults=plan,
+    )
+    cured_result = cured.run(max_rounds=8000)
+    assert all(cured_result.output_of(v) == best for v in g.vertices())
+
+
+def test_duplicates_are_discarded_by_seq():
+    g = path_graph(4)
+    plan = FaultPlan(seed=5, duplicate=0.5)
+    wrapped = []
+
+    def factory(v):
+        algo = ReliableAlgorithm(Flood(8))
+        wrapped.append(algo)
+        return algo
+
+    sim = CongestSimulator(g, factory, seed=0, faults=plan)
+    result = sim.run(max_rounds=200)
+    assert result.halted
+    assert all(result.output_of(v) == 3 for v in g.vertices())
+    assert sim.metrics.messages_duplicated > 0
+    assert sum(a.duplicates_discarded for a in wrapped) > 0
+
+
+def test_transport_abandons_frames_to_a_crashed_peer():
+    """A crashed neighbor must not hold the sender hostage forever."""
+    g = path_graph(3)
+    plan = FaultPlan(crashes=((2, 1),))
+    wrapped = []
+
+    def factory(v):
+        algo = ReliableAlgorithm(Flood(6), timeout=2, max_attempts=3)
+        wrapped.append(algo)
+        return algo
+
+    sim = CongestSimulator(g, factory, seed=0, faults=plan)
+    result = sim.run(max_rounds=300)
+    assert result.halted  # the survivors finished despite the dead peer
+    assert result.crashed == frozenset({2})
+    assert sum(a.abandoned for a in wrapped) > 0
+
+
+def test_transport_parameter_validation():
+    with pytest.raises(ValueError):
+        ReliableAlgorithm(Flood(1), timeout=0)
+    with pytest.raises(ValueError):
+        ReliableAlgorithm(Flood(1), max_attempts=0)
+
+
+# ----------------------------------------------------------------------
+# Validators
+# ----------------------------------------------------------------------
+
+
+def test_verdict_labels_and_roundtrip():
+    assert Verdict.correct().label() == "correct"
+    assert Verdict.degraded(0.875).label() == "degraded(0.88)"
+    assert Verdict.failed("x").label() == "failed"
+    assert Verdict.correct().ok and Verdict.degraded(0.5).ok
+    assert not Verdict.failed().ok
+    v = Verdict.degraded(0.5, "half")
+    assert Verdict.from_dict(v.to_dict()) == v
+
+
+def test_validate_decomposition_grades():
+    g = delaunay_planar_graph(40, seed=7)
+    decomp = expander_decomposition(g, 0.9, seed=7)
+    assert validate_decomposition(decomp).status == "correct"
+
+    # Tighten epsilon after the fact: structurally sound, over budget.
+    over_budget = ExpanderDecomposition(
+        graph=decomp.graph,
+        epsilon=decomp.cut_fraction() / 2 if decomp.cut_fraction() else 0.01,
+        phi=decomp.phi,
+        clusters=decomp.clusters,
+        cut_edges=decomp.cut_edges,
+        certificates=decomp.certificates,
+    )
+    if decomp.cut_fraction() > 0:
+        graded = validate_decomposition(over_budget)
+        assert graded.status == "degraded"
+        assert 0.0 < graded.ratio < 1.0
+
+    # Drop a cluster: the partition no longer covers V -> failed.
+    broken = ExpanderDecomposition(
+        graph=decomp.graph,
+        epsilon=decomp.epsilon,
+        phi=decomp.phi,
+        clusters=decomp.clusters[:-1],
+        cut_edges=decomp.cut_edges,
+        certificates=decomp.certificates[:-1],
+    )
+    assert validate_decomposition(broken).status == "failed"
+
+
+def test_validate_independent_set_grades():
+    g = path_graph(6)
+    full = greedy_min_degree_is(g)
+    assert validate_independent_set(g, full).status == "correct"
+    partial = validate_independent_set(g, {0})
+    assert partial.status == "degraded"
+    assert 0.0 < partial.ratio < 1.0
+    assert validate_independent_set(g, {0, 1}).status == "failed"
+    assert validate_independent_set(g, {99}).status == "failed"
+
+
+def test_validate_matching_grades():
+    g = path_graph(6)
+    full = maximal_matching(g, seed=0)
+    assert validate_matching(g, full).status == "correct"
+    partial = validate_matching(g, {(0, 1)})
+    assert partial.status == "degraded"
+    assert validate_matching(g, {(0, 1), (1, 2)}).status == "failed"
+    assert validate_matching(g, {(0, 5)}).status == "failed"
+
+
+def test_validate_framework_correct_run():
+    g = delaunay_planar_graph(48, seed=9)
+
+    def solver(sub, leader, notes):
+        return {v: sub.degree(v) for v in sub.vertices()}
+
+    result = run_framework(g, 0.9, solver=solver, phi=0.1, seed=9)
+    verdict = validate_framework(result)
+    assert verdict.status in ("correct", "degraded")
+    if result.all_succeeded and len(result.answers) == g.n:
+        assert verdict.status == "correct"
+
+
+def test_validate_framework_degraded_and_failed():
+    class _Gather:
+        success = False
+        answers = {}
+
+    class _Run:
+        success = False
+
+    class _Partial:
+        def __init__(self, graph, answers, clusters):
+            self.graph = graph
+            self.answers = answers
+            self.clusters = clusters
+
+    g = path_graph(4)
+    half = _Partial(g, {0: 1, 1: 1}, [_Run()])
+    verdict = validate_framework(half)
+    assert verdict.status == "degraded"
+    assert verdict.ratio == pytest.approx(0.5)
+    empty = _Partial(g, {}, [_Run()])
+    assert validate_framework(empty).status == "failed"
