@@ -41,6 +41,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from .errors import GraphError
 from .graph import Graph
+from .obs import registry as _telemetry
 
 #: Pickle protocol pinned so identical artifacts produce identical bytes
 #: across interpreter minor versions.
@@ -348,6 +349,8 @@ class ArtifactCache:
             except Exception as exc:
                 self.stats.corrupt += 1
                 self.stats.evictions += 1
+                _telemetry.count("cache.corrupt")
+                _telemetry.count("cache.evictions")
                 # Loud but non-fatal: one corrupt entry is routine
                 # (killed worker, disk hiccup); a stream of them with
                 # the same key prefix points at real trouble.
@@ -361,16 +364,20 @@ class ArtifactCache:
             else:
                 if from_disk:
                     self.stats.disk_hits += 1
+                    _telemetry.count("cache.disk_hits")
                     self._memory_put(slot, blob)
                 else:
                     self.stats.memory_hits += 1
+                    _telemetry.count("cache.memory_hits")
                 return value
         self.stats.misses += 1
+        _telemetry.count("cache.misses")
         value = compute()
         blob = serialize(value)
         self._memory_put(slot, blob)
         self._disk_put(kind, key, blob)
         self.stats.stores += 1
+        _telemetry.count("cache.stores")
         return value
 
 

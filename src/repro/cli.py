@@ -9,16 +9,64 @@ Examples::
     python -m repro test-property --property planar --far
     python -m repro ldd --algorithm thm15 --eps 0.25
     python -m repro triangles --family trigrid --n 100
+
+Output discipline: tables and primary results go to **stdout** (so
+``repro ... > results.txt`` captures exactly the deliverable), while
+progress and diagnostic lines go through the ``repro`` logger to
+**stderr** — tune them with ``--quiet`` / ``-v`` / ``--log-json``
+(flags of the top-level ``repro`` command, before the subcommand).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from typing import List, Optional
 
 from .analysis import Table
 from .graph import Graph
+
+#: Diagnostics channel: everything that is *about* a run rather than
+#: its result.  Configured by :func:`main`; library importers who call
+#: commands directly inherit logging's defaults.
+log = logging.getLogger("repro")
+
+
+class _JsonLogFormatter(logging.Formatter):
+    """One JSON object per diagnostic line (for log collectors)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        return json.dumps(payload, sort_keys=True)
+
+
+def _configure_logging(args) -> None:
+    """(Re)wire the diagnostics channel for one CLI invocation.
+
+    The handler is rebuilt around the *current* ``sys.stderr`` on every
+    call — repeated in-process invocations (tests, notebooks) would
+    otherwise keep writing to a stale, possibly closed stream.
+    """
+    if getattr(args, "quiet", False):
+        level = logging.WARNING
+    elif getattr(args, "verbose", 0):
+        level = logging.DEBUG
+    else:
+        level = logging.INFO
+    handler = logging.StreamHandler(sys.stderr)
+    if getattr(args, "log_json", False):
+        handler.setFormatter(_JsonLogFormatter())
+    else:
+        handler.setFormatter(logging.Formatter("%(message)s"))
+    log.handlers[:] = [handler]
+    log.setLevel(level)
+    log.propagate = False
 
 
 def _build_graph(args) -> Graph:
@@ -217,7 +265,6 @@ def cmd_ldd(args) -> int:
 
 def cmd_bench(args) -> int:
     """Run experiment suites through the parallel cell runner."""
-    import json
     import os
     import time
 
@@ -246,6 +293,7 @@ def cmd_bench(args) -> int:
             mp_start=args.mp_start,
             limit=args.limit,
             trace=args.trace is not None,
+            telemetry=args.telemetry is not None,
             cell_timeout=args.cell_timeout,
             retries=args.retries,
         )
@@ -254,20 +302,24 @@ def cmd_bench(args) -> int:
         print("\n" + rendered)
         if run.recovery.intervened or run.quarantined:
             r = run.recovery
-            print(f"[{name}] recovery: {r.retries} retries, "
-                  f"{r.timeouts} timeouts, {r.pool_rebuilds} pool rebuilds")
+            log.warning(
+                "[%s] recovery: %d retries, %d timeouts, %d pool rebuilds",
+                name, r.retries, r.timeouts, r.pool_rebuilds,
+            )
         for q in run.quarantined:
-            print(f"[{name}] QUARANTINED {q.label} "
-                  f"after {q.attempts} attempt(s): {q.reason}")
+            log.warning(
+                "[%s] QUARANTINED %s after %d attempt(s): %s",
+                name, q.label, q.attempts, q.reason,
+            )
         stats = run.cache_stats()
-        print(
-            f"[{name}] cells={len(run.results)} jobs={run.jobs} "
-            f"wall={run.wall_seconds:.3f}s "
-            f"compute={run.compute_seconds():.3f}s "
-            f"cache: {stats['memory_hits']} mem hits, "
-            f"{stats['disk_hits']} disk hits, {stats['misses']} misses, "
-            f"{stats['stores']} stores, {stats['corrupt']} corrupt"
-            + ("" if args.cache else " (cache disabled)")
+        log.info(
+            "[%s] cells=%d jobs=%d wall=%.3fs compute=%.3fs "
+            "cache: %d mem hits, %d disk hits, %d misses, "
+            "%d stores, %d corrupt%s",
+            name, len(run.results), run.jobs, run.wall_seconds,
+            run.compute_seconds(), stats["memory_hits"],
+            stats["disk_hits"], stats["misses"], stats["stores"],
+            stats["corrupt"], "" if args.cache else " (cache disabled)",
         )
         if args.out:
             os.makedirs(args.out, exist_ok=True)
@@ -279,7 +331,33 @@ def cmd_bench(args) -> int:
         lines = [line for run in runs for line in run.trace_lines()]
         with open(args.trace, "w") as handle:
             handle.write("\n".join(lines) + ("\n" if lines else ""))
-        print(f"trace: {len(lines)} round records -> {args.trace}")
+        log.info("trace: %d round records -> %s", len(lines), args.trace)
+    if args.telemetry:
+        from .obs import TelemetryRegistry, build_snapshot, write_snapshot
+
+        registry = TelemetryRegistry()
+        for run in runs:
+            registry.merge_dict(run.merged_telemetry())
+        snapshot = build_snapshot(
+            suites={
+                run.name: {
+                    "wall_seconds": round(run.wall_seconds, 4),
+                    "cells": {
+                        r.label: {
+                            "elapsed": round(r.elapsed, 6),
+                            "attempts": r.attempts,
+                        }
+                        for r in run.results
+                    },
+                }
+                for run in runs
+            },
+            telemetry=registry.to_dict(),
+            jobs=args.jobs,
+            cache_enabled=args.cache,
+        )
+        write_snapshot(args.telemetry, snapshot)
+        log.info("telemetry snapshot -> %s", args.telemetry)
     if args.stats_json:
         payload = {
             "suites": [run.summary() for run in runs],
@@ -290,7 +368,7 @@ def cmd_bench(args) -> int:
         with open(args.stats_json, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"stats -> {args.stats_json}")
+        log.info("stats -> %s", args.stats_json)
     return 1 if any(run.quarantined for run in runs) else 0
 
 
@@ -356,6 +434,45 @@ def cmd_faults(args) -> int:
     return 0 if verdict.ok else 1
 
 
+def cmd_obs_report(args) -> int:
+    """Render a benchmark telemetry snapshot for humans or scrapers."""
+    from .obs import (
+        iter_events,
+        load_snapshot,
+        prometheus_text,
+        render_report,
+    )
+
+    snapshot = load_snapshot(args.snapshot)
+    telemetry = snapshot.get("telemetry", {})
+    if args.format == "prom":
+        sys.stdout.write(prometheus_text(telemetry))
+    elif args.format == "jsonl":
+        for event in iter_events(telemetry):
+            print(json.dumps(event, sort_keys=True))
+    else:
+        sys.stdout.write(render_report(telemetry, snapshot.get("suites")))
+    return 0
+
+
+def cmd_obs_diff(args) -> int:
+    """Compare two telemetry snapshots against a perf budget."""
+    from .obs import diff_snapshots, load_snapshot
+
+    old = load_snapshot(args.old)
+    new = load_snapshot(args.new)
+    diff = diff_snapshots(old, new, budget=args.budget,
+                          min_seconds=args.min_seconds)
+    print(diff.render())
+    if not diff.ok:
+        log.warning(
+            "perf budget exceeded: %d metric(s) regressed past %.2fx",
+            len(diff.regressions), args.budget,
+        )
+        return 1
+    return 0
+
+
 def cmd_triangles(args) -> int:
     from .subgraphs import distributed_triangle_listing, list_triangles
 
@@ -378,6 +495,13 @@ def build_parser() -> argparse.ArgumentParser:
             "(Chang & Su, PODC 2022 reproduction)"
         ),
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more diagnostics on stderr (repeatable)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress diagnostics (warnings still shown); "
+                             "tables and results stay on stdout")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit diagnostics as JSON lines on stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     commands = {
@@ -448,6 +572,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write merged per-round JSONL traces of all "
                             "cells to PATH (bypasses the cell-result "
                             "cache tier)")
+    bench.add_argument("--telemetry", metavar="PATH", default=None,
+                       help="run cells with telemetry enabled and write "
+                            "a schema-versioned perf snapshot to PATH "
+                            "(see `repro obs diff`; bypasses the "
+                            "cell-result cache tier)")
     bench.add_argument("--faults", action="store_true",
                        help="include the E11 fault-tolerance suite "
                             "(shorthand for --suite E11)")
@@ -484,12 +613,44 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--fault-seed", type=int, default=0,
                         help="seed of the deterministic fault stream")
     faults.set_defaults(handler=cmd_faults)
+
+    obs = sub.add_parser(
+        "obs",
+        help="inspect and compare telemetry snapshots",
+        description=(
+            "Work with the perf snapshots written by "
+            "`repro bench --telemetry PATH`."
+        ),
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser(
+        "report", help="render a snapshot's telemetry"
+    )
+    report.add_argument("snapshot", help="snapshot JSON file")
+    report.add_argument("--format", default="table",
+                        choices=["table", "prom", "jsonl"],
+                        help="table (default), Prometheus text "
+                             "exposition, or JSONL events")
+    report.set_defaults(handler=cmd_obs_report)
+    diff = obs_sub.add_parser(
+        "diff", help="compare two snapshots against a perf budget"
+    )
+    diff.add_argument("old", help="baseline snapshot JSON file")
+    diff.add_argument("new", help="candidate snapshot JSON file")
+    diff.add_argument("--budget", type=float, default=1.25,
+                      help="max allowed new/old timing ratio "
+                           "(default: 1.25)")
+    diff.add_argument("--min-seconds", type=float, default=0.005,
+                      help="ignore regressions smaller than this many "
+                           "absolute seconds (default: 0.005)")
+    diff.set_defaults(handler=cmd_obs_diff)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args)
     # `bench` manages tracing itself (per-cell sessions merged across
     # worker processes); the session wrapper below is for the
     # single-simulation commands.
@@ -506,9 +667,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             code = args.handler(args)
         session.write_jsonl(args.trace)
         recorded = sum(len(rec.rounds) for rec in session.recorders)
-        print(f"trace: {len(session.recorders)} simulations, "
-              f"{recorded} recorded rounds "
-              f"({session.total_rounds()} simulated) -> {args.trace}")
+        log.info(
+            "trace: %d simulations, %d recorded rounds (%d simulated) -> %s",
+            len(session.recorders), recorded, session.total_rounds(),
+            args.trace,
+        )
         return code
     return args.handler(args)
 

@@ -42,10 +42,13 @@ from .message import (
 )
 from .metrics import CongestMetrics
 from .trace import TraceRecorder
+from ..obs import registry as _telemetry
 
-#: Sentinel for "no traffic in flight":
-#: (per-edge counts, messages, bits, (dropped, duplicated, corrupted)).
-_NO_TRAFFIC: Tuple[Dict, int, int, Tuple[int, int, int]] = ({}, 0, 0, NO_FAULTS)
+#: Sentinel for "no traffic in flight": (per-edge counts, messages,
+#: bits, message-size histogram, (dropped, duplicated, corrupted)).
+_NO_TRAFFIC: Tuple[Dict, int, int, Dict, Tuple[int, int, int]] = (
+    {}, 0, 0, {}, NO_FAULTS
+)
 
 #: Private sentinel no user payload can be identical to.
 _UNSET = object()
@@ -134,9 +137,20 @@ class FastEngine:
         self._wake_round: List[Optional[int]] = [None] * n
         self._round = 0
         self._live = n
+        # Telemetry is sampled once at construction: a simulator built
+        # inside an enabled scope records into that scope's registry for
+        # its whole run; outside one, the hot path stays branch-free.
+        self._registry = (
+            _telemetry.current_registry() if _telemetry.enabled() else None
+        )
+        # The per-size message histogram is only worth building when
+        # something will consume it (a trace recorder or telemetry).
+        self._want_bits_hist = trace is not None or self._registry is not None
         # Traffic collected at the end of the previous round, awaiting
         # delivery (and metric attribution) at the next executed round.
-        self._inflight: Tuple[Dict, int, int, Tuple[int, int, int]] = _NO_TRAFFIC
+        self._inflight: Tuple[Dict, int, int, Dict, Tuple[int, int, int]] = (
+            _NO_TRAFFIC
+        )
         # Crash schedule (per vertex id), or None when the plan has no
         # crashes so the hot path can skip the lookup entirely.
         if faults is not None and faults.plan.crashes:
@@ -205,7 +219,7 @@ class FastEngine:
                 next_round = target
                 due = due_vertices(next_round)
             self._round = next_round
-            per_edge, messages, bits, fcounts = self._inflight
+            per_edge, messages, bits, bits_hist, fcounts = self._inflight
             self._inflight = _NO_TRAFFIC
             if self.faults is None:
                 record_round(per_edge, messages, bits)
@@ -240,6 +254,19 @@ class FastEngine:
             reschedule(due)
             if crashed_now:
                 self.metrics.record_crashed(crashed_now)
+            registry = self._registry
+            if registry is not None:
+                # Both observations are pure functions of the simulated
+                # execution (the differential harness pins stepped
+                # counts and message sizes equal across engines), so
+                # fast and reference runs publish identical telemetry.
+                registry.observe(
+                    "congest.active_vertices", len(due) - crashed_now
+                )
+                if bits_hist:
+                    size_hist = registry.histogram("congest.message_bits")
+                    for size, times in bits_hist.items():
+                        size_hist.observe(size, times)
             if trace is not None:
                 trace.record_round(
                     round_number=next_round,
@@ -254,8 +281,11 @@ class FastEngine:
                     duplicated=fcounts[1],
                     corrupted=fcounts[2],
                     crashed=crashed_now,
+                    message_bits_histogram=bits_hist,
                 )
 
+        if self._registry is not None:
+            self.metrics.publish_telemetry(self._registry)
         outputs = {self._verts[i]: contexts[i]._output for i in range(self._n)}
         return SimulationResult(
             outputs=outputs,
@@ -353,6 +383,8 @@ class FastEngine:
         messages = 0
         bits = 0
         max_bits = 0
+        want_hist = self._want_bits_hist
+        bits_hist: Dict[int, int] = {}
         n = self._n
         index = self._index
         pending = self._pending
@@ -428,6 +460,11 @@ class FastEngine:
                     )
                 messages += 1
                 bits += size
+                if want_hist:
+                    # Keyed on what the sender was charged, so the
+                    # histogram total always equals ``bits`` even when
+                    # the fault channel below drops the transmission.
+                    bits_hist[size] = bits_hist.get(size, 0) + 1
                 copies = 1
                 if injector is not None:
                     # The sender has paid; what follows is the channel.
@@ -468,6 +505,7 @@ class FastEngine:
             per_edge,
             messages,
             bits,
+            bits_hist,
             (dropped, duplicated, corrupted) if injector is not None
             else NO_FAULTS,
         )

@@ -2,8 +2,31 @@
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Any, Dict, Iterable, List
+
+
+def _merge_histograms(a: Dict[int, int], b: Dict[int, int]) -> Dict[int, int]:
+    """Sum two sparse ``multiplicity -> observations`` histograms."""
+    merged = dict(a)
+    for key, value in b.items():
+        merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def _histogram_percentile(histogram: Dict[int, int], q: float) -> int:
+    """Nearest-rank percentile of a sparse integer histogram."""
+    total = sum(histogram.values())
+    if total == 0:
+        return 0
+    rank = max(1, int(q * total + 0.5))
+    acc = 0
+    for key in sorted(histogram):
+        acc += histogram[key]
+        if acc >= rank:
+            return key
+    return max(histogram)
 
 
 @dataclass
@@ -31,6 +54,12 @@ class CongestMetrics:
     ``max_edge_congestion``
         max over (round, edge) of messages carried — Lemma 2.4 claims
         this is O(log n) for the random-walk router.
+    ``congestion_histogram``
+        The full per-edge congestion *distribution*: maps message
+        multiplicity to the number of (round, directed edge) pairs that
+        carried exactly that many messages.  Idle edges are not
+        observed.  ``max_edge_congestion`` is its largest key;
+        :meth:`congestion_summary` reports p50/p95/max over it.
     ``messages_dropped`` / ``messages_duplicated`` / ``messages_corrupted``
         What the (injected-fault) channel did to transmissions that the
         volume counters above already charged to the sender: see
@@ -50,6 +79,7 @@ class CongestMetrics:
     messages_corrupted: int = 0
     vertices_crashed: int = 0
     messages_per_round: List[int] = field(default_factory=list)
+    congestion_histogram: Dict[int, int] = field(default_factory=dict)
 
     def record_round(
         self,
@@ -64,7 +94,25 @@ class CongestMetrics:
         triple for the traffic delivered into this round.
         """
         self.rounds += 1
-        round_congestion = max(per_edge_counts.values(), default=0)
+        if per_edge_counts:
+            values = per_edge_counts.values()
+            round_congestion = max(values)
+            histogram = self.congestion_histogram
+            if round_congestion == 1:
+                # Capacity-1 round (the overwhelmingly common case):
+                # every active edge carried exactly one message, so the
+                # whole round collapses into one histogram cell.
+                histogram[1] = histogram.get(1, 0) + len(per_edge_counts)
+            else:
+                # One pass over the active edges builds this round's
+                # sparse congestion histogram.
+                round_histogram = Counter(values)
+                for multiplicity, edges in round_histogram.items():
+                    histogram[multiplicity] = (
+                        histogram.get(multiplicity, 0) + edges
+                    )
+        else:
+            round_congestion = 0
         self.effective_rounds += max(1, round_congestion)
         self.total_messages += messages
         self.total_bits += bits
@@ -111,6 +159,9 @@ class CongestMetrics:
             ),
             vertices_crashed=self.vertices_crashed + other.vertices_crashed,
             messages_per_round=self.messages_per_round + other.messages_per_round,
+            congestion_histogram=_merge_histograms(
+                self.congestion_histogram, other.congestion_histogram
+            ),
         )
         return merged
 
@@ -150,6 +201,12 @@ class CongestMetrics:
             merged.messages_duplicated += m.messages_duplicated
             merged.messages_corrupted += m.messages_corrupted
             merged.vertices_crashed += m.vertices_crashed
+            # Congestion observations are per (round, edge) pairs;
+            # shards are edge-disjoint, so the union is a plain sum
+            # even though the round counters compose as a maximum.
+            merged.congestion_histogram = _merge_histograms(
+                merged.congestion_histogram, m.congestion_histogram
+            )
         return merged
 
     def to_dict(self, include_per_round: bool = False) -> Dict:
@@ -170,6 +227,11 @@ class CongestMetrics:
             "messages_duplicated": self.messages_duplicated,
             "messages_corrupted": self.messages_corrupted,
             "vertices_crashed": self.vertices_crashed,
+            # String keys so the payload survives a JSON round trip
+            # unchanged (from_dict normalizes back to ints).
+            "congestion_histogram": {
+                str(k): v for k, v in sorted(self.congestion_histogram.items())
+            },
         }
         if include_per_round:
             data["messages_per_round"] = list(self.messages_per_round)
@@ -189,7 +251,44 @@ class CongestMetrics:
             messages_corrupted=data.get("messages_corrupted", 0),
             vertices_crashed=data.get("vertices_crashed", 0),
             messages_per_round=list(data.get("messages_per_round", [])),
+            congestion_histogram={
+                int(k): v
+                for k, v in data.get("congestion_histogram", {}).items()
+            },
         )
+
+    def congestion_summary(self) -> Dict[str, Any]:
+        """The per-edge congestion distribution in reporting form.
+
+        ``observations`` counts (round, active directed edge) pairs;
+        the percentiles are nearest-rank over the exact histogram, so
+        ``max`` always equals ``max_edge_congestion``.
+        """
+        histogram = self.congestion_histogram
+        return {
+            "observations": sum(histogram.values()),
+            "p50": _histogram_percentile(histogram, 0.50),
+            "p95": _histogram_percentile(histogram, 0.95),
+            "max": max(histogram, default=0),
+            "histogram": {k: histogram[k] for k in sorted(histogram)},
+        }
+
+    def publish_telemetry(self, registry) -> None:
+        """Fold this execution into a telemetry registry.
+
+        Called by both engines at the end of :meth:`run` when telemetry
+        is enabled; everything recorded here is a pure function of the
+        simulated execution, so the fast and reference engines publish
+        identical values.
+        """
+        registry.count("congest.simulations", 1)
+        registry.count("congest.rounds", self.rounds)
+        registry.count("congest.effective_rounds", self.effective_rounds)
+        registry.count("congest.messages", self.total_messages)
+        registry.count("congest.bits", self.total_bits)
+        histogram = registry.histogram("congest.edge_congestion")
+        for multiplicity, edges in self.congestion_histogram.items():
+            histogram.observe(multiplicity, edges)
 
     def fault_summary(self) -> Dict[str, int]:
         """The four fault counters as a dict (all zero when fault-free)."""

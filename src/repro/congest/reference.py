@@ -28,6 +28,7 @@ from .faults import CORRUPT, DROP, DUPLICATE, NO_FAULTS, FaultInjector
 from .message import MessageBudget, message_bits
 from .metrics import CongestMetrics
 from .trace import TraceRecorder
+from ..obs import registry as _telemetry
 
 
 class ReferenceEngine:
@@ -71,8 +72,16 @@ class ReferenceEngine:
         self._runnable: Set[Any] = set(self._order)
         # Scheduled wakeups for idle vertices: vertex -> round number.
         self._wakeups: Dict[Any, int] = {}
+        # Telemetry is sampled once at construction, exactly as the
+        # fast engine does, so both publish into the same registry.
+        self._registry = (
+            _telemetry.current_registry() if _telemetry.enabled() else None
+        )
+        self._want_bits_hist = trace is not None or self._registry is not None
         # Traffic awaiting delivery at the next executed round.
-        self._inflight: Tuple[Dict, int, int, Tuple[int, int, int]] = _NO_TRAFFIC
+        self._inflight: Tuple[Dict, int, int, Dict, Tuple[int, int, int]] = (
+            _NO_TRAFFIC
+        )
         # Crash schedule, or None when the plan has no crashes.
         if faults is not None and faults.plan.crashes:
             self._crash_rounds: Optional[Dict[Any, int]] = {
@@ -136,7 +145,7 @@ class ReferenceEngine:
                 next_round = target
                 due = self._due_vertices(next_round)
             self._round = next_round
-            per_edge, messages, bits, fcounts = self._inflight
+            per_edge, messages, bits, bits_hist, fcounts = self._inflight
             self._inflight = _NO_TRAFFIC
             if self.faults is None:
                 self.metrics.record_round(per_edge, messages, bits)
@@ -173,6 +182,16 @@ class ReferenceEngine:
             self._reschedule(stepped)
             if crashed_now:
                 self.metrics.record_crashed(crashed_now)
+            registry = self._registry
+            if registry is not None:
+                # Mirrors the fast engine exactly; the differential
+                # harness pins stepped counts and message sizes equal,
+                # so the two engines publish identical telemetry.
+                registry.observe("congest.active_vertices", len(stepped))
+                if bits_hist:
+                    size_hist = registry.histogram("congest.message_bits")
+                    for size, times in bits_hist.items():
+                        size_hist.observe(size, times)
             if self.trace is not None:
                 live_after = sum(
                     1 for ctx in self._contexts.values() if not ctx.halted
@@ -190,8 +209,11 @@ class ReferenceEngine:
                     duplicated=fcounts[1],
                     corrupted=fcounts[2],
                     crashed=crashed_now,
+                    message_bits_histogram=bits_hist,
                 )
 
+        if self._registry is not None:
+            self.metrics.publish_telemetry(self._registry)
         outputs = {v: self._contexts[v].output for v in self._order}
         return SimulationResult(
             outputs=outputs,
@@ -244,6 +266,8 @@ class ReferenceEngine:
         messages = 0
         bits = 0
         max_bits = 0
+        want_hist = self._want_bits_hist
+        bits_hist: Dict[int, int] = {}
         budget_bits = self.budget.bits
         injector = self.faults
         send_round = self._round
@@ -271,6 +295,10 @@ class ReferenceEngine:
                     )
                 messages += 1
                 bits += size
+                if want_hist:
+                    # Keyed on what the sender was charged (before the
+                    # fault channel), matching the fast engine.
+                    bits_hist[size] = bits_hist.get(size, 0) + 1
                 copies = 1
                 if injector is not None:
                     # The sender has paid; what follows is the channel.
@@ -304,6 +332,7 @@ class ReferenceEngine:
             per_edge,
             messages,
             bits,
+            bits_hist,
             (dropped, duplicated, corrupted) if injector is not None
             else NO_FAULTS,
         )

@@ -27,6 +27,14 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
+#: Version stamped on every emitted record.  History:
+#:
+#: * (unstamped) — the original layout; read back as version 1.
+#: * 2 — adds ``message_bits_histogram`` (sizes of the messages
+#:   delivered into the round).  Version-1 files load with the
+#:   histogram empty.
+TRACE_SCHEMA_VERSION = 2
+
 
 @dataclass
 class RoundTrace:
@@ -43,6 +51,11 @@ class RoundTrace:
     traffic delivered into this round; ``crashed`` counts vertices that
     fail-stopped *in* this round.  All four are zero in fault-free runs
     and absent from historical JSONL files (read back as zero).
+
+    ``message_bits_histogram`` (schema 2) maps message size in bits to
+    the number of messages of that size delivered into this round —
+    the per-round view of the E12 message-size claim.  Version-1 files
+    load with it empty.
     """
 
     round: int
@@ -54,6 +67,7 @@ class RoundTrace:
     skipped_before: int
     max_congestion: int
     congestion_histogram: Dict[int, int] = field(default_factory=dict)
+    message_bits_histogram: Dict[int, int] = field(default_factory=dict)
     dropped: int = 0
     duplicated: int = 0
     corrupted: int = 0
@@ -61,6 +75,7 @@ class RoundTrace:
 
     def to_dict(self) -> Dict[str, Any]:
         data = {
+            "schema": TRACE_SCHEMA_VERSION,
             "round": self.round,
             "messages": self.messages,
             "bits": self.bits,
@@ -75,8 +90,15 @@ class RoundTrace:
                 str(k): v for k, v in sorted(self.congestion_histogram.items())
             },
         }
+        # Quiescent rounds carry no messages; omit the empty histogram
+        # the same way the fault counters are omitted below.
+        if self.message_bits_histogram:
+            data["message_bits_histogram"] = {
+                str(k): v
+                for k, v in sorted(self.message_bits_histogram.items())
+            }
         # Fault counters appear only when a fault fired, keeping
-        # fault-free trace files byte-compatible with earlier versions.
+        # fault-free trace files free of always-zero noise fields.
         if self.dropped or self.duplicated or self.corrupted or self.crashed:
             data["dropped"] = self.dropped
             data["duplicated"] = self.duplicated
@@ -97,6 +119,12 @@ class RoundTrace:
             max_congestion=data["max_congestion"],
             congestion_histogram={
                 int(k): v for k, v in data["congestion_histogram"].items()
+            },
+            # Absent from schema-1 files; those round-trip with the
+            # histogram empty rather than failing to load.
+            message_bits_histogram={
+                int(k): v
+                for k, v in data.get("message_bits_histogram", {}).items()
             },
             dropped=data.get("dropped", 0),
             duplicated=data.get("duplicated", 0),
@@ -127,6 +155,7 @@ class TraceRecorder:
         duplicated: int = 0,
         corrupted: int = 0,
         crashed: int = 0,
+        message_bits_histogram: Optional[Dict[int, int]] = None,
     ) -> None:
         histogram: Dict[int, int] = {}
         for count in per_edge_counts.values():
@@ -142,6 +171,7 @@ class TraceRecorder:
                 skipped_before=skipped_before,
                 max_congestion=max(histogram, default=0),
                 congestion_histogram=histogram,
+                message_bits_histogram=dict(message_bits_histogram or {}),
                 dropped=dropped,
                 duplicated=duplicated,
                 corrupted=corrupted,

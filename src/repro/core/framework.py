@@ -34,6 +34,7 @@ from ..decomposition.expander import (
 )
 from ..errors import DecompositionError, GraphError
 from ..graph import Graph
+from ..obs import registry as _telemetry
 from ..rng import SeedLike, ensure_rng
 from ..routing.gather import (
     Annotator,
@@ -170,34 +171,44 @@ def partition_minor_free(
     diameter_cap = diameter_bound(phi, graph.n)
     runs: List[ClusterRun] = []
     cluster_metrics: List[CongestMetrics] = []
-    for i, cluster_vertices in enumerate(decomposition.clusters):
-        sub = graph.subgraph(cluster_vertices)
-        certificate = decomposition.certificates[i]
-        cluster_phi = max(phi, certificate)
-        gather = gather_topology(
-            sub,
-            phi=cluster_phi,
-            density_bound=t,
-            solver=solver,
-            seed=rng.getrandbits(64),
-            network_n=graph.n,
-            transport=transport,
-            annotate=annotate,
-        )
-        runs.append(
-            ClusterRun(
-                index=i,
-                vertices=set(cluster_vertices),
-                leader=gather.leader,
-                certificate=certificate,
-                gather=gather,
-                degree_condition_ok=degree_condition_holds(sub, cluster_phi),
-                diameter_ok=diameter_within(sub, diameter_cap),
+    with _telemetry.span("partition"):
+        for i, cluster_vertices in enumerate(decomposition.clusters):
+            sub = graph.subgraph(cluster_vertices)
+            certificate = decomposition.certificates[i]
+            cluster_phi = max(phi, certificate)
+            with _telemetry.span("gather"):
+                gather = gather_topology(
+                    sub,
+                    phi=cluster_phi,
+                    density_bound=t,
+                    solver=solver,
+                    seed=rng.getrandbits(64),
+                    network_n=graph.n,
+                    transport=transport,
+                    annotate=annotate,
+                )
+            runs.append(
+                ClusterRun(
+                    index=i,
+                    vertices=set(cluster_vertices),
+                    leader=gather.leader,
+                    certificate=certificate,
+                    gather=gather,
+                    degree_condition_ok=degree_condition_holds(
+                        sub, cluster_phi
+                    ),
+                    diameter_ok=diameter_within(sub, diameter_cap),
+                )
             )
-        )
-        cluster_metrics.append(gather.metrics)
+            cluster_metrics.append(gather.metrics)
 
     metrics = parallel_merge(cluster_metrics)
+    _telemetry.count("framework.runs")
+    _telemetry.count("framework.clusters", len(runs))
+    _telemetry.count(
+        "framework.failed_clusters",
+        sum(1 for run in runs if not run.success),
+    )
     answers: Dict[Any, Any] = {}
     for run in runs:
         answers.update(run.gather.answers)

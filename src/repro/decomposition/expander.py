@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import DecompositionError
 from ..graph import Graph, edge_key
+from ..obs import registry as _telemetry
 from ..rng import SeedLike, ensure_rng
 from ..spectral.conductance import (
     EXACT_CONDUCTANCE_LIMIT,
@@ -165,57 +166,66 @@ def expander_decomposition(
     rng = ensure_rng(seed)
     result = ExpanderDecomposition(graph=graph, epsilon=epsilon, phi=phi)
 
-    # Work on connected pieces; isolated vertices become singletons.
-    stack: List[Set] = [set(c) for c in graph.connected_components()]
-    while stack:
-        cluster = stack.pop()
-        sub = graph.subgraph(cluster)
-        small_enough = (
-            max_cluster_size is None
-            or len(cluster) <= max(1, max_cluster_size)
-        )
-        # Certify and (if that fails) split off ONE eigensolve: the
-        # Cheeger certificate lambda_2 / 2 and the Fiedler sweep vector
-        # come from the same normalized Laplacian, so large clusters
-        # that fail certification hand their vector straight to
-        # sweep_cut instead of solving again (see _certify for the
-        # equivalent single-purpose check).
-        certificate = None
-        fiedler = None
-        if small_enough:
-            if sub.n <= 1:
-                certificate = 1.0
-            elif sub.n == 2:
-                certificate = 1.0 if sub.m == 1 else None
-            elif sub.n <= min(12, EXACT_CONDUCTANCE_LIMIT):
-                value, _ = exact_conductance(sub)
-                certificate = value if value >= phi else None
-            else:
-                gap, fiedler = lambda2_and_fiedler(sub)
-                lower = gap / 2.0
-                certificate = lower if lower >= phi else None
-        if certificate is not None:
-            result.clusters.append(cluster)
-            result.certificates.append(certificate)
-            continue
-        # Not certified: split along a (possibly randomized) sweep cut.
-        _, side = sweep_cut(sub, vector=fiedler, rng=rng, slack=cut_slack)
-        if not side or len(side) == len(cluster):
-            # Degenerate sweep (should not happen); fall back to a
-            # single-vertex shave to guarantee progress.
-            side = {next(iter(cluster))}
-        for u, v in sub.boundary(side):
-            result.cut_edges.append(edge_key(u, v))
-        for piece in (side, cluster - side):
-            piece_sub = sub.subgraph(piece)
-            for comp in piece_sub.connected_components():
-                stack.append(set(comp))
+    with _telemetry.span("decompose"):
+        # Work on connected pieces; isolated vertices become singletons.
+        stack: List[Set] = [set(c) for c in graph.connected_components()]
+        while stack:
+            cluster = stack.pop()
+            sub = graph.subgraph(cluster)
+            small_enough = (
+                max_cluster_size is None
+                or len(cluster) <= max(1, max_cluster_size)
+            )
+            # Certify and (if that fails) split off ONE eigensolve: the
+            # Cheeger certificate lambda_2 / 2 and the Fiedler sweep vector
+            # come from the same normalized Laplacian, so large clusters
+            # that fail certification hand their vector straight to
+            # sweep_cut instead of solving again (see _certify for the
+            # equivalent single-purpose check).
+            certificate = None
+            fiedler = None
+            if small_enough:
+                with _telemetry.span("certify"):
+                    if sub.n <= 1:
+                        certificate = 1.0
+                    elif sub.n == 2:
+                        certificate = 1.0 if sub.m == 1 else None
+                    elif sub.n <= min(12, EXACT_CONDUCTANCE_LIMIT):
+                        value, _ = exact_conductance(sub)
+                        certificate = value if value >= phi else None
+                    else:
+                        gap, fiedler = lambda2_and_fiedler(sub)
+                        lower = gap / 2.0
+                        certificate = lower if lower >= phi else None
+            if certificate is not None:
+                result.clusters.append(cluster)
+                result.certificates.append(certificate)
+                continue
+            # Not certified: split along a (possibly randomized) sweep cut.
+            with _telemetry.span("split"):
+                _, side = sweep_cut(
+                    sub, vector=fiedler, rng=rng, slack=cut_slack
+                )
+                if not side or len(side) == len(cluster):
+                    # Degenerate sweep (should not happen); fall back to a
+                    # single-vertex shave to guarantee progress.
+                    side = {next(iter(cluster))}
+                for u, v in sub.boundary(side):
+                    result.cut_edges.append(edge_key(u, v))
+                for piece in (side, cluster - side):
+                    piece_sub = sub.subgraph(piece)
+                    for comp in piece_sub.connected_components():
+                        stack.append(set(comp))
+            _telemetry.count("decompose.splits")
 
     if enforce_budget and result.cut_fraction() > epsilon + 1e-12:
         raise DecompositionError(
             f"cut fraction {result.cut_fraction():.4f} exceeds epsilon="
             f"{epsilon} (phi={phi:.5f} too aggressive for this graph)"
         )
+    _telemetry.count("decompose.runs")
+    _telemetry.count("decompose.clusters", result.k)
+    _telemetry.count("decompose.cut_edges", len(result.cut_edges))
     return result
 
 

@@ -1,0 +1,174 @@
+"""Perf-regression baselines: schema-versioned snapshots and diffs.
+
+``repro bench --telemetry out.json`` writes a snapshot of one benchmark
+run — per-cell wall clocks, per-suite walls, and the merged telemetry
+registry — and ``repro obs diff old.json new.json --budget 1.25``
+compares two snapshots, exiting nonzero when any timing regressed past
+the budget.  CI runs the diff as a soft gate against a committed seed
+baseline (a generous budget keeps it informative rather than flaky
+across runner hardware) and uploads every snapshot as a ``BENCH_*``
+artifact, so the repo finally accumulates a perf trajectory.
+
+Snapshots carry ``schema`` so future layout changes can migrate or
+refuse old files explicitly instead of mis-reading them.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: Ignore regressions smaller than this many absolute seconds: tiny
+#: cells jitter by scheduler noise far beyond any relative budget.
+DEFAULT_MIN_SECONDS = 0.005
+
+
+def build_snapshot(
+    suites: Dict[str, Dict[str, Any]],
+    telemetry: Optional[Dict[str, Any]] = None,
+    jobs: int = 1,
+    cache_enabled: bool = True,
+) -> Dict[str, Any]:
+    """Assemble a snapshot payload.
+
+    ``suites`` maps suite name to ``{"wall_seconds": float, "cells":
+    {label: {"elapsed": float, "attempts": int}}}`` — exactly what
+    ``repro bench`` collects; ``telemetry`` is a merged registry
+    payload (:meth:`TelemetryRegistry.to_dict`).
+    """
+    return {
+        "schema": SNAPSHOT_SCHEMA_VERSION,
+        "kind": "repro-telemetry-snapshot",
+        "created_unix": round(time.time(), 3),
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "jobs": jobs,
+            "cache_enabled": cache_enabled,
+        },
+        "suites": suites,
+        "telemetry": telemetry or {},
+    }
+
+
+def write_snapshot(path: str, snapshot: Dict[str, Any]) -> None:
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    """Read and validate a snapshot file."""
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    if not isinstance(snapshot, dict) or snapshot.get("kind") != (
+        "repro-telemetry-snapshot"
+    ):
+        raise ValueError(f"{path}: not a repro telemetry snapshot")
+    schema = snapshot.get("schema")
+    if schema != SNAPSHOT_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: snapshot schema {schema!r} is not supported "
+            f"(this build reads schema {SNAPSHOT_SCHEMA_VERSION})"
+        )
+    return snapshot
+
+
+@dataclass
+class BaselineDiff:
+    """Outcome of comparing two snapshots."""
+
+    budget: float
+    regressions: List[Dict[str, Any]] = field(default_factory=list)
+    improvements: List[Dict[str, Any]] = field(default_factory=list)
+    unchanged: int = 0
+    missing: List[str] = field(default_factory=list)  # in old only
+    added: List[str] = field(default_factory=list)    # in new only
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for item in self.regressions:
+            lines.append(
+                f"REGRESSION {item['metric']}: "
+                f"{item['old']:.4f}s -> {item['new']:.4f}s "
+                f"({item['ratio']:.2f}x, budget {self.budget:.2f}x)"
+            )
+        for item in self.improvements:
+            lines.append(
+                f"improved   {item['metric']}: "
+                f"{item['old']:.4f}s -> {item['new']:.4f}s "
+                f"({item['ratio']:.2f}x)"
+            )
+        if self.missing:
+            lines.append(f"missing in new snapshot: {', '.join(self.missing)}")
+        if self.added:
+            lines.append(f"new in new snapshot: {', '.join(self.added)}")
+        lines.append(
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s), "
+            f"{self.unchanged} within budget"
+        )
+        return "\n".join(lines)
+
+
+def _timing_series(snapshot: Dict[str, Any]) -> Dict[str, float]:
+    """Flatten a snapshot into comparable ``metric -> seconds`` pairs."""
+    series: Dict[str, float] = {}
+    for suite_name, suite in snapshot.get("suites", {}).items():
+        series[f"suite:{suite_name}"] = float(suite.get("wall_seconds", 0.0))
+        for label, cell in suite.get("cells", {}).items():
+            series[f"cell:{label}"] = float(cell.get("elapsed", 0.0))
+    return series
+
+
+def diff_snapshots(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    budget: float = 1.25,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> BaselineDiff:
+    """Compare two snapshots' timing series against a relative budget.
+
+    A metric regresses when ``new > old * budget`` **and** the absolute
+    slowdown exceeds ``min_seconds`` (sub-millisecond cells jitter well
+    past any ratio).  Metrics present in only one snapshot are reported
+    but never fail the diff — a grid change is a review matter, not a
+    perf regression.
+    """
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    old_series = _timing_series(old)
+    new_series = _timing_series(new)
+    diff = BaselineDiff(budget=budget)
+    diff.missing = sorted(set(old_series) - set(new_series))
+    diff.added = sorted(set(new_series) - set(old_series))
+    for metric in sorted(set(old_series) & set(new_series)):
+        old_value = old_series[metric]
+        new_value = new_series[metric]
+        ratio = new_value / old_value if old_value > 0 else float("inf")
+        entry = {
+            "metric": metric, "old": old_value, "new": new_value,
+            "ratio": ratio,
+        }
+        if (
+            new_value > old_value * budget
+            and new_value - old_value > min_seconds
+        ):
+            diff.regressions.append(entry)
+        elif (
+            old_value > new_value * budget
+            and old_value - new_value > min_seconds
+        ):
+            diff.improvements.append(entry)
+        else:
+            diff.unchanged += 1
+    return diff

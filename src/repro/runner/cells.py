@@ -43,6 +43,10 @@ class CellResult:
     are JSONL round records when tracing was requested, labeled by
     cell so a merged sharded trace is unambiguous.  ``cache`` is the
     artifact-cache hit/miss delta attributable to this cell.
+    ``telemetry`` is a :meth:`TelemetryRegistry.to_dict` payload when
+    the cell ran under ``--telemetry``; the executor merges the
+    payloads in grid order, so serial and sharded runs agree on every
+    deterministic metric.
     """
 
     suite: str
@@ -54,6 +58,7 @@ class CellResult:
     trace_lines: List[str] = field(default_factory=list)
     elapsed: float = 0.0
     cache: Dict[str, int] = field(default_factory=dict)
+    telemetry: Optional[Dict[str, Any]] = None
     #: Executions it took the executor to land this result (1 = first
     #: try; >1 means the self-healing retry path was exercised).
     attempts: int = 1

@@ -53,6 +53,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..cache import ArtifactCache, CacheStats, activate
 from ..congest import CongestMetrics
+from ..obs import TelemetryRegistry
 from .cells import CellResult
 from .suites import SUITES, execute_cell
 
@@ -79,9 +80,11 @@ def _worker_init(cache_root: Optional[str], use_cache: bool,
 
 
 def _worker_run_cell(args) -> CellResult:
-    suite_name, index, trace = args
+    suite_name, index, trace, telemetry = args
     with activate(_WORKER_CACHE):
-        return execute_cell(suite_name, index, trace=trace)
+        return execute_cell(
+            suite_name, index, trace=trace, telemetry=telemetry
+        )
 
 
 def default_start_method() -> str:
@@ -178,6 +181,20 @@ class SuiteRun:
             stats.add(result.cache)
         return stats.as_dict()
 
+    def merged_telemetry(self) -> Dict[str, object]:
+        """Fold every cell's telemetry payload, in grid order.
+
+        The fold is associative and commutative in everything except
+        gauges (see :meth:`TelemetryRegistry.merge_dict`), and grid
+        order pins the gauge tiebreak, so serial and sharded runs
+        merge to the same payload.
+        """
+        registry = TelemetryRegistry()
+        for result in sorted(self.results, key=lambda r: r.index):
+            if result.telemetry:
+                registry.merge_dict(result.telemetry)
+        return registry.to_dict()
+
     def trace_lines(self) -> List[str]:
         lines: List[str] = []
         for result in sorted(self.results, key=lambda r: r.index):
@@ -210,6 +227,7 @@ def run_suite(
     mp_start: Optional[str] = None,
     limit: Optional[int] = None,
     trace: bool = False,
+    telemetry: bool = False,
     cell_timeout: Optional[float] = None,
     retries: int = 0,
 ) -> SuiteRun:
@@ -220,6 +238,10 @@ def run_suite(
     first ``limit`` cells (suites order cells smallest-first precisely
     so this is a cheap smoke slice).  Results always come back sorted
     by cell index, never by completion order.
+
+    ``telemetry`` runs every cell inside its own telemetry scope (see
+    :mod:`repro.obs`); :meth:`SuiteRun.merged_telemetry` folds the
+    per-cell payloads back together in grid order.
 
     ``retries`` grants each cell that many extra attempts after a
     failure; ``cell_timeout`` bounds one attempt's wall-clock seconds
@@ -253,7 +275,9 @@ def run_suite(
                 attempt = 1
                 while True:
                     try:
-                        result = execute_cell(name, i, trace=trace)
+                        result = execute_cell(
+                            name, i, trace=trace, telemetry=telemetry
+                        )
                         result.attempts = attempt
                         results.append(result)
                         break
@@ -278,6 +302,7 @@ def run_suite(
             indices=indices,
             labels=labels,
             trace=trace,
+            telemetry=telemetry,
             jobs=effective_jobs,
             mp_start=mp_start,
             cache_root=cache_root,
@@ -327,6 +352,7 @@ def _run_parallel(
     indices: List[int],
     labels: Dict[int, str],
     trace: bool,
+    telemetry: bool,
     jobs: int,
     mp_start: Optional[str],
     cache_root: Optional[str],
@@ -387,7 +413,9 @@ def _run_parallel(
                 ready.append((index, attempt))
             while ready and len(in_flight) < jobs:
                 index, attempt = ready.pop()
-                future = pool.submit(_worker_run_cell, (name, index, trace))
+                future = pool.submit(
+                    _worker_run_cell, (name, index, trace, telemetry)
+                )
                 deadline = (
                     now + cell_timeout if cell_timeout is not None else None
                 )

@@ -27,6 +27,7 @@ from ..cache import (
 )
 from ..congest import TraceSession
 from ..congest.message import MessageBudget
+from ..obs.registry import telemetry_scope
 from ..decomposition.expander import phi_for_epsilon, verify_expander_decomposition
 from .cells import CellResult, ExperimentCell
 
@@ -416,12 +417,17 @@ def execute_cell(
     suite_name: str,
     index: int,
     trace: bool = False,
+    telemetry: bool = False,
 ) -> CellResult:
     """Run one cell in the current process and package its result.
 
     Uses whatever artifact cache is currently active (see
     :func:`repro.cache.activate`); cache statistics are reported as the
     delta this cell caused, which sums correctly across any sharding.
+
+    With ``telemetry`` the cell runs inside its own telemetry scope —
+    identically inline and in a worker process — and the registry
+    payload rides back on :attr:`CellResult.telemetry`.
     """
     spec = SUITES[suite_name]
     cells = spec.cells()
@@ -431,16 +437,34 @@ def execute_cell(
 
     start = time.perf_counter()
     trace_lines: List[str] = []
-    if trace:
-        # Tracing needs the simulation to actually run, so it bypasses
-        # the cell-result tier (intermediate artifacts still apply).
+    telemetry_data = None
+
+    def run_traced():
         with TraceSession() as session:
-            rows, metrics, extra = spec.cell_fn(cell)
+            out = spec.cell_fn(cell)
         for i, recorder in enumerate(session.recorders):
             recorder.label = f"{cell.label}/sim{i}"
             dumped = recorder.dumps_jsonl()
             if dumped:
                 trace_lines.extend(dumped.splitlines())
+        return out
+
+    if telemetry:
+        # Telemetry, like tracing, needs the simulation to actually
+        # run, so it bypasses the cell-result tier (intermediate
+        # artifacts still apply).  The per-cell span makes each cell a
+        # distinct path in the merged span tree.
+        with telemetry_scope() as registry:
+            with registry.span(f"cell:{cell.label}"):
+                if trace:
+                    rows, metrics, extra = run_traced()
+                else:
+                    rows, metrics, extra = spec.cell_fn(cell)
+        telemetry_data = registry.to_dict()
+    elif trace:
+        # Tracing needs the simulation to actually run, so it bypasses
+        # the cell-result tier (intermediate artifacts still apply).
+        rows, metrics, extra = run_traced()
     elif cache is not None:
         # Cell results are themselves content-addressed artifacts: the
         # key covers the full grid coordinates plus a salt over the
@@ -469,4 +493,5 @@ def execute_cell(
         trace_lines=trace_lines,
         elapsed=elapsed,
         cache=cache_delta,
+        telemetry=telemetry_data,
     )

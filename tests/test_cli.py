@@ -74,10 +74,37 @@ class TestCLI:
         assert main(
             ["maxis", "--n", "40", "--seed", "11", "--trace", str(path)]
         ) == 0
-        out = capsys.readouterr().out
-        assert "trace:" in out and str(path) in out
+        # Diagnostics land on stderr; results stay on stdout.
+        captured = capsys.readouterr()
+        assert "trace:" in captured.err and str(path) in captured.err
+        assert "independent set" in captured.out
         lines = path.read_text().splitlines()
         assert lines  # at least one simulated round was recorded
         back = TraceRecorder.from_jsonl(lines)
         assert back.total_messages() > 0
         assert all(r.round >= 1 for r in back.rounds)
+
+    def test_quiet_suppresses_diagnostics(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["--quiet", "maxis", "--n", "40", "--seed", "11",
+             "--trace", str(path)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "trace:" not in captured.err
+        assert "independent set" in captured.out
+
+    def test_log_json_diagnostics(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["--log-json", "maxis", "--n", "40", "--seed", "11",
+             "--trace", str(path)]
+        ) == 0
+        captured = capsys.readouterr()
+        events = [json.loads(line) for line in captured.err.splitlines()]
+        assert any(
+            e["level"] == "info" and e["message"].startswith("trace:")
+            for e in events
+        )

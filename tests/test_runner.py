@@ -141,8 +141,11 @@ def test_cli_bench_smoke(tmp_path, capsys):
         "--stats-json", stats_path,
     ])
     assert code == 0
-    printed = capsys.readouterr().out
-    assert "E10" in printed and "cache:" in printed
+    captured = capsys.readouterr()
+    # Result tables stay on stdout; the cache/cells line is a
+    # diagnostic and goes to stderr through the `repro` logger.
+    assert "E10" in captured.out
+    assert "cache:" in captured.err
 
     with open(stats_path) as handle:
         stats = json.load(handle)
@@ -163,5 +166,5 @@ def test_cli_bench_no_cache(tmp_path, capsys):
         "bench", "--suite", "E10", "--limit", "1", "--no-cache",
     ])
     assert code == 0
-    out = capsys.readouterr().out
-    assert "misses" in out
+    # Cache statistics are diagnostics: logger -> stderr.
+    assert "misses" in capsys.readouterr().err
