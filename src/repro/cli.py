@@ -281,6 +281,11 @@ def cmd_bench(args) -> int:
         raise SystemExit(
             f"unknown suite(s) {unknown}; available: {suite_names()}"
         )
+    if args.journal and len(names) > 1:
+        raise SystemExit(
+            "--journal names one file and cannot span multiple suites; "
+            "restrict the run with --suite NAME"
+        )
 
     runs = []
     total_start = time.perf_counter()
@@ -296,10 +301,20 @@ def cmd_bench(args) -> int:
             telemetry=args.telemetry is not None,
             cell_timeout=args.cell_timeout,
             retries=args.retries,
+            journal=args.journal,
+            resume=args.resume,
         )
         runs.append(run)
         rendered = run.render_table()
         print("\n" + rendered)
+        if run.journal_path:
+            log.info(
+                "[%s] journal %s: %d cell(s) replayed, %d computed%s",
+                name, run.journal_path, run.replayed_cells(),
+                len(run.results) - run.replayed_cells(),
+                (f", {run.journal_corrupt_lines} corrupt line(s) skipped"
+                 if run.journal_corrupt_lines else ""),
+            )
         if run.recovery.intervened or run.quarantined:
             r = run.recovery
             log.warning(
@@ -381,22 +396,33 @@ def cmd_faults(args) -> int:
         validate_independent_set,
     )
 
-    crashes = []
-    for spec in args.crash or []:
-        try:
-            vertex, round_number = spec.split(":", 1)
-            crashes.append((int(vertex), int(round_number)))
-        except ValueError:
-            raise SystemExit(
-                f"bad --crash {spec!r}; expected VERTEX:ROUND"
-            )
-    plan = FaultPlan(
-        seed=args.fault_seed,
-        drop=args.drop,
-        duplicate=args.duplicate,
-        corrupt=args.corrupt,
-        crashes=tuple(crashes),
-    )
+    def parse_schedule(specs, flag):
+        entries = []
+        for spec in specs or []:
+            try:
+                vertex, round_number = spec.split(":", 1)
+                entries.append((int(vertex), int(round_number)))
+            except ValueError:
+                raise SystemExit(
+                    f"bad {flag} {spec!r}; expected VERTEX:ROUND"
+                )
+        return tuple(entries)
+
+    from .errors import FaultError
+
+    try:
+        plan = FaultPlan(
+            seed=args.fault_seed,
+            drop=args.drop,
+            duplicate=args.duplicate,
+            corrupt=args.corrupt,
+            crashes=parse_schedule(args.crash, "--crash"),
+            rejoins=parse_schedule(args.rejoin, "--rejoin"),
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    except (FaultError, ValueError) as exc:
+        # e.g. a rejoin without a matching crash, or a rate out of range
+        raise SystemExit(f"invalid fault plan: {exc}")
     g = _build_graph(args)
     metrics = None
     try:
@@ -424,7 +450,7 @@ def cmd_faults(args) -> int:
 
     print(f"plan: drop={plan.drop} duplicate={plan.duplicate} "
           f"corrupt={plan.corrupt} crashes={len(plan.crashes)} "
-          f"seed={plan.seed}")
+          f"rejoins={len(plan.rejoins)} seed={plan.seed}")
     if metrics is not None:
         _print_metrics(metrics)
         if metrics.faulted:
@@ -443,7 +469,13 @@ def cmd_obs_report(args) -> int:
         render_report,
     )
 
-    snapshot = load_snapshot(args.snapshot)
+    try:
+        snapshot = load_snapshot(args.snapshot)
+    except (OSError, ValueError) as exc:
+        # A missing or mangled snapshot is an operator error, not a
+        # bug: report it cleanly instead of dumping a traceback.
+        log.error("cannot load snapshot %s: %s", args.snapshot, exc)
+        return 2
     telemetry = snapshot.get("telemetry", {})
     if args.format == "prom":
         sys.stdout.write(prometheus_text(telemetry))
@@ -459,8 +491,12 @@ def cmd_obs_diff(args) -> int:
     """Compare two telemetry snapshots against a perf budget."""
     from .obs import diff_snapshots, load_snapshot
 
-    old = load_snapshot(args.old)
-    new = load_snapshot(args.new)
+    try:
+        old = load_snapshot(args.old)
+        new = load_snapshot(args.new)
+    except (OSError, ValueError) as exc:
+        log.error("cannot load snapshot: %s", exc)
+        return 2
     diff = diff_snapshots(old, new, budget=args.budget,
                           min_seconds=args.min_seconds)
     print(diff.render())
@@ -587,6 +623,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--retries", type=int, default=0, metavar="N",
                        help="extra attempts per failed cell before it "
                             "is quarantined (default: 0)")
+    bench.add_argument("--journal", default=None, metavar="PATH",
+                       help="write-ahead journal recording each "
+                            "completed cell (single suite only; "
+                            "default with --resume: "
+                            "<cache-dir>/journals/<suite>.jsonl)")
+    bench.add_argument("--resume", action="store_true",
+                       help="replay cells already completed in the "
+                            "journal of an interrupted run instead of "
+                            "recomputing them")
     bench.set_defaults(handler=cmd_bench)
 
     faults = sub.add_parser(
@@ -610,6 +655,16 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--crash", action="append", default=None,
                         metavar="VERTEX:ROUND",
                         help="fail-stop a vertex at a round (repeatable)")
+    faults.add_argument("--rejoin", action="append", default=None,
+                        metavar="VERTEX:ROUND",
+                        help="revive a crashed vertex at a round "
+                             "(repeatable; requires a --crash for the "
+                             "same vertex at an earlier round)")
+    faults.add_argument("--checkpoint-interval", type=int, default=None,
+                        metavar="ROUNDS",
+                        help="rejoining vertices restore from a local "
+                             "snapshot taken every ROUNDS executed "
+                             "steps (default: re-initialize fresh)")
     faults.add_argument("--fault-seed", type=int, default=0,
                         help="seed of the deterministic fault stream")
     faults.set_defaults(handler=cmd_faults)

@@ -21,6 +21,12 @@ from .faults import (
     use_faults,
 )
 from .trace import RoundTrace, TraceRecorder, TraceSession
+from .checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    SimulationCheckpoint,
+    graph_fingerprint,
+    resume_simulation,
+)
 from .network import (
     CongestSimulator,
     SimulationResult,
@@ -46,6 +52,10 @@ __all__ = [
     "LinkFailure",
     "active_fault_plan",
     "use_faults",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "SimulationCheckpoint",
+    "graph_fingerprint",
+    "resume_simulation",
     "default_engine",
     "set_default_engine",
     "use_engine",

@@ -1,0 +1,301 @@
+"""Durable simulation checkpoints for the CONGEST engines.
+
+A :class:`SimulationCheckpoint` captures one simulation at a *round
+boundary* — after a round's messages have been collected, before the
+next round begins.  It holds everything the next round depends on:
+
+* per-vertex algorithm objects and contexts (including each vertex's
+  private RNG stream, exactly as advanced so far);
+* in-flight traffic awaiting delivery, with its accounting tuple;
+* queued inboxes, the runnable set, and scheduled wakeups;
+* the :class:`~repro.congest.metrics.CongestMetrics` accumulated so far
+  and the rounds recorded by an attached trace recorder;
+* the full fault state: the plan itself (fault decisions are a pure
+  keyed hash of the plan, so nothing else about the channel needs
+  saving), the remaining crash schedule, unfired rejoins, and the local
+  per-vertex snapshots the crash-recovery model keeps.
+
+The invariant — pinned by ``tests/test_checkpoint.py`` on both engines,
+fault-free and under every fault class — is that *resuming from a
+checkpoint is bit-identical to never having stopped*: outputs, metrics,
+and traces all match the uninterrupted run.  Checkpoints are
+engine-neutral (state is keyed by vertex, not by engine-internal
+index), so a checkpoint captured on the fast engine resumes on the
+reference engine and vice versa.
+
+Wire format: a schema-versioned JSON envelope whose ``state`` field is
+a pickled (protocol-pinned) blob of the live vertex objects, base64
+encoded.  The blob must be one pickle so that object identity between
+an algorithm and its context (wrappers like
+:class:`repro.resilience.transport.ReliableAlgorithm` hold both) is
+preserved across the round trip.  Checkpointing therefore requires the
+vertex algorithms to be picklable — true for every algorithm in this
+library.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Any, Dict, List, Optional
+
+from ..errors import CheckpointError
+from ..graph import Graph, canonical_vertex_order
+
+#: Version stamped on every serialized checkpoint.  History:
+#:
+#: * 1 — initial layout (round, engine-neutral state blob, metrics,
+#:   optional trace prefix, fault plan + crash-recovery state).
+#:
+#: ``from_dict`` accepts any version up to the current one and fills
+#: absent newer fields with defaults, so pinned old fixtures keep
+#: loading (see ``tests/data/checkpoint_v1.json``).
+CHECKPOINT_SCHEMA_VERSION = 1
+
+#: Pinned pickle protocol for the state blob, matching the artifact
+#: cache's choice so checkpoints stay readable across the same range of
+#: interpreter versions.
+PICKLE_PROTOCOL = 4
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Stable digest of a graph's exact topology and edge weights.
+
+    Stored in every checkpoint and verified at resume: restoring vertex
+    state into a *different* network would not fail loudly on its own —
+    it would silently diverge — so the fingerprint turns that mistake
+    into a :class:`~repro.errors.CheckpointError`.
+    """
+    digest = blake2b(digest_size=16)
+    adj = graph._adj
+    for v in canonical_vertex_order(graph.vertices()):
+        digest.update(repr(v).encode("utf-8"))
+        digest.update(b"|")
+        row = adj[v]
+        for u in canonical_vertex_order(row):
+            digest.update(f"{u!r}:{row[u]!r};".encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+@dataclass
+class SimulationCheckpoint:
+    """One simulation frozen at a round boundary; see the module doc."""
+
+    #: Round counter at capture time; the resumed run continues at
+    #: ``round + 1`` (``run(max_rounds=...)`` stays an absolute bound).
+    round: int
+    n: int
+    #: Engine that captured the checkpoint (informational — resume may
+    #: use either engine; the state is vertex-keyed).
+    engine: str
+    #: :func:`graph_fingerprint` of the captured network.
+    graph: str
+    strict: bool
+    capacity: int
+    budget_n: int
+    budget_words: int
+    #: ``FaultPlan.to_dict()`` payload, or ``None`` for fault-free runs.
+    fault_plan: Optional[Dict[str, Any]]
+    #: ``CongestMetrics.to_dict(include_per_round=True)`` payload.
+    metrics: Dict[str, Any]
+    #: The pickled engine-neutral state blob (see the module doc).
+    state: bytes
+    #: Rounds recorded by the attached trace recorder up to capture, as
+    #: ``RoundTrace.to_dict()`` payloads; ``None`` when untraced.
+    trace_rounds: Optional[List[Dict[str, Any]]] = None
+    schema: int = CHECKPOINT_SCHEMA_VERSION
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (the state blob is base64-encoded)."""
+        return {
+            "schema": self.schema,
+            "round": self.round,
+            "n": self.n,
+            "engine": self.engine,
+            "graph": self.graph,
+            "strict": self.strict,
+            "capacity": self.capacity,
+            "budget": {"n": self.budget_n, "words": self.budget_words},
+            "fault_plan": self.fault_plan,
+            "metrics": self.metrics,
+            "trace_rounds": self.trace_rounds,
+            "state": base64.b64encode(self.state).decode("ascii"),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimulationCheckpoint":
+        """Rebuild a checkpoint, tolerating *older* schemas forever.
+
+        Unknown fields from future minor additions are ignored and
+        absent optional fields default, which is the forward-compat
+        contract the pinned v1 fixture test locks in.  A schema newer
+        than this code understands is refused rather than misread.
+        """
+        if not isinstance(data, dict):
+            raise CheckpointError(
+                f"checkpoint payload is {type(data).__name__}, not an object"
+            )
+        schema = data.get("schema")
+        if not isinstance(schema, int) or schema < 1:
+            raise CheckpointError(
+                f"checkpoint carries invalid schema marker {schema!r}"
+            )
+        if schema > CHECKPOINT_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"checkpoint schema {schema} is newer than the supported "
+                f"version {CHECKPOINT_SCHEMA_VERSION}"
+            )
+        try:
+            budget = data.get("budget", {})
+            return cls(
+                schema=schema,
+                round=int(data["round"]),
+                n=int(data["n"]),
+                engine=str(data.get("engine", "")),
+                graph=str(data["graph"]),
+                strict=bool(data.get("strict", False)),
+                capacity=int(data.get("capacity", 1)),
+                budget_n=int(budget["n"]),
+                budget_words=int(budget["words"]),
+                fault_plan=data.get("fault_plan"),
+                metrics=dict(data["metrics"]),
+                trace_rounds=data.get("trace_rounds"),
+                state=base64.b64decode(data["state"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed checkpoint payload: {type(exc).__name__}: {exc}"
+            ) from exc
+
+    # -- file I/O --------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Write the checkpoint to ``path`` atomically (write + rename).
+
+        Durability is the whole point of a checkpoint, so a crash while
+        saving must never leave a half-written file where an older good
+        checkpoint used to be.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "w") as handle:
+                handle.write(payload)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+
+    @classmethod
+    def load(cls, path: str) -> "SimulationCheckpoint":
+        """Read a checkpoint file, wrapping every failure mode loudly."""
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {path!r}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"checkpoint {path!r} is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(data)
+
+
+def verify_restore_target(engine, checkpoint: SimulationCheckpoint,
+                          n: int) -> None:
+    """Refuse to restore ``checkpoint`` into a mismatched simulation.
+
+    Shared by both engines' ``restore_checkpoint``: the bit-identical
+    resume guarantee only holds when the graph, the CONGEST
+    configuration, and the fault plan all match the capturing run, so
+    any mismatch raises :class:`~repro.errors.CheckpointError` instead
+    of silently diverging.
+    """
+    if checkpoint.n != n:
+        raise CheckpointError(
+            f"checkpoint was captured over {checkpoint.n} vertices, "
+            f"this simulation has {n}"
+        )
+    fingerprint = graph_fingerprint(engine.graph)
+    if checkpoint.graph != fingerprint:
+        raise CheckpointError(
+            "checkpoint was captured over a different graph "
+            f"(fingerprint {checkpoint.graph} != {fingerprint})"
+        )
+    if (
+        engine.strict != checkpoint.strict
+        or engine.capacity != checkpoint.capacity
+        or engine.budget.n != checkpoint.budget_n
+        or engine.budget.words != checkpoint.budget_words
+    ):
+        raise CheckpointError(
+            "checkpoint was captured under a different simulator "
+            "configuration (strict/capacity/budget mismatch)"
+        )
+    plan = (
+        engine.faults.plan.to_dict() if engine.faults is not None else None
+    )
+    if plan != checkpoint.fault_plan:
+        raise CheckpointError(
+            "checkpoint was captured under a different fault plan"
+        )
+
+
+def resume_simulation(
+    graph: Graph,
+    algorithm_factory,
+    checkpoint: SimulationCheckpoint,
+    engine: Optional[str] = None,
+    trace=None,
+):
+    """Rebuild a simulator mid-run from ``checkpoint``.
+
+    ``graph`` and ``algorithm_factory`` must be the ones the original
+    simulation was built from (the graph is verified against the
+    checkpoint's fingerprint; the factory is only consulted if a
+    crash-recovery rejoin later re-initializes a vertex).  ``engine``
+    may differ from the capturing engine — checkpoints are
+    engine-neutral.  The strict/capacity/budget configuration and the
+    fault plan are restored from the checkpoint itself, so the resumed
+    run is bit-identical to the uninterrupted one by construction.
+
+    Returns a ready :class:`~repro.congest.network.CongestSimulator`;
+    call ``run(max_rounds)`` with the same *absolute* bound as the
+    original run to finish it.
+    """
+    from .faults import FaultPlan
+    from .message import MessageBudget
+    from .network import CongestSimulator
+
+    # An explicitly empty plan (rather than None) keeps an ambient
+    # use_faults() region from leaking into the resumed run: the
+    # checkpoint's own plan is the only fault source.
+    plan = (
+        FaultPlan.from_dict(checkpoint.fault_plan)
+        if checkpoint.fault_plan is not None
+        else FaultPlan()
+    )
+    sim = CongestSimulator(
+        graph,
+        algorithm_factory,
+        budget=MessageBudget(checkpoint.budget_n, checkpoint.budget_words),
+        strict=checkpoint.strict,
+        capacity=checkpoint.capacity,
+        seed=0,  # construction-time streams are discarded by the restore
+        engine=engine,
+        trace=trace,
+        faults=plan,
+    )
+    sim._engine.restore_checkpoint(checkpoint)
+    return sim

@@ -24,13 +24,20 @@ the number of rounds executed.
 
 from __future__ import annotations
 
+import pickle
 from heapq import heappop, heappush
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from ..errors import MessageTooLargeError, ProtocolError
+from ..errors import CheckpointError, MessageTooLargeError, ProtocolError
 from ..graph import Graph, canonical_vertex_order
 from ..rng import ensure_rng
 from .algorithm import VertexAlgorithm, VertexContext
+from .checkpoint import (
+    PICKLE_PROTOCOL,
+    SimulationCheckpoint,
+    graph_fingerprint,
+    verify_restore_target,
+)
 from .faults import CORRUPT, DELIVER, DROP, DUPLICATE, NO_FAULTS, FaultInjector
 from .message import (
     _BOOL_BITS,
@@ -41,7 +48,7 @@ from .message import (
     message_bits,
 )
 from .metrics import CongestMetrics
-from .trace import TraceRecorder
+from .trace import RoundTrace, TraceRecorder
 from ..obs import registry as _telemetry
 
 #: Sentinel for "no traffic in flight": (per-edge counts, messages,
@@ -110,6 +117,9 @@ class FastEngine:
         self.metrics = CongestMetrics()
         self.trace = trace
         self.faults = faults
+        # Kept for crash-recovery: a rejoining vertex with no local
+        # snapshot re-initializes through the same factory.
+        self._factory = algorithm_factory
 
         order, contexts, algorithms = build_vertex_state(
             graph, algorithm_factory, seed
@@ -157,9 +167,31 @@ class FastEngine:
             self._crash_rounds: Optional[List[Optional[int]]] = [
                 faults.crash_round(v) for v in order
             ]
+            # Crash-recovery schedule: (rejoin round, vertex id), sorted
+            # by round with canonical order breaking ties (the stable
+            # sort preserves the enumerate order within equal rounds).
+            rejoins = [
+                (faults.rejoin_round(v), i)
+                for i, v in enumerate(order)
+                if faults.rejoin_round(v) is not None
+            ]
+            rejoins.sort(key=lambda entry: entry[0])
+            self._rejoin_queue: List[Tuple[int, int]] = rejoins
+            self._snapshot_interval = faults.checkpoint_interval
         else:
             self._crash_rounds = None
+            self._rejoin_queue = []
+            self._snapshot_interval = None
         self._crashed_ids: Set[int] = set()
+        # Local crash-recovery snapshots: only vertices still scheduled
+        # to rejoin are worth snapshotting.
+        self._snapshot_targets: Set[int] = {i for _, i in self._rejoin_queue}
+        self._snapshots: Dict[int, bytes] = {}
+        self._snapshot_rounds: Dict[int, int] = {}
+        # Flipped by run() after the initialization pass; a restored
+        # post-init checkpoint carries True, so run() then skips
+        # initialization and continues mid-simulation.
+        self._initialized = False
 
     # ------------------------------------------------------------------
     @property
@@ -167,31 +199,46 @@ class FastEngine:
         """Final value of the synchronous round counter."""
         return self._round
 
-    def run(self, max_rounds: int = 10_000):
-        """Execute until all vertices halt or ``max_rounds`` elapse."""
+    def run(
+        self,
+        max_rounds: int = 10_000,
+        checkpoint_every: Optional[int] = None,
+        on_checkpoint: Optional[Callable[..., None]] = None,
+    ):
+        """Execute until all vertices halt or ``max_rounds`` elapse.
+
+        When both ``checkpoint_every`` and ``on_checkpoint`` are given,
+        a :class:`~repro.congest.checkpoint.SimulationCheckpoint` is
+        captured after every ``checkpoint_every``-th executed round and
+        passed to ``on_checkpoint``.  On a restored engine, execution
+        continues from the checkpointed round; ``max_rounds`` stays an
+        absolute bound on the round counter.
+        """
         from .network import SimulationResult
 
         contexts = self._contexts
         algorithms = self._algorithms
         crash_rounds = self._crash_rounds
-        init_crashed = 0
-        for i in range(self._n):
-            if crash_rounds is not None:
-                cr = crash_rounds[i]
-                if cr is not None and cr <= 0:
-                    # Fail-stopped before round 0: never initializes.
-                    contexts[i]._halted = True
-                    self._crashed_ids.add(i)
-                    init_crashed += 1
-                    continue
-            algorithms[i].initialize(contexts[i])
-        if init_crashed:
-            self.metrics.record_crashed(init_crashed)
-        self._collect(range(self._n))
-        self._runnable = {
-            i for i in range(self._n) if not contexts[i]._halted
-        }
-        self._live = len(self._runnable)
+        if not self._initialized:
+            self._initialized = True
+            init_crashed = 0
+            for i in range(self._n):
+                if crash_rounds is not None:
+                    cr = crash_rounds[i]
+                    if cr is not None and cr <= 0:
+                        # Fail-stopped before round 0: never initializes.
+                        contexts[i]._halted = True
+                        self._crashed_ids.add(i)
+                        init_crashed += 1
+                        continue
+                algorithms[i].initialize(contexts[i])
+            if init_crashed:
+                self.metrics.record_crashed(init_crashed)
+            self._collect(range(self._n))
+            self._runnable = {
+                i for i in range(self._n) if not contexts[i]._halted
+            }
+            self._live = len(self._runnable)
 
         due_vertices = self._due_vertices
         collect = self._collect
@@ -202,12 +249,21 @@ class FastEngine:
         pending = self._pending
         pending_ids_discard = self._pending_ids.discard
 
-        while self._round < max_rounds and self._live > 0:
+        while self._round < max_rounds and (
+            self._live > 0 or self._rejoin_queue
+        ):
             next_round = self._round + 1
             due = due_vertices(next_round)
             skipped = 0
             if not due:
                 target = self._next_wakeup_round()
+                rejoin_queue = self._rejoin_queue
+                if rejoin_queue and (
+                    target is None or rejoin_queue[0][0] < target
+                ):
+                    # A scheduled rejoin is an event like a wakeup: the
+                    # quiescent stretch before it can be fast-forwarded.
+                    target = rejoin_queue[0][0]
                 if target is None:
                     break  # nothing will ever happen again
                 if target > max_rounds:
@@ -219,6 +275,11 @@ class FastEngine:
                 next_round = target
                 due = due_vertices(next_round)
             self._round = next_round
+            revived = (
+                self._process_rejoins(next_round)
+                if self._rejoin_queue
+                else ()
+            )
             per_edge, messages, bits, bits_hist, fcounts = self._inflight
             self._inflight = _NO_TRAFFIC
             if self.faults is None:
@@ -250,8 +311,12 @@ class FastEngine:
                     pending[i] = None
                     pending_ids_discard(i)
                 algorithms[i].step(ctx, box)
-            collect(due)
+            # Revived vertices may have queued messages while (re-)
+            # initializing; drain their outboxes along with the steppers.
+            collect(list(due) + list(revived) if revived else due)
             reschedule(due)
+            if self._snapshot_interval is not None and self._snapshot_targets:
+                self._take_local_snapshots(due, next_round)
             if crashed_now:
                 self.metrics.record_crashed(crashed_now)
             registry = self._registry
@@ -281,8 +346,15 @@ class FastEngine:
                     duplicated=fcounts[1],
                     corrupted=fcounts[2],
                     crashed=crashed_now,
+                    rejoined=len(revived),
                     message_bits_histogram=bits_hist,
                 )
+            if (
+                on_checkpoint is not None
+                and checkpoint_every is not None
+                and next_round % checkpoint_every == 0
+            ):
+                on_checkpoint(self.capture_checkpoint())
 
         if self._registry is not None:
             self.metrics.publish_telemetry(self._registry)
@@ -293,6 +365,261 @@ class FastEngine:
             halted=self._live == 0,
             crashed=frozenset(self._verts[i] for i in self._crashed_ids),
         )
+
+    # -- crash recovery -------------------------------------------------
+    def _process_rejoins(self, round_number: int) -> List[int]:
+        """Revive crashed vertices whose scheduled rejoin round arrived.
+
+        A revived vertex restores from its most recent local snapshot
+        (see :meth:`_take_local_snapshots`) or, when none was taken,
+        re-initializes from scratch with its original RNG seed.  Mail
+        queued while it was dead is lost either way; the vertex steps
+        again from the next round on.  A rejoin scheduled for a vertex
+        that halted normally before its crash round fired is dropped —
+        there is nothing to recover.
+        """
+        queue = self._rejoin_queue
+        contexts = self._contexts
+        algorithms = self._algorithms
+        revived: List[int] = []
+        while queue and queue[0][0] <= round_number:
+            _, i = queue.pop(0)
+            self._snapshot_targets.discard(i)
+            if i not in self._crashed_ids:
+                continue
+            self._crashed_ids.discard(i)
+            if self._crash_rounds is not None:
+                # The crash has been consumed; without this the vertex
+                # would fail-stop again on its next step.
+                self._crash_rounds[i] = None
+            snapshot = self._snapshots.pop(i, None)
+            self._snapshot_rounds.pop(i, None)
+            if snapshot is not None:
+                algorithm, ctx = pickle.loads(snapshot)
+                ctx.round_number = round_number
+            else:
+                old = contexts[i]
+                ctx = VertexContext(
+                    vertex=old.vertex,
+                    neighbors=old.neighbors,
+                    edge_weights=dict(old.edge_weights),
+                    n=old.n,
+                    rng_seed=old._rng_seed,
+                )
+                ctx.round_number = round_number
+                algorithm = self._factory(old.vertex)
+            contexts[i] = ctx
+            algorithms[i] = algorithm
+            self._default_hints[i] = (
+                type(algorithm).is_idle is VertexAlgorithm.is_idle
+            )
+            if snapshot is None:
+                algorithm.initialize(ctx)
+            if self._pending[i] is not None:
+                self._pending[i] = None
+                self._pending_ids.discard(i)
+            self._wake_round[i] = None
+            if not ctx._halted:
+                self._runnable.add(i)
+                self._live += 1
+            revived.append(i)
+        if revived:
+            self.metrics.record_rejoined(len(revived))
+        return revived
+
+    def _take_local_snapshots(self, stepped, round_number: int) -> None:
+        """Snapshot rejoin-scheduled vertices every ``checkpoint_interval``
+        executed steps, so their later revival restores real state.
+
+        Runs after collection, so a snapshot never contains queued
+        outbox messages and revival cannot re-send anything.
+        """
+        interval = self._snapshot_interval
+        targets = self._snapshot_targets
+        contexts = self._contexts
+        last_rounds = self._snapshot_rounds
+        for i in stepped:
+            if i in targets and not contexts[i]._halted:
+                last = last_rounds.get(i)
+                if last is None or round_number - last >= interval:
+                    self._snapshots[i] = pickle.dumps(
+                        (self._algorithms[i], contexts[i]),
+                        protocol=PICKLE_PROTOCOL,
+                    )
+                    last_rounds[i] = round_number
+
+    # -- checkpoint / restore -------------------------------------------
+    def capture_checkpoint(self) -> SimulationCheckpoint:
+        """Freeze the simulation at the current round boundary.
+
+        The state blob is keyed by vertex (never by engine-internal
+        index), normalized so both engines capture identical logical
+        state: inboxes, wakeups, and runnable flags of halted vertices
+        are dead weight the engines handle lazily and are excluded.
+        """
+        contexts = self._contexts
+        verts = self._verts
+        n = self._n
+        per_edge, messages, bits, bits_hist, fcounts = self._inflight
+        state = {
+            "contexts": {verts[i]: contexts[i] for i in range(n)},
+            "algorithms": {
+                verts[i]: self._algorithms[i] for i in range(n)
+            },
+            "pending": {
+                verts[i]: self._pending[i]
+                for i in range(n)
+                if self._pending[i] and not contexts[i]._halted
+            },
+            "runnable": {
+                verts[i] for i in self._runnable if not contexts[i]._halted
+            },
+            "wakeups": {
+                verts[i]: w
+                for i, w in enumerate(self._wake_round)
+                if w is not None and not contexts[i]._halted
+            },
+            "inflight": {
+                "per_edge": [
+                    (verts[key // n], verts[key % n], count)
+                    for key, count in per_edge.items()
+                ],
+                "messages": messages,
+                "bits": bits,
+                "bits_hist": dict(bits_hist),
+                "fcounts": tuple(fcounts),
+            },
+            "crashed": {verts[i] for i in self._crashed_ids},
+            "crash_rounds": (
+                None
+                if self._crash_rounds is None
+                else {
+                    verts[i]: cr
+                    for i, cr in enumerate(self._crash_rounds)
+                    if cr is not None
+                }
+            ),
+            "rejoin_queue": [(r, verts[i]) for r, i in self._rejoin_queue],
+            "snapshots": {
+                verts[i]: blob for i, blob in self._snapshots.items()
+            },
+            "snapshot_rounds": {
+                verts[i]: r for i, r in self._snapshot_rounds.items()
+            },
+            "initialized": self._initialized,
+        }
+        if self._registry is not None:
+            self._registry.count("congest.checkpoints_captured")
+        return SimulationCheckpoint(
+            round=self._round,
+            n=n,
+            engine=self.name,
+            graph=graph_fingerprint(self.graph),
+            strict=self.strict,
+            capacity=self.capacity,
+            budget_n=self.budget.n,
+            budget_words=self.budget.words,
+            fault_plan=(
+                self.faults.plan.to_dict() if self.faults is not None else None
+            ),
+            metrics=self.metrics.to_dict(include_per_round=True),
+            state=pickle.dumps(state, protocol=PICKLE_PROTOCOL),
+            trace_rounds=(
+                [r.to_dict() for r in self.trace.rounds]
+                if self.trace is not None
+                else None
+            ),
+        )
+
+    def restore_checkpoint(self, checkpoint: SimulationCheckpoint) -> None:
+        """Replace this engine's state with a captured checkpoint.
+
+        The engine must have been constructed over the same graph and
+        configuration the checkpoint came from (mismatches raise
+        :class:`~repro.errors.CheckpointError`); construction-time
+        vertex state is discarded.  ``run()`` then continues from the
+        checkpointed round.
+        """
+        verify_restore_target(self, checkpoint, self._n)
+        try:
+            state = pickle.loads(checkpoint.state)
+        except Exception as exc:
+            raise CheckpointError(
+                f"cannot unpickle checkpoint state: {exc}"
+            ) from exc
+        index = self._index
+        verts = self._verts
+        n = self._n
+        try:
+            contexts = state["contexts"]
+            algorithms = state["algorithms"]
+            self._contexts = [contexts[v] for v in verts]
+            self._algorithms = [algorithms[v] for v in verts]
+            self._default_hints = [
+                type(a).is_idle is VertexAlgorithm.is_idle
+                for a in self._algorithms
+            ]
+            self._pending = [None] * n
+            self._pending_ids = set()
+            for v, box in state["pending"].items():
+                i = index[v]
+                self._pending[i] = box
+                self._pending_ids.add(i)
+            self._runnable = {index[v] for v in state["runnable"]}
+            self._heap = []
+            self._wake_round = [None] * n
+            for v, w in state["wakeups"].items():
+                i = index[v]
+                self._wake_round[i] = w
+                heappush(self._heap, (w, i))
+            inflight = state["inflight"]
+            self._inflight = (
+                {
+                    index[u] * n + index[w]: count
+                    for u, w, count in inflight["per_edge"]
+                },
+                inflight["messages"],
+                inflight["bits"],
+                dict(inflight["bits_hist"]),
+                tuple(inflight["fcounts"]),
+            )
+            self._crashed_ids = {index[v] for v in state["crashed"]}
+            crash_rounds = state["crash_rounds"]
+            if crash_rounds is None:
+                self._crash_rounds = None
+            else:
+                rebuilt: List[Optional[int]] = [None] * n
+                for v, cr in crash_rounds.items():
+                    rebuilt[index[v]] = cr
+                self._crash_rounds = rebuilt
+            self._rejoin_queue = [
+                (r, index[v]) for r, v in state["rejoin_queue"]
+            ]
+            self._snapshot_targets = {i for _, i in self._rejoin_queue}
+            self._snapshots = {
+                index[v]: blob for v, blob in state["snapshots"].items()
+            }
+            self._snapshot_rounds = {
+                index[v]: r for v, r in state["snapshot_rounds"].items()
+            }
+        except KeyError as exc:
+            raise CheckpointError(
+                f"checkpoint state is missing {exc}"
+            ) from exc
+        self._round = checkpoint.round
+        self._live = sum(
+            1 for ctx in self._contexts if not ctx._halted
+        )
+        self.metrics = CongestMetrics.from_dict(checkpoint.metrics)
+        if self.trace is not None and checkpoint.trace_rounds is not None:
+            self.trace.rounds = [
+                RoundTrace.from_dict(d) for d in checkpoint.trace_rounds
+            ]
+        # A pre-initialization checkpoint (captured before run()) leaves
+        # this False, so the resumed run still initializes normally.
+        self._initialized = bool(state.get("initialized", True))
+        if self._registry is not None:
+            self._registry.count("congest.checkpoints_restored")
 
     # ------------------------------------------------------------------
     def _due_vertices(self, round_number: int) -> List[int]:

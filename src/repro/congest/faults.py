@@ -115,6 +115,17 @@ class FaultPlan:
     undirected edge for a window of *send* rounds.  ``crashes`` maps a
     vertex to the round at which it fail-stops: it never steps at or
     after that round and its output is permanently ``None``.
+
+    ``rejoins`` upgrades fail-stop to crash-*recovery*: it maps a
+    crashed vertex to the deterministic round at which it comes back.
+    A rejoining vertex restores from the most recent local snapshot the
+    engine took of it (see ``checkpoint_interval``), or re-initializes
+    from scratch if none was taken; mail queued while it was dead is
+    lost either way.  Every rejoin round must be strictly greater than
+    the vertex's scheduled crash round.  ``checkpoint_interval`` is the
+    number of rounds between local snapshots of rejoin-scheduled
+    vertices; ``None`` means no snapshots are ever taken, so every
+    rejoin is a fresh re-initialization.
     """
 
     seed: int = 0
@@ -123,6 +134,8 @@ class FaultPlan:
     corrupt: float = 0.0
     link_failures: Tuple[LinkFailure, ...] = ()
     crashes: Tuple[Tuple[Any, int], ...] = ()
+    rejoins: Tuple[Tuple[Any, int], ...] = ()
+    checkpoint_interval: Optional[int] = None
 
     def __post_init__(self) -> None:
         for name in ("drop", "duplicate", "corrupt"):
@@ -146,6 +159,38 @@ class FaultPlan:
         object.__setattr__(
             self, "crashes", tuple((v, int(r)) for v, r in self.crashes)
         )
+        object.__setattr__(
+            self, "rejoins", tuple((v, int(r)) for v, r in self.rejoins)
+        )
+        if self.checkpoint_interval is not None:
+            if int(self.checkpoint_interval) < 1:
+                raise FaultError(
+                    f"checkpoint_interval {self.checkpoint_interval!r} "
+                    "must be a positive round count"
+                )
+            object.__setattr__(
+                self, "checkpoint_interval", int(self.checkpoint_interval)
+            )
+        # A rejoin only makes sense for a vertex that is scheduled to
+        # crash first; validate against the earliest crash round, which
+        # is the one the engines honor.
+        earliest_crash: Dict[Any, int] = {}
+        for vertex, round_number in self.crashes:
+            previous = earliest_crash.get(vertex)
+            if previous is None or round_number < previous:
+                earliest_crash[vertex] = round_number
+        for vertex, round_number in self.rejoins:
+            crash = earliest_crash.get(vertex)
+            if crash is None:
+                raise FaultError(
+                    f"rejoin scheduled for {vertex!r} at round "
+                    f"{round_number}, but the plan never crashes it"
+                )
+            if round_number <= crash:
+                raise FaultError(
+                    f"rejoin round {round_number} for {vertex!r} must be "
+                    f"strictly after its crash round {crash}"
+                )
 
     def is_empty(self) -> bool:
         """True iff this plan can never inject anything."""
@@ -164,7 +209,7 @@ class FaultPlan:
         return FaultInjector(self)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data: Dict[str, Any] = {
             "seed": self.seed,
             "drop": self.drop,
             "duplicate": self.duplicate,
@@ -173,7 +218,11 @@ class FaultPlan:
                 [f.u, f.v, f.start, f.end] for f in self.link_failures
             ],
             "crashes": [[v, r] for v, r in self.crashes],
+            "rejoins": [[v, r] for v, r in self.rejoins],
         }
+        if self.checkpoint_interval is not None:
+            data["checkpoint_interval"] = self.checkpoint_interval
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
@@ -189,6 +238,10 @@ class FaultPlan:
             crashes=tuple(
                 (v, r) for v, r in data.get("crashes", ())
             ),
+            rejoins=tuple(
+                (v, r) for v, r in data.get("rejoins", ())
+            ),
+            checkpoint_interval=data.get("checkpoint_interval"),
         )
 
 
@@ -221,11 +274,25 @@ class FaultInjector:
             previous = self._crashes.get(vertex)
             if previous is None or round_number < previous:
                 self._crashes[vertex] = round_number
+        self._rejoins: Dict[Any, int] = {}
+        for vertex, round_number in plan.rejoins:
+            previous = self._rejoins.get(vertex)
+            if previous is None or round_number < previous:
+                self._rejoins[vertex] = round_number
 
     # -- crash schedule -------------------------------------------------
     def crash_round(self, vertex: Any) -> Optional[int]:
         """Round at which ``vertex`` fail-stops, or None."""
         return self._crashes.get(vertex)
+
+    def rejoin_round(self, vertex: Any) -> Optional[int]:
+        """Round at which a crashed ``vertex`` rejoins, or None."""
+        return self._rejoins.get(vertex)
+
+    @property
+    def checkpoint_interval(self) -> Optional[int]:
+        """Rounds between local snapshots of rejoin-scheduled vertices."""
+        return self.plan.checkpoint_interval
 
     # -- link schedule --------------------------------------------------
     def link_down(self, u: Any, v: Any, send_round: int) -> bool:

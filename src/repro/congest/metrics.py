@@ -66,6 +66,11 @@ class CongestMetrics:
         :mod:`repro.congest.faults`.  All zero in a fault-free run.
     ``vertices_crashed``
         Vertices fail-stopped by a fault plan during this execution.
+    ``vertices_rejoined``
+        Crash-recovery events: crashed vertices that came back (from a
+        local snapshot or a fresh re-initialization) per the plan's
+        rejoin schedule.  Each rejoin also counted once in
+        ``vertices_crashed`` when the vertex went down.
     """
 
     rounds: int = 0
@@ -78,6 +83,7 @@ class CongestMetrics:
     messages_duplicated: int = 0
     messages_corrupted: int = 0
     vertices_crashed: int = 0
+    vertices_rejoined: int = 0
     messages_per_round: List[int] = field(default_factory=list)
     congestion_histogram: Dict[int, int] = field(default_factory=dict)
 
@@ -128,6 +134,11 @@ class CongestMetrics:
         if count > 0:
             self.vertices_crashed += count
 
+    def record_rejoined(self, count: int) -> None:
+        """Account ``count`` crashed vertices rejoining the network."""
+        if count > 0:
+            self.vertices_rejoined += count
+
     def record_skipped(self, rounds: int) -> None:
         """Account a fast-forwarded quiescent stretch (no messages)."""
         if rounds <= 0:
@@ -158,6 +169,9 @@ class CongestMetrics:
                 self.messages_corrupted + other.messages_corrupted
             ),
             vertices_crashed=self.vertices_crashed + other.vertices_crashed,
+            vertices_rejoined=(
+                self.vertices_rejoined + other.vertices_rejoined
+            ),
             messages_per_round=self.messages_per_round + other.messages_per_round,
             congestion_histogram=_merge_histograms(
                 self.congestion_histogram, other.congestion_histogram
@@ -201,6 +215,7 @@ class CongestMetrics:
             merged.messages_duplicated += m.messages_duplicated
             merged.messages_corrupted += m.messages_corrupted
             merged.vertices_crashed += m.vertices_crashed
+            merged.vertices_rejoined += m.vertices_rejoined
             # Congestion observations are per (round, edge) pairs;
             # shards are edge-disjoint, so the union is a plain sum
             # even though the round counters compose as a maximum.
@@ -227,6 +242,7 @@ class CongestMetrics:
             "messages_duplicated": self.messages_duplicated,
             "messages_corrupted": self.messages_corrupted,
             "vertices_crashed": self.vertices_crashed,
+            "vertices_rejoined": self.vertices_rejoined,
             # String keys so the payload survives a JSON round trip
             # unchanged (from_dict normalizes back to ints).
             "congestion_histogram": {
@@ -250,6 +266,7 @@ class CongestMetrics:
             messages_duplicated=data.get("messages_duplicated", 0),
             messages_corrupted=data.get("messages_corrupted", 0),
             vertices_crashed=data.get("vertices_crashed", 0),
+            vertices_rejoined=data.get("vertices_rejoined", 0),
             messages_per_round=list(data.get("messages_per_round", [])),
             congestion_histogram={
                 int(k): v
@@ -291,12 +308,13 @@ class CongestMetrics:
             histogram.observe(multiplicity, edges)
 
     def fault_summary(self) -> Dict[str, int]:
-        """The four fault counters as a dict (all zero when fault-free)."""
+        """The fault counters as a dict (all zero when fault-free)."""
         return {
             "messages_dropped": self.messages_dropped,
             "messages_duplicated": self.messages_duplicated,
             "messages_corrupted": self.messages_corrupted,
             "vertices_crashed": self.vertices_crashed,
+            "vertices_rejoined": self.vertices_rejoined,
         }
 
     @property

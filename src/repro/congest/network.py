@@ -226,6 +226,32 @@ class CongestSimulator:
         """Rounds actually executed; always equals ``metrics.rounds``."""
         return self._engine.rounds_executed
 
-    def run(self, max_rounds: int = 10_000) -> SimulationResult:
-        """Execute until all vertices halt or ``max_rounds`` elapse."""
-        return self._engine.run(max_rounds)
+    def run(
+        self,
+        max_rounds: int = 10_000,
+        checkpoint_every: Optional[int] = None,
+        on_checkpoint: Optional[Callable[..., None]] = None,
+    ) -> SimulationResult:
+        """Execute until all vertices halt or ``max_rounds`` elapse.
+
+        When ``checkpoint_every`` and ``on_checkpoint`` are both given,
+        a :class:`~repro.congest.checkpoint.SimulationCheckpoint` is
+        captured after every ``checkpoint_every``-th executed round and
+        passed to the callback (which may, e.g., ``save()`` it to disk).
+        Resume one later with
+        :func:`~repro.congest.checkpoint.resume_simulation`.
+        """
+        return self._engine.run(
+            max_rounds,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+        )
+
+    def checkpoint(self):
+        """Capture the simulation state at the current round boundary.
+
+        Valid before :meth:`run` (round 0), after it returns, and from
+        inside an ``on_checkpoint`` callback.  Returns a
+        :class:`~repro.congest.checkpoint.SimulationCheckpoint`.
+        """
+        return self._engine.capture_checkpoint()

@@ -18,16 +18,23 @@ Shared with the fast engine (so the two stay comparable):
 
 from __future__ import annotations
 
+import pickle
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from ..errors import MessageTooLargeError, ProtocolError
+from ..errors import CheckpointError, MessageTooLargeError, ProtocolError
 from ..graph import Graph, canonical_vertex_order
 from .algorithm import VertexAlgorithm, VertexContext
+from .checkpoint import (
+    PICKLE_PROTOCOL,
+    SimulationCheckpoint,
+    graph_fingerprint,
+    verify_restore_target,
+)
 from .engine import _NO_TRAFFIC, build_vertex_state
 from .faults import CORRUPT, DROP, DUPLICATE, NO_FAULTS, FaultInjector
 from .message import MessageBudget, message_bits
 from .metrics import CongestMetrics
-from .trace import TraceRecorder
+from .trace import RoundTrace, TraceRecorder
 from ..obs import registry as _telemetry
 
 
@@ -54,6 +61,9 @@ class ReferenceEngine:
         self.metrics = CongestMetrics()
         self.trace = trace
         self.faults = faults
+        # Kept for crash-recovery: a rejoining vertex with no local
+        # snapshot re-initializes through the same factory.
+        self._factory = algorithm_factory
 
         order, contexts, algorithms = build_vertex_state(
             graph, algorithm_factory, seed
@@ -89,9 +99,31 @@ class ReferenceEngine:
                 for v in order
                 if faults.crash_round(v) is not None
             }
+            # Crash-recovery schedule: (rejoin round, vertex), sorted by
+            # round with canonical order breaking ties (stable sort over
+            # the canonical vertex order), exactly as the fast engine.
+            rejoins = [
+                (faults.rejoin_round(v), v)
+                for v in order
+                if faults.rejoin_round(v) is not None
+            ]
+            rejoins.sort(key=lambda entry: entry[0])
+            self._rejoin_queue: List[Tuple[int, Any]] = rejoins
+            self._snapshot_interval = faults.checkpoint_interval
         else:
             self._crash_rounds = None
+            self._rejoin_queue = []
+            self._snapshot_interval = None
         self._crashed: Set[Any] = set()
+        # Local crash-recovery snapshots: only vertices still scheduled
+        # to rejoin are worth snapshotting.
+        self._snapshot_targets: Set[Any] = {v for _, v in self._rejoin_queue}
+        self._snapshots: Dict[Any, bytes] = {}
+        self._snapshot_rounds: Dict[Any, int] = {}
+        # Flipped by run() after the initialization pass; a restored
+        # post-init checkpoint carries True, so run() then skips
+        # initialization and continues mid-simulation.
+        self._initialized = False
 
     # ------------------------------------------------------------------
     @property
@@ -99,40 +131,57 @@ class ReferenceEngine:
         """Final value of the synchronous round counter."""
         return self._round
 
-    def run(self, max_rounds: int = 10_000):
-        """Execute until all vertices halt or ``max_rounds`` elapse."""
+    def run(
+        self,
+        max_rounds: int = 10_000,
+        checkpoint_every: Optional[int] = None,
+        on_checkpoint: Optional[Callable[..., None]] = None,
+    ):
+        """Execute until all vertices halt or ``max_rounds`` elapse.
+
+        ``checkpoint_every`` / ``on_checkpoint`` mirror the fast
+        engine: a checkpoint is captured after every
+        ``checkpoint_every``-th executed round and passed to the
+        callback; a restored engine continues mid-simulation.
+        """
         from .network import SimulationResult
 
         crash_rounds = self._crash_rounds
-        init_crashed = 0
-        for v in self._order:
-            if crash_rounds is not None:
-                cr = crash_rounds.get(v)
-                if cr is not None and cr <= 0:
-                    # Fail-stopped before round 0: never initializes.
-                    self._contexts[v]._halted = True
-                    self._crashed.add(v)
-                    init_crashed += 1
-                    continue
-            self._algorithms[v].initialize(self._contexts[v])
-        if init_crashed:
-            self.metrics.record_crashed(init_crashed)
-        self._collect()
-        self._runnable = {
-            v for v in self._order if not self._contexts[v].halted
-        }
+        if not self._initialized:
+            self._initialized = True
+            init_crashed = 0
+            for v in self._order:
+                if crash_rounds is not None:
+                    cr = crash_rounds.get(v)
+                    if cr is not None and cr <= 0:
+                        # Fail-stopped before round 0: never initializes.
+                        self._contexts[v]._halted = True
+                        self._crashed.add(v)
+                        init_crashed += 1
+                        continue
+                self._algorithms[v].initialize(self._contexts[v])
+            if init_crashed:
+                self.metrics.record_crashed(init_crashed)
+            self._collect()
+            self._runnable = {
+                v for v in self._order if not self._contexts[v].halted
+            }
 
-        while self._round < max_rounds and not self._all_halted():
+        while self._round < max_rounds and (
+            not self._all_halted() or self._rejoin_queue
+        ):
             next_round = self._round + 1
             due = self._due_vertices(next_round)
             skipped = 0
             if not due:
-                # Fast-forward to the earliest scheduled wakeup.
+                # Fast-forward to the earliest scheduled wakeup or
+                # rejoin (a rejoin is an event exactly like a wakeup).
                 future = [
                     w
                     for v, w in self._wakeups.items()
                     if not self._contexts[v].halted
                 ]
+                future.extend(r for r, _ in self._rejoin_queue)
                 if not future:
                     break  # nothing will ever happen again
                 target = min(future)
@@ -145,6 +194,11 @@ class ReferenceEngine:
                 next_round = target
                 due = self._due_vertices(next_round)
             self._round = next_round
+            revived = (
+                self._process_rejoins(next_round)
+                if self._rejoin_queue
+                else ()
+            )
             per_edge, messages, bits, bits_hist, fcounts = self._inflight
             self._inflight = _NO_TRAFFIC
             if self.faults is None:
@@ -178,8 +232,12 @@ class ReferenceEngine:
                 self._has_pending.discard(v)
                 self._algorithms[v].step(ctx, inbox)
                 stepped.append(v)
+            # _collect scans every vertex, so revived outboxes drain
+            # here without the fast engine's explicit active-set union.
             self._collect()
             self._reschedule(stepped)
+            if self._snapshot_interval is not None and self._snapshot_targets:
+                self._take_local_snapshots(stepped, next_round)
             if crashed_now:
                 self.metrics.record_crashed(crashed_now)
             registry = self._registry
@@ -209,8 +267,15 @@ class ReferenceEngine:
                     duplicated=fcounts[1],
                     corrupted=fcounts[2],
                     crashed=crashed_now,
+                    rejoined=len(revived),
                     message_bits_histogram=bits_hist,
                 )
+            if (
+                on_checkpoint is not None
+                and checkpoint_every is not None
+                and next_round % checkpoint_every == 0
+            ):
+                on_checkpoint(self.capture_checkpoint())
 
         if self._registry is not None:
             self.metrics.publish_telemetry(self._registry)
@@ -221,6 +286,210 @@ class ReferenceEngine:
             halted=self._all_halted(),
             crashed=frozenset(self._crashed),
         )
+
+    # -- crash recovery -------------------------------------------------
+    def _process_rejoins(self, round_number: int) -> List[Any]:
+        """Revive crashed vertices whose scheduled rejoin round arrived.
+
+        Mirrors the fast engine exactly: restore from the most recent
+        local snapshot, or re-initialize from scratch with the original
+        RNG seed; mail queued while dead is lost; rejoins of vertices
+        that halted normally before crashing are dropped.
+        """
+        queue = self._rejoin_queue
+        revived: List[Any] = []
+        while queue and queue[0][0] <= round_number:
+            _, v = queue.pop(0)
+            self._snapshot_targets.discard(v)
+            if v not in self._crashed:
+                continue
+            self._crashed.discard(v)
+            if self._crash_rounds is not None:
+                # The crash has been consumed; without this the vertex
+                # would fail-stop again on its next step.
+                self._crash_rounds.pop(v, None)
+            snapshot = self._snapshots.pop(v, None)
+            self._snapshot_rounds.pop(v, None)
+            if snapshot is not None:
+                algorithm, ctx = pickle.loads(snapshot)
+                ctx.round_number = round_number
+            else:
+                old = self._contexts[v]
+                ctx = VertexContext(
+                    vertex=old.vertex,
+                    neighbors=old.neighbors,
+                    edge_weights=dict(old.edge_weights),
+                    n=old.n,
+                    rng_seed=old._rng_seed,
+                )
+                ctx.round_number = round_number
+                algorithm = self._factory(old.vertex)
+            self._contexts[v] = ctx
+            self._algorithms[v] = algorithm
+            if snapshot is None:
+                algorithm.initialize(ctx)
+            self._pending[v] = {}
+            self._has_pending.discard(v)
+            self._wakeups.pop(v, None)
+            if not ctx.halted:
+                self._runnable.add(v)
+            revived.append(v)
+        if revived:
+            self.metrics.record_rejoined(len(revived))
+        return revived
+
+    def _take_local_snapshots(self, stepped: List[Any],
+                              round_number: int) -> None:
+        """Snapshot rejoin-scheduled vertices every ``checkpoint_interval``
+        executed steps; runs after collection so snapshots never contain
+        queued outbox messages (mirrors the fast engine).
+        """
+        interval = self._snapshot_interval
+        targets = self._snapshot_targets
+        last_rounds = self._snapshot_rounds
+        for v in stepped:
+            if v in targets and not self._contexts[v].halted:
+                last = last_rounds.get(v)
+                if last is None or round_number - last >= interval:
+                    self._snapshots[v] = pickle.dumps(
+                        (self._algorithms[v], self._contexts[v]),
+                        protocol=PICKLE_PROTOCOL,
+                    )
+                    last_rounds[v] = round_number
+
+    # -- checkpoint / restore -------------------------------------------
+    def capture_checkpoint(self) -> SimulationCheckpoint:
+        """Freeze the simulation at the current round boundary.
+
+        Produces the same engine-neutral, vertex-keyed state layout as
+        :meth:`repro.congest.engine.FastEngine.capture_checkpoint`
+        (inboxes / wakeups / runnable flags of halted vertices are
+        normalized away), so checkpoints resume on either engine.
+        """
+        contexts = self._contexts
+        per_edge, messages, bits, bits_hist, fcounts = self._inflight
+        state = {
+            "contexts": dict(contexts),
+            "algorithms": dict(self._algorithms),
+            "pending": {
+                v: box
+                for v, box in self._pending.items()
+                if box and not contexts[v].halted
+            },
+            "runnable": {
+                v for v in self._runnable if not contexts[v].halted
+            },
+            "wakeups": {
+                v: w
+                for v, w in self._wakeups.items()
+                if not contexts[v].halted
+            },
+            "inflight": {
+                "per_edge": [
+                    (u, w, count) for (u, w), count in per_edge.items()
+                ],
+                "messages": messages,
+                "bits": bits,
+                "bits_hist": dict(bits_hist),
+                "fcounts": tuple(fcounts),
+            },
+            "crashed": set(self._crashed),
+            "crash_rounds": (
+                None
+                if self._crash_rounds is None
+                else dict(self._crash_rounds)
+            ),
+            "rejoin_queue": list(self._rejoin_queue),
+            "snapshots": dict(self._snapshots),
+            "snapshot_rounds": dict(self._snapshot_rounds),
+            "initialized": self._initialized,
+        }
+        if self._registry is not None:
+            self._registry.count("congest.checkpoints_captured")
+        return SimulationCheckpoint(
+            round=self._round,
+            n=len(self._order),
+            engine=self.name,
+            graph=graph_fingerprint(self.graph),
+            strict=self.strict,
+            capacity=self.capacity,
+            budget_n=self.budget.n,
+            budget_words=self.budget.words,
+            fault_plan=(
+                self.faults.plan.to_dict() if self.faults is not None else None
+            ),
+            metrics=self.metrics.to_dict(include_per_round=True),
+            state=pickle.dumps(state, protocol=PICKLE_PROTOCOL),
+            trace_rounds=(
+                [r.to_dict() for r in self.trace.rounds]
+                if self.trace is not None
+                else None
+            ),
+        )
+
+    def restore_checkpoint(self, checkpoint: SimulationCheckpoint) -> None:
+        """Replace this engine's state with a captured checkpoint.
+
+        Accepts checkpoints captured by either engine; mismatched
+        graphs or configurations raise
+        :class:`~repro.errors.CheckpointError`.
+        """
+        verify_restore_target(self, checkpoint, len(self._order))
+        try:
+            state = pickle.loads(checkpoint.state)
+        except Exception as exc:
+            raise CheckpointError(
+                f"cannot unpickle checkpoint state: {exc}"
+            ) from exc
+        try:
+            contexts = state["contexts"]
+            algorithms = state["algorithms"]
+            self._contexts = {v: contexts[v] for v in self._order}
+            self._algorithms = {v: algorithms[v] for v in self._order}
+            self._pending = {v: {} for v in self._order}
+            self._has_pending = set()
+            for v, box in state["pending"].items():
+                self._pending[v] = box
+                self._has_pending.add(v)
+            self._runnable = set(state["runnable"])
+            self._wakeups = dict(state["wakeups"])
+            inflight = state["inflight"]
+            self._inflight = (
+                {
+                    (u, w): count
+                    for u, w, count in inflight["per_edge"]
+                },
+                inflight["messages"],
+                inflight["bits"],
+                dict(inflight["bits_hist"]),
+                tuple(inflight["fcounts"]),
+            )
+            self._crashed = set(state["crashed"])
+            crash_rounds = state["crash_rounds"]
+            self._crash_rounds = (
+                None if crash_rounds is None else dict(crash_rounds)
+            )
+            self._rejoin_queue = [
+                (r, v) for r, v in state["rejoin_queue"]
+            ]
+            self._snapshot_targets = {v for _, v in self._rejoin_queue}
+            self._snapshots = dict(state["snapshots"])
+            self._snapshot_rounds = dict(state["snapshot_rounds"])
+        except KeyError as exc:
+            raise CheckpointError(
+                f"checkpoint state is missing {exc}"
+            ) from exc
+        self._round = checkpoint.round
+        self.metrics = CongestMetrics.from_dict(checkpoint.metrics)
+        if self.trace is not None and checkpoint.trace_rounds is not None:
+            self.trace.rounds = [
+                RoundTrace.from_dict(d) for d in checkpoint.trace_rounds
+            ]
+        # A pre-initialization checkpoint (captured before run()) leaves
+        # this False, so the resumed run still initializes normally.
+        self._initialized = bool(state.get("initialized", True))
+        if self._registry is not None:
+            self._registry.count("congest.checkpoints_restored")
 
     # ------------------------------------------------------------------
     def _due_vertices(self, round_number: int) -> List[Any]:

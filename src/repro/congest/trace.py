@@ -33,7 +33,9 @@ from typing import Any, Dict, Iterable, List, Optional
 #: * 2 — adds ``message_bits_histogram`` (sizes of the messages
 #:   delivered into the round).  Version-1 files load with the
 #:   histogram empty.
-TRACE_SCHEMA_VERSION = 2
+#: * 3 — adds ``rejoined`` (crash-recovery events in this round) to
+#:   the fault-counter block.  Older files load with it zero.
+TRACE_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -49,8 +51,10 @@ class RoundTrace:
     ``dropped`` / ``duplicated`` / ``corrupted`` count what the
     injected-fault channel (:mod:`repro.congest.faults`) did to the
     traffic delivered into this round; ``crashed`` counts vertices that
-    fail-stopped *in* this round.  All four are zero in fault-free runs
-    and absent from historical JSONL files (read back as zero).
+    fail-stopped *in* this round, and ``rejoined`` (schema 3) counts
+    crashed vertices that came back in this round per the plan's
+    crash-recovery schedule.  All five are zero in fault-free runs and
+    absent from historical JSONL files (read back as zero).
 
     ``message_bits_histogram`` (schema 2) maps message size in bits to
     the number of messages of that size delivered into this round —
@@ -72,6 +76,7 @@ class RoundTrace:
     duplicated: int = 0
     corrupted: int = 0
     crashed: int = 0
+    rejoined: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         data = {
@@ -99,11 +104,13 @@ class RoundTrace:
             }
         # Fault counters appear only when a fault fired, keeping
         # fault-free trace files free of always-zero noise fields.
-        if self.dropped or self.duplicated or self.corrupted or self.crashed:
+        if (self.dropped or self.duplicated or self.corrupted
+                or self.crashed or self.rejoined):
             data["dropped"] = self.dropped
             data["duplicated"] = self.duplicated
             data["corrupted"] = self.corrupted
             data["crashed"] = self.crashed
+            data["rejoined"] = self.rejoined
         return data
 
     @classmethod
@@ -130,6 +137,7 @@ class RoundTrace:
             duplicated=data.get("duplicated", 0),
             corrupted=data.get("corrupted", 0),
             crashed=data.get("crashed", 0),
+            rejoined=data.get("rejoined", 0),
         )
 
 
@@ -155,6 +163,7 @@ class TraceRecorder:
         duplicated: int = 0,
         corrupted: int = 0,
         crashed: int = 0,
+        rejoined: int = 0,
         message_bits_histogram: Optional[Dict[int, int]] = None,
     ) -> None:
         histogram: Dict[int, int] = {}
@@ -176,6 +185,7 @@ class TraceRecorder:
                 duplicated=duplicated,
                 corrupted=corrupted,
                 crashed=crashed,
+                rejoined=rejoined,
             )
         )
 
@@ -200,6 +210,7 @@ class TraceRecorder:
             "duplicated": sum(r.duplicated for r in self.rounds),
             "corrupted": sum(r.corrupted for r in self.rounds),
             "crashed": sum(r.crashed for r in self.rounds),
+            "rejoined": sum(r.rejoined for r in self.rounds),
         }
 
     def summary(self) -> Dict[str, int]:

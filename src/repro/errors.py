@@ -83,6 +83,18 @@ class FaultError(ReproError):
     """
 
 
+class CheckpointError(ReproError):
+    """A simulation checkpoint could not be captured, loaded, or resumed.
+
+    Raised for schema mismatches, truncated or malformed checkpoint
+    files, and resume attempts against a different graph or simulator
+    configuration than the one the checkpoint was captured from.  The
+    bit-identical-resume guarantee only holds when the resumed world
+    matches the captured one, so mismatches fail loudly instead of
+    silently diverging.
+    """
+
+
 class CrashedVertexError(FaultError):
     """The output of a crashed vertex was read as if it were valid.
 

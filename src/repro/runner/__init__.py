@@ -13,16 +13,26 @@ order rather than completion order.
 
 from .cells import CellResult, ExperimentCell
 from .executor import QuarantinedCell, RecoveryStats, SuiteRun, run_suite
+from .journal import (
+    JOURNAL_SCHEMA_VERSION,
+    SuiteJournal,
+    default_journal_path,
+    run_fingerprint,
+)
 from .suites import SUITES, execute_cell, suite_names
 
 __all__ = [
     "CellResult",
     "ExperimentCell",
+    "JOURNAL_SCHEMA_VERSION",
     "QuarantinedCell",
     "RecoveryStats",
+    "SuiteJournal",
     "SuiteRun",
     "SUITES",
+    "default_journal_path",
     "execute_cell",
+    "run_fingerprint",
     "run_suite",
     "suite_names",
 ]

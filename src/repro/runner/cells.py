@@ -62,3 +62,6 @@ class CellResult:
     #: Executions it took the executor to land this result (1 = first
     #: try; >1 means the self-healing retry path was exercised).
     attempts: int = 1
+    #: True when this result was replayed from a suite journal instead
+    #: of computed in this run (see :mod:`repro.runner.journal`).
+    replayed: bool = False

@@ -55,6 +55,7 @@ from ..cache import ArtifactCache, CacheStats, activate
 from ..congest import CongestMetrics
 from ..obs import TelemetryRegistry
 from .cells import CellResult
+from .journal import SuiteJournal, default_journal_path, run_fingerprint
 from .suites import SUITES, execute_cell
 
 #: Worker-process-global cache, installed by the pool initializer so the
@@ -157,6 +158,10 @@ class SuiteRun:
     wall_seconds: float = 0.0
     quarantined: List[QuarantinedCell] = field(default_factory=list)
     recovery: RecoveryStats = field(default_factory=RecoveryStats)
+    #: Path of the write-ahead journal used, if any.
+    journal_path: Optional[str] = None
+    #: Journal lines skipped as unparseable during a resumed run.
+    journal_corrupt_lines: int = 0
 
     @property
     def spec(self):
@@ -204,6 +209,10 @@ class SuiteRun:
     def compute_seconds(self) -> float:
         return sum(r.elapsed for r in self.results)
 
+    def replayed_cells(self) -> int:
+        """Cells satisfied from the journal rather than computed."""
+        return sum(1 for r in self.results if r.replayed)
+
     def summary(self) -> Dict[str, object]:
         stats = self.cache_stats()
         return {
@@ -215,6 +224,7 @@ class SuiteRun:
             "compute_seconds": round(self.compute_seconds(), 4),
             "quarantined": [q.as_dict() for q in self.quarantined],
             "recovery": self.recovery.as_dict(),
+            "replayed": self.replayed_cells(),
         }
 
 
@@ -230,6 +240,8 @@ def run_suite(
     telemetry: bool = False,
     cell_timeout: Optional[float] = None,
     retries: int = 0,
+    journal: Optional[str] = None,
+    resume: bool = False,
 ) -> SuiteRun:
     """Execute every cell of suite ``name`` and merge deterministically.
 
@@ -249,6 +261,16 @@ def run_suite(
     within its own process).  Cells that exhaust their attempts are
     quarantined rather than aborting the suite; see the module
     docstring for the full recovery policy.
+
+    ``journal`` names a write-ahead log (see :mod:`repro.runner
+    .journal`): every completed cell is durably appended as it lands,
+    so a killed run can be finished later with ``resume=True``, which
+    replays journaled cells instead of recomputing them.  ``resume``
+    with no explicit ``journal`` uses :func:`default_journal_path`
+    under the cache root.  Replayed and recomputed cells merge into
+    the same grid-ordered table, byte-identical to an uninterrupted
+    run; quarantined cells are never journaled, so a resume retries
+    them.
     """
     if name not in SUITES:
         raise KeyError(f"unknown suite {name!r} (known: {sorted(SUITES)})")
@@ -263,58 +285,83 @@ def run_suite(
     recovery = RecoveryStats()
     max_attempts = 1 + retries
 
+    if journal is None and resume:
+        journal = default_journal_path(name, cache_root)
+    wal: Optional[SuiteJournal] = None
+    replayed: Dict[int, CellResult] = {}
+    if journal is not None:
+        wal = SuiteJournal.open(
+            journal,
+            run_fingerprint(name, limit, trace, telemetry),
+            resume=resume,
+        )
+        # Journaled cells outside the current grid (e.g. a larger
+        # earlier --limit) stay in the journal but not in this table.
+        replayed = {
+            i: r for i, r in wal.completed.items() if i in labels
+        }
+    pending = [i for i in indices if i not in replayed]
+
     start = time.perf_counter()
-    if jobs <= 1 or len(indices) <= 1:
-        cache = (
-            ArtifactCache(root=cache_root, memory_items=memory_items)
-            if use_cache else None
-        )
-        results: List[CellResult] = []
-        with activate(cache):
-            for i in indices:
-                attempt = 1
-                while True:
-                    try:
-                        result = execute_cell(
-                            name, i, trace=trace, telemetry=telemetry
-                        )
-                        result.attempts = attempt
-                        results.append(result)
-                        break
-                    except Exception as exc:
-                        if attempt >= max_attempts:
-                            quarantined.append(QuarantinedCell(
-                                suite=name,
-                                index=i,
-                                label=labels[i],
-                                attempts=attempt,
-                                reason=f"{type(exc).__name__}: {exc}",
-                            ))
+    try:
+        if jobs <= 1 or len(pending) <= 1:
+            cache = (
+                ArtifactCache(root=cache_root, memory_items=memory_items)
+                if use_cache else None
+            )
+            results: List[CellResult] = []
+            with activate(cache):
+                for i in pending:
+                    attempt = 1
+                    while True:
+                        try:
+                            result = execute_cell(
+                                name, i, trace=trace, telemetry=telemetry
+                            )
+                            result.attempts = attempt
+                            results.append(result)
+                            if wal is not None:
+                                wal.record(result)
                             break
-                        recovery.retries += 1
-                        time.sleep(_backoff_seconds(name, i, attempt))
-                        attempt += 1
-        effective_jobs = 1
-    else:
-        effective_jobs = min(jobs, len(indices))
-        results = _run_parallel(
-            name=name,
-            indices=indices,
-            labels=labels,
-            trace=trace,
-            telemetry=telemetry,
-            jobs=effective_jobs,
-            mp_start=mp_start,
-            cache_root=cache_root,
-            use_cache=use_cache,
-            memory_items=memory_items,
-            cell_timeout=cell_timeout,
-            max_attempts=max_attempts,
-            quarantined=quarantined,
-            recovery=recovery,
-        )
+                        except Exception as exc:
+                            if attempt >= max_attempts:
+                                quarantined.append(QuarantinedCell(
+                                    suite=name,
+                                    index=i,
+                                    label=labels[i],
+                                    attempts=attempt,
+                                    reason=f"{type(exc).__name__}: {exc}",
+                                ))
+                                break
+                            recovery.retries += 1
+                            time.sleep(_backoff_seconds(name, i, attempt))
+                            attempt += 1
+            effective_jobs = 1
+        else:
+            effective_jobs = min(jobs, len(pending))
+            results = _run_parallel(
+                name=name,
+                indices=pending,
+                labels=labels,
+                trace=trace,
+                telemetry=telemetry,
+                jobs=effective_jobs,
+                mp_start=mp_start,
+                cache_root=cache_root,
+                use_cache=use_cache,
+                memory_items=memory_items,
+                cell_timeout=cell_timeout,
+                max_attempts=max_attempts,
+                quarantined=quarantined,
+                recovery=recovery,
+                wal=wal,
+            )
+    finally:
+        if wal is not None:
+            wal.close()
     wall = time.perf_counter() - start
 
+    results.extend(replayed.values())
     results.sort(key=lambda r: r.index)
     quarantined.sort(key=lambda q: q.index)
     return SuiteRun(
@@ -325,6 +372,8 @@ def run_suite(
         wall_seconds=wall,
         quarantined=quarantined,
         recovery=recovery,
+        journal_path=journal,
+        journal_corrupt_lines=wal.corrupt_lines if wal is not None else 0,
     )
 
 
@@ -362,6 +411,7 @@ def _run_parallel(
     max_attempts: int,
     quarantined: List[QuarantinedCell],
     recovery: RecoveryStats,
+    wal: Optional[SuiteJournal] = None,
 ) -> List[CellResult]:
     """The submit-driven scheduling loop with recovery; see module doc.
 
@@ -439,6 +489,8 @@ def _run_parallel(
                     result = future.result()
                     result.attempts = attempt
                     results.append(result)
+                    if wal is not None:
+                        wal.record(result)
                 except BrokenProcessPool:
                     pool_broken = True
                     charge_attempt(
@@ -475,6 +527,8 @@ def _run_parallel(
                         result = future.result()
                         result.attempts = attempt
                         results.append(result)
+                        if wal is not None:
+                            wal.record(result)
                     else:
                         ready.append((index, attempt))
                 in_flight.clear()

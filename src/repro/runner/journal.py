@@ -1,0 +1,235 @@
+"""Write-ahead suite journal: crash-safe resumable benchmark runs.
+
+A long ``repro bench`` sweep that dies at cell 40 of 50 — SIGKILL, OOM,
+a pulled plug — should not owe the world 40 recomputations.  The
+journal makes suite execution *durable at cell granularity*: every
+completed :class:`~repro.runner.cells.CellResult` is appended to an
+append-only JSONL file (flushed and fsynced per record, so a kill can
+lose at most the cell in flight), and ``run_suite(resume=True)`` replays
+the journal before scheduling anything, recomputing only what is
+missing.  The merged table of an interrupted-then-resumed run is
+byte-identical to the uninterrupted one because cells are pure functions
+of their grid coordinates — the journal merely changes *when* each cell
+ran, never *what* it produced.
+
+File layout (one JSON object per line):
+
+* line 1 — ``{"kind": "header", "schema": 1, "fingerprint": {...}}``
+  where the fingerprint pins everything that defines the run: suite
+  name, ``limit``/``trace``/``telemetry`` flags, and
+  :func:`repro.cache.simulation_salt` (a hash of the whole source
+  tree).  A journal written by different code, or for a different run
+  shape, silently *cannot* be resumed — its cells may embody different
+  behavior — so a fingerprint mismatch discards the journal and starts
+  fresh rather than merging stale results.
+* following lines — ``{"kind": "cell", "index": i, "payload": ...}``
+  with the pickled ``CellResult`` base64-encoded.
+
+Corruption is expected, not exceptional: the final line of a killed
+run is routinely truncated.  Replay therefore skips any line that
+fails to parse (JSON, base64, or pickle) and counts it in
+:attr:`SuiteJournal.corrupt_lines`; a corrupt cell is simply
+recomputed.  Recompute-don't-crash is the whole contract — no journal
+state, however mangled, may abort a resume.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from typing import Any, Dict, Optional
+
+from ..cache import PICKLE_PROTOCOL, default_cache_root, simulation_salt
+from ..obs import registry as _telemetry
+from .cells import CellResult
+
+#: Version stamped on every journal header.  History:
+#:
+#: * 1 — initial layout (fingerprinted header + base64-pickled cells).
+JOURNAL_SCHEMA_VERSION = 1
+
+
+def default_journal_path(suite: str, cache_root: Optional[str] = None) -> str:
+    """Where ``repro bench --resume`` keeps the journal for ``suite``.
+
+    Journals live under the artifact cache root (they are run state,
+    not source), one file per suite so concurrent suites never contend.
+    """
+    root = cache_root or default_cache_root()
+    return os.path.join(root, "journals", f"{suite}.jsonl")
+
+
+def run_fingerprint(
+    suite: str,
+    limit: Optional[int],
+    trace: bool,
+    telemetry: bool,
+    salt: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Everything that must match for journaled cells to be reusable.
+
+    ``limit`` shapes the grid; ``trace``/``telemetry`` change what a
+    cell result carries; the salt hashes the source tree, so *any* code
+    edit invalidates the journal the same way it invalidates the
+    artifact cache.
+    """
+    return {
+        "suite": suite,
+        "limit": limit,
+        "trace": bool(trace),
+        "telemetry": bool(telemetry),
+        "salt": simulation_salt() if salt is None else salt,
+    }
+
+
+class SuiteJournal:
+    """Append-only write-ahead log of completed suite cells.
+
+    Open one with :meth:`open`; it validates (or writes) the header,
+    loads every replayable cell into :attr:`completed`, and leaves the
+    file positioned for appending.  ``record()`` durably appends one
+    result.  Use as a context manager to guarantee the handle closes.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fingerprint: Dict[str, Any],
+        completed: Dict[int, CellResult],
+        corrupt_lines: int,
+        fresh: bool,
+        handle,
+    ) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        #: Cells replayed from the journal, keyed by grid index.
+        self.completed = completed
+        #: Unparseable lines skipped during replay (torn writes, bit
+        #: rot); each corresponds to one recomputed cell at most.
+        self.corrupt_lines = corrupt_lines
+        #: True when no prior journal matched and a new one was begun.
+        self.fresh = fresh
+        self._handle = handle
+
+    # -- lifecycle -------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        fingerprint: Dict[str, Any],
+        resume: bool = True,
+    ) -> "SuiteJournal":
+        """Open (and possibly replay) the journal at ``path``.
+
+        With ``resume`` true, an existing journal whose header matches
+        ``fingerprint`` is replayed into :attr:`completed`; a missing,
+        mismatched, or mangled journal is replaced by a fresh one.
+        With ``resume`` false any existing journal is discarded — the
+        caller wants a clean write-ahead log for a new run.
+        """
+        completed: Dict[int, CellResult] = {}
+        corrupt = 0
+        reusable = False
+        if resume and os.path.exists(path):
+            completed, corrupt, reusable = cls._replay(path, fingerprint)
+
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        if reusable:
+            handle = open(path, "a")
+        else:
+            # Fresh start: truncate via a new file so a stale or
+            # mismatched journal can never mix with the new run.
+            handle = open(path, "w")
+            header = {
+                "kind": "header",
+                "schema": JOURNAL_SCHEMA_VERSION,
+                "fingerprint": fingerprint,
+            }
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+            completed = {}
+        if completed:
+            _telemetry.count("runner.journal_replayed", len(completed))
+        return cls(
+            path=path,
+            fingerprint=fingerprint,
+            completed=completed,
+            corrupt_lines=corrupt,
+            fresh=not reusable,
+            handle=handle,
+        )
+
+    @staticmethod
+    def _replay(path: str, fingerprint: Dict[str, Any]):
+        """Parse an existing journal; never raises on bad content."""
+        completed: Dict[int, CellResult] = {}
+        corrupt = 0
+        header_ok = False
+        try:
+            with open(path) as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return completed, corrupt, False
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                kind = record["kind"]
+                if lineno == 0:
+                    if (
+                        kind != "header"
+                        or record["schema"] != JOURNAL_SCHEMA_VERSION
+                        or record["fingerprint"] != fingerprint
+                    ):
+                        # Different run shape or code version: nothing
+                        # in this journal is safe to merge.
+                        return {}, corrupt, False
+                    header_ok = True
+                    continue
+                if kind != "cell":
+                    corrupt += 1
+                    continue
+                index = int(record["index"])
+                blob = base64.b64decode(record["payload"])
+                result = pickle.loads(blob)
+                if not isinstance(result, CellResult):
+                    corrupt += 1
+                    continue
+                result.replayed = True
+                # Last write wins: a record duplicated by an
+                # interrupted resume supersedes its earlier copy.
+                completed[index] = result
+            except Exception:
+                corrupt += 1
+        if not header_ok:
+            return {}, corrupt, False
+        return completed, corrupt, True
+
+    def record(self, result: CellResult) -> None:
+        """Durably append one completed cell (flush + fsync)."""
+        blob = pickle.dumps(result, protocol=PICKLE_PROTOCOL)
+        line = json.dumps({
+            "kind": "cell",
+            "index": result.index,
+            "payload": base64.b64encode(blob).decode("ascii"),
+        }, sort_keys=True)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        _telemetry.count("runner.journal_recorded")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SuiteJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -309,6 +309,111 @@ def _run_e11(cell: ExperimentCell):
 
 
 # ----------------------------------------------------------------------
+# E12 — churn: crashes and rejoining vertices, graded verdicts
+# ----------------------------------------------------------------------
+
+_E12_GRAPH = {"n": 48, "seed": 41}
+_E12_ALGORITHMS = ("maxis", "framework")
+#: Churn modes: fault-free baseline, permanent crashes, and full churn
+#: (the same crashes, with both vertices rejoining later — restoring
+#: from local snapshots taken every ``_E12_INTERVAL`` steps).
+_E12_CHURN = ("none", "crash", "churn")
+_E12_CRASHES = ((3, 4), (17, 6))
+_E12_REJOINS = ((3, 9), (17, 12))
+_E12_INTERVAL = 3
+_E12_EPSILON = 0.9
+_E12_PHI = 0.05
+
+
+def _e12_cells() -> List[ExperimentCell]:
+    cells = []
+    # Churn-major with the cheap algorithm first, so cell 0 (the CI
+    # smoke slice) is the churn-free maxis run with a forced `correct`
+    # verdict.
+    for churn in _E12_CHURN:
+        for algorithm in _E12_ALGORITHMS:
+            cells.append(ExperimentCell(
+                suite="E12",
+                index=len(cells),
+                label=f"E12[{algorithm},churn={churn}]",
+                params={
+                    "generator": "delaunay",
+                    "generator_params": dict(_E12_GRAPH),
+                    "algorithm": algorithm,
+                    "churn": churn,
+                    "fault_seed": 1200 + len(cells),
+                    "epsilon": _E12_EPSILON,
+                    "phi": _E12_PHI,
+                    "seed": 5,
+                },
+            ))
+    return cells
+
+
+def _e12_plan(params):
+    from ..congest import FaultPlan
+
+    churn = params["churn"]
+    if churn == "none":
+        return FaultPlan(seed=params["fault_seed"])
+    if churn == "crash":
+        return FaultPlan(seed=params["fault_seed"], crashes=_E12_CRASHES)
+    return FaultPlan(
+        seed=params["fault_seed"],
+        crashes=_E12_CRASHES,
+        rejoins=_E12_REJOINS,
+        checkpoint_interval=_E12_INTERVAL,
+    )
+
+
+def _run_e12(cell: ExperimentCell):
+    from ..congest import use_faults
+    from ..resilience import (
+        Verdict,
+        validate_framework,
+        validate_independent_set,
+    )
+
+    p = cell.params
+    g = cached_graph(p["generator"], p["generator_params"])
+    plan = _e12_plan(p)
+    metrics = None
+    # Unhardened algorithms are *expected* to degrade or fail under
+    # churn (a rejoined vertex lost its mail and possibly its state);
+    # that is a graded outcome for this suite, not an error.
+    try:
+        with use_faults(plan):
+            if p["algorithm"] == "maxis":
+                from ..independent_set.greedy import luby_mis
+
+                mis, result = luby_mis(g, seed=p["seed"])
+                metrics = result.metrics
+                verdict = validate_independent_set(g, mis)
+            else:
+                from ..core.framework import run_framework
+
+                result = run_framework(
+                    g, p["epsilon"], solver=_degree_solver,
+                    phi=p["phi"], seed=p["seed"],
+                )
+                metrics = result.metrics
+                verdict = validate_framework(result)
+    except Exception as exc:  # noqa: BLE001 — graded, not propagated
+        verdict = Verdict.failed(f"{type(exc).__name__}: {exc}")
+    faults = metrics.fault_summary() if metrics is not None else {}
+    row = (
+        p["algorithm"], p["churn"], g.n,
+        metrics.rounds if metrics is not None else 0,
+        metrics.total_messages if metrics is not None else 0,
+        faults.get("vertices_crashed", 0),
+        faults.get("vertices_rejoined", 0),
+        verdict.label(),
+    )
+    extra = {"verdict": verdict.to_dict()}
+    return [row], metrics.to_dict() if metrics is not None else None, extra
+
+
+# ----------------------------------------------------------------------
 # CHAOS — hidden suite driving the executor's recovery machinery
 # ----------------------------------------------------------------------
 
@@ -395,6 +500,16 @@ SUITES: Dict[str, SuiteSpec] = {
         description="Graded algorithm outcomes under message-drop faults.",
         build_cells=_e11_cells,
         cell_fn=_run_e11,
+    ),
+    "E12": SuiteSpec(
+        name="E12",
+        title=("E12: crash-recovery churn (delaunay n=48, "
+               "crash / crash+rejoin schedules, graded verdicts)"),
+        columns=("algorithm", "churn", "n", "rounds", "messages",
+                 "crashed", "rejoined", "verdict"),
+        description="Graded algorithm outcomes under vertex churn.",
+        build_cells=_e12_cells,
+        cell_fn=_run_e12,
     ),
     "CHAOS": SuiteSpec(
         name="CHAOS",

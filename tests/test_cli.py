@@ -108,3 +108,83 @@ class TestCLI:
             e["level"] == "info" and e["message"].startswith("trace:")
             for e in events
         )
+
+
+class TestFaultsCommand:
+    def test_churn_plan_accepted(self, capsys):
+        code = main([
+            "faults", "--n", "30", "--seed", "2",
+            "--crash", "3:2", "--rejoin", "3:6",
+            "--checkpoint-interval", "2",
+        ])
+        assert code in (0, 1)  # graded, never a traceback
+        out = capsys.readouterr().out
+        assert "crashes=1 rejoins=1" in out
+        assert "verdict:" in out
+
+    def test_rejoin_without_crash_is_a_clean_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "--n", "30", "--rejoin", "3:6"])
+        assert "invalid fault plan" in str(excinfo.value)
+
+    def test_bad_schedule_spec_is_a_clean_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "--n", "30", "--crash", "nonsense"])
+        assert "--crash" in str(excinfo.value)
+
+    def test_bad_checkpoint_interval_is_a_clean_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "--n", "30", "--crash", "3:2",
+                  "--checkpoint-interval", "0"])
+        assert "invalid fault plan" in str(excinfo.value)
+
+
+class TestBenchJournal:
+    def test_resume_replays_journaled_cells(self, capsys, tmp_path):
+        journal = str(tmp_path / "wal.jsonl")
+        args = ["bench", "--suite", "CHAOS", "--limit", "2", "--no-cache",
+                "--cache-dir", str(tmp_path), "--journal", journal]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert "2 cell(s) replayed" not in first.err
+
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr()
+        assert "2 cell(s) replayed, 0 computed" in second.err
+        assert second.out == first.out  # byte-identical table
+
+    def test_journal_rejects_multiple_suites(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--suite", "E10", "--suite", "CHAOS",
+                  "--journal", str(tmp_path / "wal.jsonl")])
+        assert "one file" in str(excinfo.value)
+
+
+class TestObsErrorPaths:
+    def test_report_missing_snapshot_exits_2(self, capsys, tmp_path):
+        assert main(["obs", "report", str(tmp_path / "absent.json")]) == 2
+        err = capsys.readouterr().err
+        assert "absent.json" in err and "Traceback" not in err
+
+    def test_report_malformed_snapshot_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["obs", "report", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "bad.json" in err and "Traceback" not in err
+
+    def test_diff_missing_snapshot_exits_2(self, capsys, tmp_path):
+        present = tmp_path / "present.json"
+        present.write_text("{}")  # never reached: the first load fails
+        assert main([
+            "obs", "diff", str(tmp_path / "absent.json"), str(present)
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "absent.json" in err and "Traceback" not in err
+
+    def test_diff_wrong_kind_snapshot_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "kind.json"
+        bad.write_text('{"kind": "something-else", "schema": 1}')
+        assert main(["obs", "diff", str(bad), str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "kind.json" in err and "Traceback" not in err

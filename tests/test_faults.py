@@ -115,6 +115,79 @@ def test_plan_roundtrips_through_dict():
     assert FaultPlan.from_dict(plan.to_dict()) == plan
 
 
+def _random_plan(rng):
+    """One structurally valid plan drawn from the full parameter space."""
+    rates = {}
+    for rate in ("drop", "duplicate", "corrupt"):
+        if rng.random() < 0.6:
+            rates[rate] = round(rng.uniform(0.0, 0.4), 3)
+    link_failures = tuple(
+        (rng.randrange(30), rng.randrange(30), start, start + rng.randrange(12))
+        for start in (rng.randrange(20) for _ in range(rng.randrange(4)))
+    )
+    crashes = tuple(
+        (rng.randrange(30), rng.randrange(1, 20))
+        for _ in range(rng.randrange(4))
+    )
+    # Each rejoin targets a crashed vertex, strictly after its crash.
+    rejoins = tuple(
+        (v, r + 1 + rng.randrange(10))
+        for v, r in rng.sample(crashes, k=rng.randrange(len(crashes) + 1))
+    )
+    interval = rng.randrange(1, 6) if rejoins or rng.random() < 0.3 else None
+    return FaultPlan(
+        seed=rng.randrange(10_000),
+        link_failures=link_failures,
+        crashes=crashes,
+        rejoins=rejoins,
+        checkpoint_interval=interval,
+        **rates,
+    )
+
+
+def test_random_plans_roundtrip_through_json():
+    """Property check: serialization is lossless over the whole space.
+
+    Equality of the plans is necessary but not sufficient — what the
+    engines consume is the compiled injector, so for plans that
+    compile, every classification and corruption nonce must replay
+    identically from the round-tripped copy.
+    """
+    import json
+    import random
+
+    rng = random.Random(0xFA17)
+    probes = [
+        (r, u, v, s)
+        for r in (0, 1, 7, 19)
+        for (u, v) in ((0, 1), (1, 0), (5, 23))
+        for s in (0, 1, 2)
+    ]
+    checked_injectors = 0
+    for _ in range(50):
+        plan = _random_plan(rng)
+        wire = json.loads(json.dumps(plan.to_dict()))
+        restored = FaultPlan.from_dict(wire)
+        assert restored == plan
+        assert restored.to_dict() == plan.to_dict()
+        assert restored.is_empty() == plan.is_empty()
+        original = plan.compile()
+        copy = restored.compile()
+        if original is None:
+            assert copy is None
+            continue
+        checked_injectors += 1
+        for r, u, v, s in probes:
+            assert copy.classify(r, u, v, s) == original.classify(r, u, v, s)
+            assert copy.corrupted_payload(r, u, v, s) == (
+                original.corrupted_payload(r, u, v, s)
+            )
+        for v in {v for v, _ in plan.crashes}:
+            assert copy.crash_round(v) == original.crash_round(v)
+            assert copy.rejoin_round(v) == original.rejoin_round(v)
+    assert checked_injectors > 10  # the sweep wasn't vacuously empty
+
+
 def test_use_faults_scoping():
     plan = FaultPlan(seed=1, drop=0.5)
     assert active_fault_plan() is None

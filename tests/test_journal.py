@@ -1,0 +1,205 @@
+"""Suite journal: resumable runs with byte-identical merged tables.
+
+The contract (see :mod:`repro.runner.journal`): a suite run killed
+mid-flight leaves a write-ahead journal whose replay plus the remaining
+cells produces exactly the table the uninterrupted run would have —
+and no corruption of the journal, however severe, aborts a resume
+(mangled records are recomputed, mismatched journals are discarded).
+"""
+
+import base64
+import json
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+
+from repro.runner import (
+    JOURNAL_SCHEMA_VERSION,
+    SuiteJournal,
+    default_journal_path,
+    run_fingerprint,
+    run_suite,
+)
+
+SUITE = "CHAOS"  # hidden suite; all cells healthy without REPRO_CHAOS_DIR
+LIMIT = 4
+
+
+def _fingerprint():
+    return run_fingerprint(SUITE, LIMIT, trace=False, telemetry=False)
+
+
+def _run(journal=None, resume=False, jobs=1):
+    return run_suite(
+        SUITE, jobs=jobs, use_cache=False, limit=LIMIT,
+        journal=journal, resume=resume,
+    )
+
+
+def _truncate_to(path, keep_lines):
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines[:keep_lines]) + "\n")
+    return lines
+
+
+def test_journal_records_every_cell(tmp_path):
+    journal = str(tmp_path / "chaos.jsonl")
+    run = _run(journal=journal)
+    assert run.journal_path == journal
+    assert run.replayed_cells() == 0
+    with open(journal) as handle:
+        lines = [json.loads(line) for line in handle]
+    assert lines[0]["kind"] == "header"
+    assert lines[0]["schema"] == JOURNAL_SCHEMA_VERSION
+    assert lines[0]["fingerprint"] == _fingerprint()
+    assert [r["index"] for r in lines[1:]] == [0, 1, 2, 3]
+
+
+def test_interrupted_run_resumes_byte_identically(tmp_path):
+    baseline = _run().render_table()
+    journal = str(tmp_path / "chaos.jsonl")
+    _run(journal=journal)
+    _truncate_to(journal, 3)  # header + 2 cells: "killed" after cell 1
+
+    resumed = _run(journal=journal, resume=True)
+    assert resumed.replayed_cells() == 2
+    assert resumed.render_table() == baseline
+    # The resume appended the recomputed cells, so a second resume
+    # replays everything.
+    again = _run(journal=journal, resume=True)
+    assert again.replayed_cells() == LIMIT
+    assert again.render_table() == baseline
+
+
+def test_parallel_resume_matches_serial(tmp_path):
+    baseline = _run().render_table()
+    journal = str(tmp_path / "chaos.jsonl")
+    _run(journal=journal)
+    _truncate_to(journal, 2)
+
+    resumed = _run(journal=journal, resume=True, jobs=2)
+    assert resumed.replayed_cells() == 1
+    assert resumed.render_table() == baseline
+
+
+def test_corrupt_records_are_recomputed_not_fatal(tmp_path):
+    baseline = _run().render_table()
+    journal = str(tmp_path / "chaos.jsonl")
+    _run(journal=journal)
+    lines = _truncate_to(journal, 5)
+    # Mangle cell 1 three different ways across three resumes: torn
+    # JSON, bad base64, and a payload that unpickles to garbage.
+    torn = lines[2][: len(lines[2]) // 2]
+    bad_b64 = json.dumps(
+        {"kind": "cell", "index": 1, "payload": "!!not-base64!!"}
+    )
+    not_a_result = json.dumps({
+        "kind": "cell", "index": 1,
+        "payload": base64.b64encode(pickle.dumps("just a string"))
+        .decode("ascii"),
+    })
+    for bad_line in (torn, bad_b64, not_a_result):
+        with open(journal, "w") as handle:
+            handle.write("\n".join([lines[0], lines[1], bad_line]) + "\n")
+        resumed = _run(journal=journal, resume=True)
+        assert resumed.journal_corrupt_lines == 1
+        assert resumed.replayed_cells() == 1  # cell 0 survived
+        assert resumed.render_table() == baseline
+
+
+def test_mismatched_header_discards_journal(tmp_path):
+    journal = str(tmp_path / "chaos.jsonl")
+    _run(journal=journal)
+    # A different limit is a different run shape: nothing is replayed.
+    resumed = run_suite(SUITE, use_cache=False, limit=2,
+                        journal=journal, resume=True)
+    assert resumed.replayed_cells() == 0
+    # And the journal was rewritten for the new shape.
+    with open(journal) as handle:
+        header = json.loads(handle.readline())
+    assert header["fingerprint"]["limit"] == 2
+
+
+def test_headerless_or_missing_journal_starts_fresh(tmp_path):
+    journal = str(tmp_path / "chaos.jsonl")
+    resumed = _run(journal=journal, resume=True)  # nothing to resume
+    assert resumed.replayed_cells() == 0
+
+    with open(journal, "w") as handle:
+        handle.write("complete garbage\n")
+    resumed = _run(journal=journal, resume=True)
+    assert resumed.replayed_cells() == 0
+
+
+def test_resume_false_discards_prior_journal(tmp_path):
+    journal = str(tmp_path / "chaos.jsonl")
+    _run(journal=journal)
+    fresh = _run(journal=journal, resume=False)
+    assert fresh.replayed_cells() == 0
+    with open(journal) as handle:
+        lines = handle.read().splitlines()
+    assert len(lines) == 1 + LIMIT  # rewritten, not appended to
+
+
+def test_default_journal_path_under_cache_root(tmp_path):
+    path = default_journal_path("E10", str(tmp_path))
+    assert path == str(tmp_path / "journals" / "E10.jsonl")
+    run = run_suite(SUITE, use_cache=False, limit=2,
+                    cache_root=str(tmp_path), resume=True)
+    assert run.journal_path == str(tmp_path / "journals" / "CHAOS.jsonl")
+    assert os.path.exists(run.journal_path)
+
+
+def test_journal_replay_filters_out_of_grid_cells(tmp_path):
+    """Cells journaled beyond the current --limit stay out of the
+    table (and out of the replay count)."""
+    journal = str(tmp_path / "chaos.jsonl")
+    fingerprint = _fingerprint()
+    with SuiteJournal.open(journal, fingerprint) as wal:
+        full = _run()
+        for result in full.results:
+            wal.record(result)
+    # Same fingerprint, so the journal is reusable; but only cells in
+    # the grid participate.
+    resumed = _run(journal=journal, resume=True)
+    assert resumed.replayed_cells() == LIMIT
+    assert resumed.render_table() == full.render_table()
+
+
+def test_sigkill_mid_suite_then_resume(tmp_path):
+    """The real thing: SIGKILL a journaled run, resume, diff tables.
+
+    The child kills itself (via a cell hook) after the journal has two
+    cells; the parent then resumes from the journal on disk and must
+    reproduce the uninterrupted table exactly.
+    """
+    journal = str(tmp_path / "chaos.jsonl")
+    script = textwrap.dedent(f"""
+        import os, signal
+        from repro.runner import journal as journal_mod, run_suite
+
+        real_record = journal_mod.SuiteJournal.record
+        def record_then_die(self, result):
+            real_record(self, result)
+            if result.index == 1:
+                os.kill(os.getpid(), signal.SIGKILL)
+        journal_mod.SuiteJournal.record = record_then_die
+        run_suite({SUITE!r}, use_cache=False, limit={LIMIT},
+                  journal={journal!r})
+    """)
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        env={**os.environ,
+             "PYTHONPATH": os.pathsep.join(sys.path)},
+        capture_output=True,
+    )
+    assert proc.returncode == -9  # died to SIGKILL mid-suite
+
+    baseline = _run().render_table()
+    resumed = _run(journal=journal, resume=True)
+    assert resumed.replayed_cells() == 2
+    assert resumed.render_table() == baseline

@@ -141,6 +141,42 @@ def test_transport_abandons_frames_to_a_crashed_peer():
     assert sum(a.abandoned for a in wrapped) > 0
 
 
+def test_transport_exhaustion_grades_failed_deterministically():
+    """Heavy loss + tiny attempt caps: abandonment is graded, not hidden.
+
+    With ``max_attempts=2`` on a 70%-loss channel the transport must
+    give up on frames, the flood converges on wrong answers, and the
+    graded verdict is ``failed`` — identically on every rerun, because
+    the fault stream and the retry schedule are both deterministic.
+    """
+    g = path_graph(10)
+    plan = FaultPlan(seed=21, drop=0.7)
+    best = max(g.vertices())
+
+    def graded_run():
+        wrapped = []
+
+        def factory(v):
+            algo = ReliableAlgorithm(Flood(10), timeout=1, max_attempts=2)
+            wrapped.append(algo)
+            return algo
+
+        sim = CongestSimulator(g, factory, seed=6, faults=plan)
+        result = sim.run(max_rounds=400)
+        wrong = sum(1 for v in g.vertices() if result.output_of(v) != best)
+        verdict = (
+            Verdict.correct() if wrong == 0
+            else Verdict.failed(f"{wrong} vertices missed the max id")
+        )
+        return verdict, sum(a.abandoned for a in wrapped)
+
+    verdict, abandoned = graded_run()
+    assert verdict.status == "failed" and not verdict.ok
+    assert abandoned > 0  # the caps really were exhausted
+    again, abandoned_again = graded_run()
+    assert (again, abandoned_again) == (verdict, abandoned)
+
+
 def test_transport_parameter_validation():
     with pytest.raises(ValueError):
         ReliableAlgorithm(Flood(1), timeout=0)
