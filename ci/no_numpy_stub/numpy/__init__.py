@@ -1,0 +1,10 @@
+"""CI stub: simulates an environment without NumPy installed.
+
+Prepending ``ci/no_numpy_stub`` to ``PYTHONPATH`` shadows the real
+NumPy (and SciPy) with packages whose import fails, so the no-NumPy
+degradation paths (``repro.rng.HAVE_NUMPY``, the scalar CONGEST
+kernels fallback, gated generators) run exactly as they would on a
+minimal install.
+"""
+
+raise ImportError("numpy is stubbed out by ci/no_numpy_stub")

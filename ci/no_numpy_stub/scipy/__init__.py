@@ -1,0 +1,3 @@
+"""CI stub: see ``ci/no_numpy_stub/numpy/__init__.py``."""
+
+raise ImportError("scipy is stubbed out by ci/no_numpy_stub")

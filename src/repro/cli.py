@@ -270,6 +270,11 @@ def cmd_bench(args) -> int:
 
     from .runner import SUITES, run_suite, suite_names
 
+    if args.no_kernels:
+        # The env mirror makes the choice inherit into spawned workers.
+        from .congest.algorithm import set_kernels_enabled
+
+        set_kernels_enabled(False)
     if args.faults:
         names = (args.suite or []) + ["E11"]
     else:
@@ -632,6 +637,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replay cells already completed in the "
                             "journal of an interrupted run instead of "
                             "recomputing them")
+    bench.add_argument("--no-kernels", action="store_true",
+                       help="disable the columnar round kernels and "
+                            "run every CONGEST cell on the scalar "
+                            "per-vertex path (results are bit-identical"
+                            "; see docs/kernels.md)")
     bench.set_defaults(handler=cmd_bench)
 
     faults = sub.add_parser(

@@ -9,6 +9,7 @@ drives them in synchronized rounds.
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -143,3 +144,135 @@ class VertexAlgorithm:
         means the vertex only needs to wake on message arrival.
         """
         return None
+
+
+# ---------------------------------------------------------------------------
+# Columnar round-kernel registry
+# ---------------------------------------------------------------------------
+#
+# An algorithm class *declares a vectorizable step* by registering a
+# :class:`RoundKernel` subclass against itself.  The fast engine then
+# batches that algorithm's per-round work into NumPy columns (one entry
+# per vertex) whenever the run qualifies — see
+# :func:`repro.congest.kernels.maybe_build_kernel` for the activation
+# rules — and falls back to the ordinary scalar ``step`` loop
+# otherwise.  Kernels are a pure performance feature: outputs, metrics,
+# traces, and per-vertex RNG streams are bit-identical either way
+# (``tests/test_kernels.py`` is the differential gate).
+
+#: Minimum vertex count at which a registered kernel engages; below it
+#: the columnar setup costs more than it saves.  A pure performance
+#: knob (``tests/test_kernels.py`` monkeypatches it to 1 to vectorize
+#: tiny graphs).  The ``REPRO_KERNEL_THRESHOLD`` environment variable
+#: overrides it, e.g. for CI smoke runs through spawned workers.
+KERNEL_THRESHOLD = 64
+
+#: Algorithm class -> RoundKernel subclass.
+_KERNEL_REGISTRY: Dict[type, type] = {}
+
+_kernels_enabled = os.environ.get("REPRO_NO_KERNELS", "").lower() not in (
+    "1",
+    "true",
+    "yes",
+)
+
+
+def register_kernel(algorithm_cls: type):
+    """Class decorator registering a :class:`RoundKernel` for
+    ``algorithm_cls`` — the declaration that the algorithm's step is
+    vectorizable."""
+
+    def decorate(kernel_cls: type) -> type:
+        kernel_cls.algorithm_cls = algorithm_cls
+        _KERNEL_REGISTRY[algorithm_cls] = kernel_cls
+        return kernel_cls
+
+    return decorate
+
+
+def kernel_class_for(algorithm_cls: type) -> Optional[type]:
+    """The registered kernel for ``algorithm_cls``, or ``None``."""
+    return _KERNEL_REGISTRY.get(algorithm_cls)
+
+
+def kernels_enabled() -> bool:
+    """Whether columnar kernels may engage in this process."""
+    return _kernels_enabled
+
+
+def set_kernels_enabled(flag: bool) -> None:
+    """Enable or disable kernels process-wide.
+
+    Mirrored into the ``REPRO_NO_KERNELS`` environment variable so that
+    spawned benchmark workers inherit the choice (the CLI's
+    ``repro bench --no-kernels`` escape hatch relies on this).
+    """
+    global _kernels_enabled
+    _kernels_enabled = bool(flag)
+    if flag:
+        os.environ.pop("REPRO_NO_KERNELS", None)
+    else:
+        os.environ["REPRO_NO_KERNELS"] = "1"
+
+
+def kernel_threshold() -> int:
+    """The active engagement threshold (env override, else the global)."""
+    env = os.environ.get("REPRO_KERNEL_THRESHOLD")
+    if env:
+        try:
+            return int(env)
+        except ValueError:
+            pass
+    return KERNEL_THRESHOLD
+
+
+class RoundKernel:
+    """Contract for a columnar (vectorized) round executor.
+
+    One kernel instance drives *all* vertices of its algorithm class in
+    a simulation; the engine calls it instead of the per-vertex
+    ``initialize``/``step`` loop.  Implementations must preserve the
+    scalar path bit-for-bit: same outbox contents (same payload values,
+    one shared payload object per broadcast, neighbors in canonical
+    order), same ``halt`` outputs, same per-vertex RNG word
+    consumption.  See ``docs/kernels.md`` for the full contract and
+    :mod:`repro.congest.kernels` for the shared runtime.
+    """
+
+    #: Set by :func:`register_kernel`.
+    algorithm_cls: Optional[type] = None
+
+    @classmethod
+    def supports(cls, engine) -> bool:
+        """May this kernel drive ``engine``'s population?  Called after
+        the generic activation checks; refuse anything the columnar
+        encoding cannot represent (non-integer vertex labels,
+        non-uniform parameters, ...)."""
+        raise NotImplementedError
+
+    def __init__(self, engine, resume: bool = False) -> None:
+        raise NotImplementedError
+
+    def initialize(self, live: Sequence[int]) -> None:
+        """Vectorized twin of the per-vertex ``initialize`` pass."""
+        raise NotImplementedError
+
+    def step_round(self, due: Sequence[int], round_number: int) -> None:
+        """Vectorized twin of one round's per-vertex ``step`` loop.
+
+        ``due`` holds the engine indices of live, scheduled vertices
+        (crashed vertices already filtered).  The kernel must consume
+        their pending inboxes, queue outbound messages on the contexts,
+        and set ``_halted``/``_output`` for vertices that halt.
+        """
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Write columnar state back into the scalar objects.
+
+        Called at observation points (checkpoint capture, end of run)
+        so that pickled algorithm/context objects — including
+        materialized per-vertex ``random.Random`` states — are exactly
+        what the scalar path would have produced.  Must be idempotent.
+        """
+        raise NotImplementedError

@@ -192,6 +192,12 @@ class FastEngine:
         # post-init checkpoint carries True, so run() then skips
         # initialization and continues mid-simulation.
         self._initialized = False
+        # Columnar round kernel, when the algorithm class registered
+        # one and this run qualifies (see repro.congest.kernels);
+        # None means the ordinary scalar step loop.
+        from .kernels import maybe_build_kernel
+
+        self._kernel = maybe_build_kernel(self)
 
     # ------------------------------------------------------------------
     @property
@@ -219,9 +225,11 @@ class FastEngine:
         contexts = self._contexts
         algorithms = self._algorithms
         crash_rounds = self._crash_rounds
+        kernel = self._kernel
         if not self._initialized:
             self._initialized = True
             init_crashed = 0
+            live_init: List[int] = []
             for i in range(self._n):
                 if crash_rounds is not None:
                     cr = crash_rounds[i]
@@ -231,7 +239,12 @@ class FastEngine:
                         self._crashed_ids.add(i)
                         init_crashed += 1
                         continue
-                algorithms[i].initialize(contexts[i])
+                live_init.append(i)
+            if kernel is not None:
+                kernel.initialize(live_init)
+            else:
+                for i in live_init:
+                    algorithms[i].initialize(contexts[i])
             if init_crashed:
                 self.metrics.record_crashed(init_crashed)
             self._collect(range(self._n))
@@ -288,13 +301,18 @@ class FastEngine:
                 record_round(per_edge, messages, bits, fcounts)
             live_before = self._live
             crashed_now = 0
-            for i in due:
-                ctx = contexts[i]
-                if crash_rounds is not None:
+            if crash_rounds is None:
+                stepping = due
+            else:
+                # Fail-stop filtering happens before any stepping, so
+                # both the scalar loop and a kernel see the same live
+                # cohort (a vertex never steps at or after its crash
+                # round and its mail dies with it).
+                stepping = []
+                for i in due:
                     cr = crash_rounds[i]
                     if cr is not None and next_round >= cr:
-                        # Fail-stop: the vertex never steps at or after
-                        # its crash round and its mail dies with it.
+                        ctx = contexts[i]
                         ctx._halted = True
                         ctx._output = None
                         self._crashed_ids.add(i)
@@ -303,14 +321,20 @@ class FastEngine:
                             pending[i] = None
                             pending_ids_discard(i)
                         continue
-                ctx.round_number = next_round
-                box = pending[i]
-                if box is None:
-                    box = {}
-                else:
-                    pending[i] = None
-                    pending_ids_discard(i)
-                algorithms[i].step(ctx, box)
+                    stepping.append(i)
+            if kernel is not None:
+                kernel.step_round(stepping, next_round)
+            else:
+                for i in stepping:
+                    ctx = contexts[i]
+                    ctx.round_number = next_round
+                    box = pending[i]
+                    if box is None:
+                        box = {}
+                    else:
+                        pending[i] = None
+                        pending_ids_discard(i)
+                    algorithms[i].step(ctx, box)
             # Revived vertices may have queued messages while (re-)
             # initializing; drain their outboxes along with the steppers.
             collect(list(due) + list(revived) if revived else due)
@@ -328,6 +352,10 @@ class FastEngine:
                 registry.observe(
                     "congest.active_vertices", len(due) - crashed_now
                 )
+                if kernel is not None:
+                    # Diagnostic hit counter; excluded from telemetry
+                    # identity comparisons (see Registry.comparable_dict).
+                    registry.count("congest.kernel.rounds")
                 if bits_hist:
                     size_hist = registry.histogram("congest.message_bits")
                     for size, times in bits_hist.items():
@@ -356,6 +384,11 @@ class FastEngine:
             ):
                 on_checkpoint(self.capture_checkpoint())
 
+        if kernel is not None:
+            # Materialize columnar state (algorithm attributes, round
+            # numbers, advanced RNG streams) back into the scalar
+            # objects callers observe.
+            kernel.sync()
         if self._registry is not None:
             self.metrics.publish_telemetry(self._registry)
         outputs = {self._verts[i]: contexts[i]._output for i in range(self._n)}
@@ -457,6 +490,10 @@ class FastEngine:
         state: inboxes, wakeups, and runnable flags of halted vertices
         are dead weight the engines handle lazily and are excluded.
         """
+        if self._kernel is not None:
+            # Columnar state becomes scalar truth before pickling, so
+            # the envelope stays engine- and kernel-neutral.
+            self._kernel.sync()
         contexts = self._contexts
         verts = self._verts
         n = self._n
@@ -618,6 +655,12 @@ class FastEngine:
         # A pre-initialization checkpoint (captured before run()) leaves
         # this False, so the resumed run still initializes normally.
         self._initialized = bool(state.get("initialized", True))
+        # Rebuild the kernel over the restored scalar state.  resume=True
+        # makes its first round replay the restored inbox dictionaries
+        # (the previous round's sends are not in any column yet).
+        from .kernels import maybe_build_kernel
+
+        self._kernel = maybe_build_kernel(self, resume=True)
         if self._registry is not None:
             self._registry.count("congest.checkpoints_restored")
 

@@ -1,0 +1,250 @@
+"""Shared runtime for columnar round kernels (fast engine only).
+
+A registered :class:`~repro.congest.algorithm.RoundKernel` replaces the
+fast engine's per-vertex ``initialize``/``step`` loop with NumPy
+columns — one entry per vertex, with CSR adjacency for neighborhood
+reductions.  Everything else (message collection, fault channel,
+metrics, traces, scheduling) stays on the engine's scalar path, which
+is what keeps kernelized runs bit-identical: kernels write real
+per-context outboxes, so the single accounting path in
+``FastEngine._collect`` charges identical bits either way.  Random
+draws also stay on the per-vertex scalar generators (``ctx.rng``):
+the registered protocols consume O(log n) words per vertex, far too
+few to amortize columnar stream adoption (see the measurements in
+``docs/kernels.md``); :class:`~repro.rng.MTColumn` remains available
+for draw-heavy kernels.
+
+Activation (:func:`maybe_build_kernel`) is deliberately conservative.
+A kernel engages only when
+
+* kernels are enabled (``repro bench --no-kernels`` / the
+  ``REPRO_NO_KERNELS`` environment variable flip this off),
+* NumPy is importable (``HAVE_NUMPY`` — otherwise everything silently
+  degrades to scalar),
+* the population is uniform (every vertex runs the same registered
+  algorithm class) and at least ``kernel_threshold()`` vertices big,
+* the fault plan cannot touch messages: kernels reconstruct inbound
+  traffic from the sender-side columns of the previous round, which is
+  only faithful on a lossless channel.  Crash-only plans qualify
+  (crashed vertices are filtered before the kernel sees the round);
+  drop/duplicate/corrupt/link-failure/rejoin plans fall back, and the
+  first round after a checkpoint restore replays the restored inbox
+  dictionaries before switching to columnar reconstruction.
+
+The fallback is always silent and always bit-identical — a kernel is a
+pure performance feature (``tests/test_kernels.py`` pins this).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .. import rng as _rng
+from .algorithm import (
+    RoundKernel,
+    kernel_class_for,
+    kernel_threshold,
+    kernels_enabled,
+)
+
+
+def maybe_build_kernel(engine, resume: bool = False) -> Optional[RoundKernel]:
+    """Build the columnar kernel for ``engine``, or ``None`` to run
+    scalar.  See the module docstring for the activation rules."""
+    algorithms = engine._algorithms
+    if not algorithms:
+        return None
+    cls = type(algorithms[0])
+    kernel_cls = kernel_class_for(cls)
+    if kernel_cls is None:
+        return None
+    reason = None
+    if not kernels_enabled():
+        reason = "disabled"
+    elif not _rng.HAVE_NUMPY:
+        reason = "no-numpy"
+    elif engine._n < kernel_threshold():
+        reason = "below-threshold"
+    elif any(type(a) is not cls for a in algorithms):
+        reason = "mixed-population"
+    else:
+        injector = engine.faults
+        if injector is not None:
+            plan = injector.plan
+            if (
+                plan.drop
+                or plan.duplicate
+                or plan.corrupt
+                or plan.link_failures
+                or plan.rejoins
+            ):
+                reason = "faulty-channel"
+    if reason is None and not kernel_cls.supports(engine):
+        reason = "unsupported-population"
+    registry = engine._registry
+    if reason is not None:
+        # Diagnostic only: congest.kernel.* counters are excluded from
+        # telemetry identity comparisons (see Registry.comparable_dict).
+        if registry is not None:
+            registry.count("congest.kernel.fallback")
+        return None
+    kernel = kernel_cls(engine, resume=resume)
+    if registry is not None:
+        registry.count("congest.kernel.engaged")
+    return kernel
+
+
+def _np():
+    return _rng.np
+
+
+# -- CSR segment reductions --------------------------------------------------
+
+def seg_count(flags, indptr):
+    """Per-row count of true flags over CSR edge data."""
+    np = _np()
+    csum = np.concatenate(
+        (np.zeros(1, np.int64), np.cumsum(flags, dtype=np.int64))
+    )
+    return csum[indptr[1:]] - csum[indptr[:-1]]
+
+
+def seg_any(flags, indptr):
+    """Per-row "any flag true" over CSR edge data."""
+    return seg_count(flags, indptr) > 0
+
+
+def seg_max(vals, indptr, empty):
+    """Per-row max over CSR edge data; empty rows yield ``empty``.
+
+    ``np.maximum.reduceat`` mishandles empty segments (it returns the
+    element *at* the segment start); padding with a sentinel and
+    overwriting empty rows afterwards restores exact semantics.
+    """
+    np = _np()
+    n_rows = indptr.shape[0] - 1
+    if vals.shape[0] == 0:
+        return np.full(n_rows, empty, dtype=vals.dtype)
+    padded = np.append(vals, vals.dtype.type(empty))
+    starts = np.minimum(indptr[:-1], vals.shape[0])
+    out = np.maximum.reduceat(padded, starts)
+    out[indptr[:-1] == indptr[1:]] = empty
+    return out
+
+
+class KernelBase(RoundKernel):
+    """Plumbing shared by every concrete kernel.
+
+    Subclasses implement ``_load_columns`` (scalar objects -> columns,
+    run at construction so a restored checkpoint resumes mid-protocol),
+    ``_write_columns`` (columns -> scalar objects, run at ``sync``),
+    ``_initialize_rows`` and ``_step_rows``.
+    """
+
+    @classmethod
+    def supports(cls, engine) -> bool:
+        # Columnar tie-breaks compare dense indices instead of vertex
+        # labels, which is only faithful when canonical order is label
+        # order — true exactly for the int-labelled graphs the
+        # generators produce.  bool is an int subclass; exclude it.
+        return all(
+            type(v) is int for v in engine._verts
+        ) and cls._supports_population(engine)
+
+    @classmethod
+    def _supports_population(cls, engine) -> bool:
+        return True
+
+    def __init__(self, engine, resume: bool = False) -> None:
+        np = _np()
+        self.np = np
+        self.engine = engine
+        self.n = n = engine._n
+        self.contexts = engine._contexts
+        self.algorithms = engine._algorithms
+        self.verts = engine._verts
+        # CSR adjacency in canonical order: row i's slice lists i's
+        # neighbors exactly as ``ctx.neighbors`` does (ascending label
+        # order), so "the k-th active neighbor" means the same thing
+        # columnar and scalar.
+        index = engine._index
+        indptr = np.zeros(n + 1, np.int64)
+        flat: List[int] = []
+        for i, ctx in enumerate(self.contexts):
+            flat.extend(index[u] for u in ctx.neighbors)
+            indptr[i + 1] = len(flat)
+        self.indptr = indptr
+        self.nbr = np.array(flat, dtype=np.int64) if flat else np.zeros(
+            0, np.int64
+        )
+        degrees = indptr[1:] - indptr[:-1]
+        self.edge_dst = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        # Rounds in which each vertex last stepped, mirrored into
+        # ``ctx.round_number`` at sync (the scalar path sets it per
+        # step; doing that eagerly would cost a Python attribute write
+        # per vertex per round).
+        self.last_step = np.array(
+            [ctx.round_number for ctx in self.contexts], dtype=np.int64
+        )
+        self._rn_dirty = np.zeros(n, dtype=bool)
+        self._state_dirty = False
+        # After a checkpoint restore the previous round's sends are only
+        # available as the restored inbox dictionaries; replay those
+        # once, then trust the columns.
+        self._use_dicts = bool(resume)
+        self._load_columns()
+
+    # -- engine-facing entry points ------------------------------------
+    def initialize(self, live: Sequence[int]) -> None:
+        np = self.np
+        rows = np.fromiter(live, np.intp, count=len(live))
+        self._state_dirty = True
+        self._initialize_rows(rows)
+
+    def step_round(self, due: Sequence[int], round_number: int) -> None:
+        np = self.np
+        engine = self.engine
+        rows = np.fromiter(due, np.intp, count=len(due))
+        self.last_step[rows] = round_number
+        self._rn_dirty[rows] = True
+        self._state_dirty = True
+        boxes = None
+        if self._use_dicts:
+            boxes = [engine._pending[i] or {} for i in due]
+        # Consume the pending inboxes exactly like the scalar loop.
+        pids = engine._pending_ids
+        if pids:
+            pending = engine._pending
+            for i in pids.intersection(due):
+                pending[i] = None
+            pids.difference_update(due)
+        self._step_rows(rows, round_number, boxes)
+        self._use_dicts = False
+
+    def sync(self) -> None:
+        np = self.np
+        for i in np.nonzero(self._rn_dirty)[0].tolist():
+            self.contexts[i].round_number = int(self.last_step[i])
+        self._rn_dirty[:] = False
+        if self._state_dirty:
+            self._write_columns()
+            self._state_dirty = False
+
+    # -- helpers for concrete kernels ----------------------------------
+    def _halt(self, i: int, output) -> None:
+        ctx = self.contexts[i]
+        ctx._halted = True
+        ctx._output = output
+
+    # -- subclass responsibilities -------------------------------------
+    def _load_columns(self) -> None:
+        raise NotImplementedError
+
+    def _write_columns(self) -> None:
+        raise NotImplementedError
+
+    def _initialize_rows(self, rows) -> None:
+        raise NotImplementedError
+
+    def _step_rows(self, rows, round_number: int, boxes) -> None:
+        raise NotImplementedError

@@ -26,6 +26,8 @@ from ..congest import (
     VertexAlgorithm,
     VertexContext,
 )
+from ..congest.algorithm import register_kernel
+from ..congest.kernels import KernelBase, seg_max
 from ..errors import DecompositionError
 from ..graph import Graph
 from ..rng import SeedLike, ensure_rng
@@ -75,6 +77,173 @@ class MPXClustering(VertexAlgorithm):
             ctx.broadcast((root, scaled, dist))
         if ctx.round_number >= self.budget:
             ctx.halt(self.best[1])
+
+
+@register_kernel(MPXClustering)
+class MPXKernel(KernelBase):
+    """Columnar twin of :class:`MPXClustering` (see ``docs/kernels.md``).
+
+    A vertex's last broadcast always equals its current best (any
+    improvement re-broadcasts), so inbound candidates reconstruct from
+    the senders' best columns masked by who broadcast last round.  The
+    lexicographic max over (key, root) runs as three masked segment
+    maxima; the exponential shifts are drawn through the columnar RNG
+    but mapped through ``math.log`` per vertex, because NumPy's SIMD
+    ``log`` is not guaranteed ULP-identical to libm's.
+    """
+
+    #: Sentinel below any reachable adoption key.
+    _KEY_MIN = -(2**62)
+
+    @classmethod
+    def _supports_population(cls, engine) -> bool:
+        first = engine._algorithms[0]
+        return all(
+            a.beta == first.beta
+            and a.shift_cap == first.shift_cap
+            and a.budget == first.budget
+            for a in engine._algorithms
+        )
+
+    def _load_columns(self) -> None:
+        np = self.np
+        n = self.n
+        algo = self.algorithms[0]
+        self.beta = algo.beta
+        self.shift_cap = algo.shift_cap
+        self.budget = algo.budget
+        index = self.engine._index
+        self.started = np.zeros(n, bool)
+        self.best_scaled = np.zeros(n, np.int64)
+        self.best_root = np.zeros(n, np.int64)
+        self.best_dist = np.zeros(n, np.int64)
+        self.best_key = np.full(n, self._KEY_MIN, np.int64)
+        self.sent = np.zeros(n, bool)  # broadcast in the last round
+        for i, a in enumerate(self.algorithms):
+            if a.best is not None:
+                scaled, root, dist = a.best
+                self.started[i] = True
+                self.best_scaled[i] = scaled
+                self.best_root[i] = index[root]
+                self.best_dist[i] = dist
+                self.best_key[i] = scaled - dist * SHIFT_SCALE
+
+    def _write_columns(self) -> None:
+        verts = self.verts
+        started = self.started.tolist()
+        scaled = self.best_scaled.tolist()
+        root = self.best_root.tolist()
+        dist = self.best_dist.tolist()
+        for i, algo in enumerate(self.algorithms):
+            if started[i]:
+                algo.best = (scaled[i], verts[root[i]], dist[i])
+
+    def _broadcast(self, rows) -> None:
+        contexts = self.contexts
+        verts = self.verts
+        scaled = self.best_scaled[rows].tolist()
+        root = self.best_root[rows].tolist()
+        dist = self.best_dist[rows].tolist()
+        self.sent[:] = False
+        self.sent[rows] = True
+        for k, i in enumerate(rows.tolist()):
+            ctx = contexts[i]
+            payload = (verts[root[k]], scaled[k], dist[k])
+            ctx._outbox = [(u, payload) for u in ctx.neighbors]
+
+    def _initialize_rows(self, rows) -> None:
+        # One scalar draw per vertex (the only draw of the protocol);
+        # per-vertex math.log keeps bit-parity with rng.expovariate.
+        # See "RNG discipline" in docs/kernels.md for why draws this
+        # sparse stay on the scalar generators.
+        contexts = self.contexts
+        log = math.log
+        beta = self.beta
+        cap = self.shift_cap
+        scaled = [
+            int(
+                min(-log(1.0 - contexts[i].rng.random()) / beta, cap)
+                * SHIFT_SCALE
+            )
+            for i in rows.tolist()
+        ]
+        self.started[rows] = True
+        self.best_scaled[rows] = scaled
+        self.best_root[rows] = rows
+        self.best_dist[rows] = 0
+        self.best_key[rows] = self.best_scaled[rows]
+        self._broadcast(rows)
+
+    def _step_rows(self, rows, round_number: int, boxes) -> None:
+        np = self.np
+        if boxes is not None:
+            improved_rows = self._adopt_from_dicts(rows, boxes)
+            self.sent[:] = False
+            if improved_rows.size:
+                self._broadcast(improved_rows)
+        else:
+            nbr = self.nbr
+            indptr = self.indptr
+            dst = self.edge_dst
+            key_min = self._KEY_MIN
+            cand_key = self.best_scaled[nbr] - (
+                self.best_dist[nbr] + 1
+            ) * SHIFT_SCALE
+            cand_root = self.best_root[nbr]
+            masked = np.where(self.sent[nbr], cand_key, key_min)
+            key_max = seg_max(masked, indptr, key_min)
+            # Lexicographic tie-break on the root, then recover the
+            # winner's distance (equal-key equal-root candidates share
+            # one distance, since a root's scaled shift is constant).
+            tie = self.sent[nbr] & (cand_key == key_max[dst])
+            root_max = seg_max(np.where(tie, cand_root, -1), indptr, -1)
+            tie &= cand_root == root_max[dst]
+            dist_win = seg_max(
+                np.where(tie, self.best_dist[nbr] + 1, -1), indptr, -1
+            )
+            due = np.zeros(self.n, bool)
+            due[rows] = True
+            improved = due & (
+                (key_max > self.best_key)
+                | ((key_max == self.best_key) & (root_max > self.best_root))
+            )
+            improved_rows = np.nonzero(improved)[0]
+            if improved_rows.size:
+                self.best_key[improved_rows] = key_max[improved_rows]
+                self.best_root[improved_rows] = root_max[improved_rows]
+                self.best_dist[improved_rows] = dist_win[improved_rows]
+                self.best_scaled[improved_rows] = (
+                    key_max[improved_rows]
+                    + dist_win[improved_rows] * SHIFT_SCALE
+                )
+            if improved_rows.size:
+                self._broadcast(improved_rows)
+            else:
+                self.sent[:] = False
+        if round_number >= self.budget:
+            verts = self.verts
+            for i, r in zip(rows.tolist(), self.best_root[rows].tolist()):
+                self._halt(i, verts[r])
+
+    def _adopt_from_dicts(self, rows, boxes):
+        np = self.np
+        index = self.engine._index
+        improved: list = []
+        for i, box in zip(rows.tolist(), boxes):
+            cur = (int(self.best_key[i]), int(self.best_root[i]))
+            best = None
+            for payloads in box.values():
+                for root, scaled, dist in payloads:
+                    cand = (scaled - (dist + 1) * SHIFT_SCALE, index[root])
+                    if best is None or cand > best:
+                        best = (cand[0], cand[1], scaled, dist + 1)
+            if best is not None and (best[0], best[1]) > cur:
+                self.best_key[i] = best[0]
+                self.best_root[i] = best[1]
+                self.best_scaled[i] = best[2]
+                self.best_dist[i] = best[3]
+                improved.append(i)
+        return np.array(improved, dtype=np.intp)
 
 
 def mpx_ldd(

@@ -23,6 +23,8 @@ from ..congest import (
     VertexAlgorithm,
     VertexContext,
 )
+from ..congest.algorithm import register_kernel
+from ..congest.kernels import KernelBase, seg_any
 from ..graph import Graph
 from ..rng import SeedLike
 
@@ -106,6 +108,159 @@ class LubyMIS(VertexAlgorithm):
                 ctx.halt(False)
                 return
             self._draw_and_announce(ctx)
+
+
+@register_kernel(LubyMIS)
+class LubyKernel(KernelBase):
+    """Columnar twin of :class:`LubyMIS` (see ``docs/kernels.md``).
+
+    State columns: ``status`` (0 undecided / 1 in / 2 out) and the
+    current ``pri`` draw.  Inbound reconstruction: a comparison round's
+    priorities are the senders' ``pri`` columns masked by who broadcast
+    last round; a resolution round's ``IN`` flags are last round's
+    winner mask.  Tie-breaks compare dense indices — faithful because
+    canonical order is label order for the int-labelled graphs the
+    ``supports`` gate admits.
+    """
+
+    @classmethod
+    def _supports_population(cls, engine) -> bool:
+        first = engine._algorithms[0].max_phases
+        return all(a.max_phases == first for a in engine._algorithms)
+
+    _STATES = ("undecided", "in", "out")
+
+    def _load_columns(self) -> None:
+        np = self.np
+        n = self.n
+        self.max_phases = self.algorithms[0].max_phases
+        self.status = np.zeros(n, np.int8)
+        self.pri = np.zeros(n, np.float64)
+        self.drawn = np.zeros(n, bool)  # has a priority (initialized)
+        self.sent_pri = np.zeros(n, bool)  # broadcast PRI last round
+        self.sent_in = np.zeros(n, bool)  # broadcast IN last round
+        for i, algo in enumerate(self.algorithms):
+            if algo.priority is not None:
+                self.status[i] = self._STATES.index(algo.state)
+                self.pri[i] = algo.priority[0]
+                self.drawn[i] = True
+
+    def _write_columns(self) -> None:
+        status = self.status.tolist()
+        pri = self.pri.tolist()
+        drawn = self.drawn.tolist()
+        verts = self.verts
+        states = self._STATES
+        for i, algo in enumerate(self.algorithms):
+            algo.state = states[status[i]]
+            if drawn[i]:
+                algo.priority = (pri[i], verts[i])
+
+    def _draw_and_announce(self, rows) -> None:
+        """Columnar twin of ``LubyMIS._draw_and_announce``.
+
+        Draws go through each vertex's scalar generator (see the "RNG
+        discipline" section of ``docs/kernels.md``): the protocol
+        consumes O(log n) words per vertex, far too few to amortize
+        columnar stream adoption, and scalar draws keep the per-vertex
+        streams bit-identical by construction.
+        """
+        pri = self.pri
+        self.drawn[rows] = True
+        self.sent_pri[:] = False
+        self.sent_pri[rows] = True
+        contexts = self.contexts
+        for i in rows.tolist():
+            ctx = contexts[i]
+            p = ctx.rng.random()
+            pri[i] = p
+            payload = ("PRI", p)
+            ctx._outbox = [(u, payload) for u in ctx.neighbors]
+
+    def _initialize_rows(self, rows) -> None:
+        self._draw_and_announce(rows)
+
+    def _step_rows(self, rows, round_number: int, boxes) -> None:
+        np = self.np
+        status = self.status
+        if round_number % 2 == 1:
+            # Comparison round: join iff best among undecided neighbors.
+            undecided = rows[status[rows] == 0]
+            if boxes is not None:
+                beaten_ids = self._beaten_from_dicts(rows, boxes)
+                winners = np.array(
+                    [i for i in undecided.tolist() if i not in beaten_ids],
+                    dtype=np.intp,
+                )
+            else:
+                nbr = self.nbr
+                dst = self.edge_dst
+                nbrp = self.pri[nbr]
+                dstp = self.pri[dst]
+                beat_e = self.sent_pri[nbr] & (
+                    (nbrp > dstp) | ((nbrp == dstp) & (nbr > dst))
+                )
+                beaten = seg_any(beat_e, self.indptr)
+                winners = undecided[~beaten[undecided]]
+            status[winners] = 1
+            self.sent_pri[:] = False
+            self.sent_in[:] = False
+            self.sent_in[winners] = True
+            contexts = self.contexts
+            for i in winners.tolist():
+                ctx = contexts[i]
+                payload = ("IN", 0.0)
+                ctx._outbox = [(u, payload) for u in ctx.neighbors]
+        else:
+            # Resolution round: losers of an IN neighbor leave.
+            undecided = rows[status[rows] == 0]
+            if boxes is not None:
+                saw = self._saw_in_from_dicts(rows, boxes)
+                out_rows = np.array(
+                    [i for i in undecided.tolist() if i in saw],
+                    dtype=np.intp,
+                )
+            else:
+                saw_in = seg_any(self.sent_in[self.nbr], self.indptr)
+                out_rows = undecided[saw_in[undecided]]
+            status[out_rows] = 2
+            decided = rows[status[rows] != 0]
+            for i, s in zip(decided.tolist(), status[decided].tolist()):
+                self._halt(i, s == 1)
+            self.sent_in[:] = False
+            remaining = rows[status[rows] == 0]
+            if remaining.size == 0:
+                self.sent_pri[:] = False
+                return
+            if round_number >= 2 * self.max_phases:
+                # Budget exhausted (failure path); stay out.
+                self.sent_pri[:] = False
+                for i in remaining.tolist():
+                    self._halt(i, False)
+                return
+            self._draw_and_announce(remaining)
+
+    # -- post-restore replay of restored inbox dictionaries ------------
+    def _beaten_from_dicts(self, rows, boxes):
+        beaten = set()
+        pri = self.pri
+        verts = self.verts
+        for i, box in zip(rows.tolist(), boxes):
+            mine = (pri[i], verts[i])
+            for sender, payloads in box.items():
+                for tag, value in payloads:
+                    if tag == "PRI" and (value, sender) > mine:
+                        beaten.add(i)
+        return beaten
+
+    def _saw_in_from_dicts(self, rows, boxes):
+        saw = set()
+        for i, box in zip(rows.tolist(), boxes):
+            for payloads in box.values():
+                if any(tag == "IN" for tag, _v in payloads):
+                    saw.add(i)
+                    break
+        return saw
 
 
 def luby_mis(

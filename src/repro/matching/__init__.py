@@ -16,6 +16,8 @@ from .preprocess import eliminate_stars
 from .util import is_matching, matching_weight
 from .distributed import (
     DistributedMatchingResult,
+    ProposalMatching,
+    distributed_maximal_matching,
     distributed_mcm_minor_free,
     distributed_mcm_planar,
     distributed_mwm,
@@ -32,6 +34,8 @@ __all__ = [
     "is_matching",
     "matching_weight",
     "DistributedMatchingResult",
+    "ProposalMatching",
+    "distributed_maximal_matching",
     "distributed_mcm_minor_free",
     "distributed_mcm_planar",
     "distributed_mwm",

@@ -25,7 +25,15 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from ..congest import CongestMetrics
+from ..congest import (
+    CongestMetrics,
+    CongestSimulator,
+    SimulationResult,
+    VertexAlgorithm,
+    VertexContext,
+)
+from ..congest.algorithm import register_kernel
+from ..congest.kernels import KernelBase, seg_count, seg_max
 from ..core.framework import FrameworkResult, run_framework
 from ..errors import SolverError
 from ..graph import Graph, edge_key
@@ -73,6 +81,365 @@ def _matching_from_answers(graph: Graph, answers: Dict[Any, Any]) -> Matching:
         if answers.get(partner) == v and graph.has_edge(v, partner):
             matching.add(edge_key(v, partner))
     return matching
+
+
+class ProposalMatching(VertexAlgorithm):
+    """One vertex of a randomized proposal-based maximal matching.
+
+    Three-round phases.  Propose round (``r % 3 == 1``): retire
+    neighbors that announced a match, halt if the budget is exhausted
+    or no active neighbor remains, otherwise flip a coin and propose to
+    a uniformly random active neighbor.  Accept round: an unmatched
+    non-proposer accepts its highest-ID proposer.  Resolve round:
+    proposers learn their fate; every newly matched vertex announces
+    ``MATCHED`` to all neighbors and halts with its mate.
+
+    Maximality: a vertex only halts unmatched when every neighbor has
+    announced, so an edge with both endpoints unmatched can never
+    survive.  Each phase matches a constant fraction of the remaining
+    matchable vertices in expectation, so O(log n) phases suffice with
+    high probability.
+    """
+
+    PROPOSE, ACCEPT, MATCHED = 1, 2, 3
+
+    def __init__(self, max_phases: int) -> None:
+        self.max_phases = max_phases
+        self.matched = False
+        self.mate: Optional[Any] = None
+        self.announced = False
+        self.proposed_to: Optional[Any] = None
+        self.active: Optional[Set[Any]] = None
+
+    def initialize(self, ctx: VertexContext) -> None:
+        self.active = set(ctx.neighbors)
+
+    def step(self, ctx: VertexContext, inbox: Dict[Any, List[Any]]) -> None:
+        r = ctx.round_number
+        phase = r % 3
+        if phase == 1:
+            # Propose round: inbox holds last resolve's announcements.
+            for sender, payloads in inbox.items():
+                if any(p == self.MATCHED for p in payloads):
+                    self.active.discard(sender)
+            if r > 3 * self.max_phases:
+                ctx.halt(None)
+                return
+            if not self.active:
+                ctx.halt(None)
+                return
+            if ctx.rng.random() < 0.5:
+                target = ctx.rng.choice(sorted(self.active))
+                self.proposed_to = target
+                ctx.send(target, self.PROPOSE)
+        elif phase == 2:
+            # Accept round: proposers sit out; others take the best.
+            if self.matched or self.proposed_to is not None:
+                return
+            proposers = [
+                sender
+                for sender, payloads in inbox.items()
+                if any(p == self.PROPOSE for p in payloads)
+            ]
+            if proposers:
+                self.matched = True
+                self.mate = max(proposers)
+                ctx.send(self.mate, self.ACCEPT)
+        else:
+            # Resolve round: proposers learn their fate; the newly
+            # matched announce and halt.
+            if self.proposed_to is not None:
+                if any(
+                    p == self.ACCEPT
+                    for p in inbox.get(self.proposed_to, ())
+                ):
+                    self.matched = True
+                    self.mate = self.proposed_to
+                self.proposed_to = None
+            if self.matched and not self.announced:
+                self.announced = True
+                ctx.broadcast(self.MATCHED)
+                ctx.halt(self.mate)
+
+
+@register_kernel(ProposalMatching)
+class ProposalMatchingKernel(KernelBase):
+    """Columnar twin of :class:`ProposalMatching` (``docs/kernels.md``).
+
+    The active sets live as one boolean mask over the CSR edge array,
+    so "propose to the k-th active neighbor" is a cumulative-sum lookup
+    and retiring announced neighbors is a masked store.  Proposals and
+    acceptances reconstruct from the senders' columns stamped with the
+    round they were made in, which keeps them valid under crash faults
+    (a stale stamp never matches the current phase).
+    """
+
+    @classmethod
+    def _supports_population(cls, engine) -> bool:
+        first = engine._algorithms[0].max_phases
+        return all(a.max_phases == first for a in engine._algorithms)
+
+    def _load_columns(self) -> None:
+        np = self.np
+        n = self.n
+        index = self.engine._index
+        indptr = self.indptr
+        nbr = self.nbr
+        self.max_phases = self.algorithms[0].max_phases
+        self.started = np.zeros(n, bool)
+        self.matched = np.zeros(n, bool)
+        self.announced = np.zeros(n, bool)
+        self.mate = np.full(n, -1, np.int64)
+        self.proposed = np.full(n, -1, np.int64)
+        self.prop_round = np.full(n, -1, np.int64)
+        self.acc_round = np.full(n, -1, np.int64)
+        self.sent_ann = np.zeros(n, bool)  # announced in the last round
+        self.act_e = np.zeros(nbr.shape[0], bool)
+        for i, a in enumerate(self.algorithms):
+            if a.active is None:
+                continue
+            self.started[i] = True
+            self.matched[i] = a.matched
+            self.announced[i] = a.announced
+            if a.mate is not None:
+                self.mate[i] = index[a.mate]
+            if a.proposed_to is not None:
+                self.proposed[i] = index[a.proposed_to]
+                # The proposal is from the most recent propose round at
+                # or before the vertex's last step.
+                r = self.contexts[i].round_number
+                self.prop_round[i] = r - ((r - 1) % 3)
+            if a.active:
+                act = {index[u] for u in a.active}
+                lo, hi = int(indptr[i]), int(indptr[i + 1])
+                self.act_e[lo:hi] = [
+                    j in act for j in nbr[lo:hi].tolist()
+                ]
+
+    def _write_columns(self) -> None:
+        verts = self.verts
+        indptr = self.indptr
+        nbr = self.nbr
+        act_e = self.act_e
+        started = self.started.tolist()
+        matched = self.matched.tolist()
+        announced = self.announced.tolist()
+        mate = self.mate.tolist()
+        proposed = self.proposed.tolist()
+        for i, a in enumerate(self.algorithms):
+            if not started[i]:
+                continue
+            a.matched = matched[i]
+            a.announced = announced[i]
+            a.mate = verts[mate[i]] if mate[i] >= 0 else None
+            a.proposed_to = (
+                verts[proposed[i]] if proposed[i] >= 0 else None
+            )
+            lo, hi = int(indptr[i]), int(indptr[i + 1])
+            a.active = {
+                verts[j]
+                for j, flag in zip(
+                    nbr[lo:hi].tolist(), act_e[lo:hi].tolist()
+                )
+                if flag
+            }
+
+    def _initialize_rows(self, rows) -> None:
+        np = self.np
+        self.started[rows] = True
+        sel = np.zeros(self.n, bool)
+        sel[rows] = True
+        self.act_e[sel[self.edge_dst]] = True
+
+    def _step_rows(self, rows, round_number: int, boxes) -> None:
+        phase = round_number % 3
+        if phase == 1:
+            self._propose(rows, round_number, boxes)
+        elif phase == 2:
+            self._accept(rows, round_number, boxes)
+        else:
+            self._resolve(rows, round_number, boxes)
+
+    def _propose(self, rows, r: int, boxes) -> None:
+        np = self.np
+        indptr = self.indptr
+        nbr = self.nbr
+        # Retire neighbors that announced a match last resolve.
+        if boxes is not None:
+            index = self.engine._index
+            for i, box in zip(rows.tolist(), boxes):
+                lo, hi = int(indptr[i]), int(indptr[i + 1])
+                seg = nbr[lo:hi]
+                for sender, payloads in box.items():
+                    if any(
+                        p == ProposalMatching.MATCHED for p in payloads
+                    ):
+                        pos = lo + int(
+                            np.searchsorted(seg, index[sender])
+                        )
+                        self.act_e[pos] = False
+        else:
+            due_mask = np.zeros(self.n, bool)
+            due_mask[rows] = True
+            self.act_e[due_mask[self.edge_dst] & self.sent_ann[nbr]] = (
+                False
+            )
+        self.sent_ann[:] = False
+        if r > 3 * self.max_phases:
+            # Budget exhausted (failure path); stay unmatched.
+            for i in rows.tolist():
+                self._halt(i, None)
+            return
+        cnt = seg_count(self.act_e, indptr)
+        for i in rows[cnt[rows] == 0].tolist():
+            self._halt(i, None)
+        alive = rows[cnt[rows] > 0]
+        if alive.size == 0:
+            return
+        # Scalar draws (coin, then the proposers' pick) exactly as the
+        # scalar twin orders them: ``rng.random() < 0.5`` then
+        # ``rng.choice(sorted(active))``, whose index draw is
+        # ``_randbelow(len(active))``.  See "RNG discipline" in
+        # docs/kernels.md for why these stay on the scalar generators.
+        contexts = self.contexts
+        coins = np.array(
+            [contexts[i].rng.random() for i in alive.tolist()]
+        )
+        proposers = alive[coins < 0.5]
+        if proposers.size == 0:
+            return
+        picks = np.array(
+            [
+                contexts[i].rng._randbelow(c)
+                for i, c in zip(
+                    proposers.tolist(), cnt[proposers].tolist()
+                )
+            ],
+            dtype=np.int64,
+        )
+        # The k-th active neighbor, via a cumulative count of act_e.
+        pref = np.concatenate(
+            (np.zeros(1, np.int64), np.cumsum(self.act_e, dtype=np.int64))
+        )
+        edge = (
+            np.searchsorted(
+                pref, pref[indptr[proposers]] + picks + 1, side="left"
+            )
+            - 1
+        )
+        targets = nbr[edge]
+        self.proposed[proposers] = targets
+        self.prop_round[proposers] = r
+        contexts = self.contexts
+        verts = self.verts
+        for i, t in zip(proposers.tolist(), targets.tolist()):
+            contexts[i]._outbox = [
+                (verts[t], ProposalMatching.PROPOSE)
+            ]
+
+    def _accept(self, rows, r: int, boxes) -> None:
+        np = self.np
+        eligible = rows[~self.matched[rows] & (self.proposed[rows] < 0)]
+        if boxes is not None:
+            index = self.engine._index
+            box_by_row = dict(zip(rows.tolist(), boxes))
+            rows_w: List[int] = []
+            winners: List[int] = []
+            for i in eligible.tolist():
+                best = -1
+                for sender, payloads in box_by_row[i].items():
+                    if any(
+                        p == ProposalMatching.PROPOSE for p in payloads
+                    ):
+                        best = max(best, index[sender])
+                if best >= 0:
+                    rows_w.append(i)
+                    winners.append(best)
+            acc_rows = np.array(rows_w, dtype=np.intp)
+            acc_mate = np.array(winners, dtype=np.int64)
+        else:
+            nbr = self.nbr
+            dst = self.edge_dst
+            prop_e = (self.proposed[nbr] == dst) & (
+                self.prop_round[nbr] == r - 1
+            )
+            mx = seg_max(np.where(prop_e, nbr, -1), self.indptr, -1)
+            acc_rows = eligible[mx[eligible] >= 0]
+            acc_mate = mx[acc_rows]
+        if acc_rows.size == 0:
+            return
+        self.matched[acc_rows] = True
+        self.mate[acc_rows] = acc_mate
+        self.acc_round[acc_rows] = r
+        contexts = self.contexts
+        verts = self.verts
+        for i, t in zip(acc_rows.tolist(), acc_mate.tolist()):
+            contexts[i]._outbox = [(verts[t], ProposalMatching.ACCEPT)]
+
+    def _resolve(self, rows, r: int, boxes) -> None:
+        np = self.np
+        prop_rows = rows[self.proposed[rows] >= 0]
+        if prop_rows.size:
+            targets = self.proposed[prop_rows]
+            if boxes is not None:
+                box_by_row = dict(zip(rows.tolist(), boxes))
+                verts = self.verts
+                ok = np.array(
+                    [
+                        any(
+                            p == ProposalMatching.ACCEPT
+                            for p in box_by_row[i].get(verts[t], ())
+                        )
+                        for i, t in zip(
+                            prop_rows.tolist(), targets.tolist()
+                        )
+                    ],
+                    dtype=bool,
+                )
+            else:
+                ok = (self.mate[targets] == prop_rows) & (
+                    self.acc_round[targets] == r - 1
+                )
+            won = prop_rows[ok]
+            self.matched[won] = True
+            self.mate[won] = self.proposed[won]
+            self.proposed[prop_rows] = -1
+        self.sent_ann[:] = False
+        ann = rows[self.matched[rows] & ~self.announced[rows]]
+        if ann.size == 0:
+            return
+        self.announced[ann] = True
+        self.sent_ann[ann] = True
+        contexts = self.contexts
+        verts = self.verts
+        for i, m in zip(ann.tolist(), self.mate[ann].tolist()):
+            ctx = contexts[i]
+            payload = ProposalMatching.MATCHED
+            ctx._outbox = [(u, payload) for u in ctx.neighbors]
+            self._halt(i, verts[m])
+
+
+def distributed_maximal_matching(
+    graph: Graph,
+    seed: SeedLike = None,
+    max_phases: Optional[int] = None,
+) -> Tuple[Matching, SimulationResult]:
+    """Run the proposal protocol on the CONGEST simulator.
+
+    Returns the matching (mutual mate claims only, so even a faulted
+    run can never yield an invalid matching) and the simulation record.
+    """
+    if max_phases is None:
+        max_phases = 8 * max(1, math.ceil(math.log2(graph.n + 2)))
+    simulator = CongestSimulator(
+        graph, lambda v: ProposalMatching(max_phases), seed=seed
+    )
+    result = simulator.run(max_rounds=3 * max_phases + 6)
+    matching: Matching = set()
+    for v, mate in result.outputs.items():
+        if mate is not None and result.outputs.get(mate) == v:
+            matching.add(edge_key(v, mate))
+    return matching, result
 
 
 def distributed_mcm_planar(

@@ -188,12 +188,22 @@ class TelemetryRegistry:
         """The deterministic projection: everything except timings.
 
         Span values reduce to their execution counts; wall/CPU fields
-        are dropped.  Two runs doing identical work — fast vs reference
-        engine, serial vs sharded — produce equal comparable dicts.
+        are dropped.  ``congest.kernel.*`` counters are dropped too:
+        they describe *how* the work was executed (columnar kernel vs
+        scalar loop), not what was simulated, and the kernel layer's
+        contract is precisely that the two executions are otherwise
+        indistinguishable.  Two runs doing identical work — fast vs
+        reference engine, kernels on vs off, serial vs sharded —
+        produce equal comparable dicts.
         """
         data = self.to_dict()
         data["spans"] = {
             path: stats["count"] for path, stats in data["spans"].items()
+        }
+        data["counters"] = {
+            name: value
+            for name, value in data["counters"].items()
+            if not name.startswith("congest.kernel.")
         }
         return data
 

@@ -1,172 +1,14 @@
-"""Exact vectorized view of a ``random.Random`` Mersenne-Twister stream.
+"""Compatibility shim: the MT19937 stream clone now lives in
+:mod:`repro.rng` (promoted so the congest kernel layer and the routing
+vectorization share one implementation).  Import from there."""
 
-:class:`MTStream` adopts a live ``random.Random`` instance (via
-``getstate``) and reproduces its 32-bit output words with NumPy — the
-same MT19937 twist, the same tempering, the same word-pair-to-float
-``random()`` construction, and the same rejection loop as
-``Random._randbelow``.  Because the emulation is word-for-word exact,
-code can draw a *batch* of variates here and later ``commit`` the
-advanced state back into the Python generator: any mixture of batched
-and scalar draws observes one identical stream.
-
-That property is what lets :mod:`repro.routing.walk_exchange` vectorize
-its per-token coin flips without perturbing a single simulation
-outcome: the NumPy path and the pure-Python path consume the very same
-words in the very same order, so enabling or disabling vectorization is
-observationally invisible (``tests/test_mt_stream.py`` locks this in).
-
-Reference: CPython ``_randommodule.c`` (``genrand_uint32``,
-``random_random``) and ``Lib/random.py``
-(``_randbelow_with_getrandbits``).
-"""
-
-from __future__ import annotations
-
-import random
-from typing import List, Sequence
-
-try:  # pragma: no cover - exercised implicitly by HAVE_NUMPY gating
-    import numpy as _np
-except ImportError:  # pragma: no cover
-    _np = None
-
-HAVE_NUMPY = _np is not None
-
-#: MT19937 parameters (Matsumoto & Nishimura 1998), as in CPython.
-_N = 624
-_M = 397
-_MATRIX_A = 0x9908B0DF
-_UPPER_MASK = 0x80000000
-_LOWER_MASK = 0x7FFFFFFF
-
-#: random.Random state tuple version this module understands.
-_STATE_VERSION = 3
-
-
-class MTStream:
-    """A batched, commit-back-able clone of one ``random.Random``.
-
-    The instance owns the generator's stream from adoption until
-    :meth:`commit`; interleaving scalar draws on the original object in
-    between would desynchronize the two (exactly as sharing one
-    generator between two consumers always would).
-    """
-
-    __slots__ = ("_rng", "_key", "_pos", "_gauss")
-
-    def __init__(self, rng: random.Random) -> None:
-        if _np is None:  # pragma: no cover - callers gate on HAVE_NUMPY
-            raise RuntimeError("MTStream requires numpy")
-        version, internal, gauss = rng.getstate()
-        if version != _STATE_VERSION or len(internal) != _N + 1:
-            raise ValueError(
-                f"unsupported random.Random state version {version!r}"
-            )
-        self._rng = rng
-        self._key = _np.array(internal[:_N], dtype=_np.uint32)
-        self._pos = int(internal[_N])
-        self._gauss = gauss
-
-    # -- core word generation ------------------------------------------
-    def _twist(self) -> None:
-        """One vectorized MT19937 state transition.
-
-        The scalar reference updates ``mt[kk]`` in place for ascending
-        ``kk``; every ``y`` is built from values the loop has not yet
-        overwritten, so all 623 leading ``y`` words come straight from
-        the old key.  The recurrence's only true dependency is
-        ``new[kk] = f(new[kk - 227])`` for ``kk >= 227``, a chain of
-        stride 227 — two chunked assignments resolve it exactly.
-        """
-        np = _np
-        up = np.uint32(_UPPER_MASK)
-        low = np.uint32(_LOWER_MASK)
-        one = np.uint32(1)
-        mat = np.uint32(_MATRIX_A)
-        key = self._key
-        new = np.empty(_N, np.uint32)
-        y = (key[: _N - 1] & up) | (key[1:] & low)
-        ysh = (y >> one) ^ ((y & one) * mat)
-        new[: _N - _M] = key[_M:] ^ ysh[: _N - _M]
-        new[227:454] = new[0:227] ^ ysh[227:454]
-        new[454:623] = new[227:396] ^ ysh[454:623]
-        y_last = (int(key[_N - 1]) & _UPPER_MASK) | (int(new[0]) & _LOWER_MASK)
-        new[_N - 1] = (
-            int(new[_M - 1])
-            ^ (y_last >> 1)
-            ^ ((y_last & 1) * _MATRIX_A)
-        )
-        self._key = new
-        self._pos = 0
-
-    @staticmethod
-    def _temper(y):
-        """MT19937 output tempering, elementwise on a uint32 array."""
-        np = _np
-        y = y ^ (y >> np.uint32(11))
-        y = y ^ ((y << np.uint32(7)) & np.uint32(0x9D2C5680))
-        y = y ^ ((y << np.uint32(15)) & np.uint32(0xEFC60000))
-        y = y ^ (y >> np.uint32(18))
-        return y
-
-    def words(self, count: int):
-        """The next ``count`` 32-bit output words, in stream order."""
-        out = _np.empty(count, _np.uint32)
-        filled = 0
-        while filled < count:
-            if self._pos >= _N:
-                self._twist()
-            take = min(_N - self._pos, count - filled)
-            out[filled : filled + take] = self._temper(
-                self._key[self._pos : self._pos + take]
-            )
-            self._pos += take
-            filled += take
-        return out
-
-    # -- distribution-level batches ------------------------------------
-    def random_batch(self, count: int):
-        """``count`` floats, bit-identical to ``rng.random()`` calls.
-
-        CPython builds each double from two consecutive words:
-        ``((w0 >> 5) * 2**26 + (w1 >> 6)) / 2**53``.
-        """
-        w = self.words(2 * count)
-        a = (w[0::2] >> _np.uint32(5)).astype(_np.float64)
-        b = (w[1::2] >> _np.uint32(6)).astype(_np.float64)
-        return (a * 67108864.0 + b) * (1.0 / 9007199254740992.0)
-
-    def randbelow_batch(self, n: int, count: int) -> Sequence[int]:
-        """``count`` ints below ``n``, identical to ``rng._randbelow``.
-
-        The scalar rejection loop draws ``k = n.bit_length()`` top bits
-        of one word per attempt until the value falls below ``n``.
-        Batching draws exactly as many words as acceptances still
-        needed, keeps the accepted values in word order, and repeats:
-        the loop can only terminate on a chunk whose final word was
-        itself an acceptance, so the total words consumed equal the
-        scalar loop's consumption exactly — never one word more.
-        """
-        if count <= 0:
-            return _np.empty(0, _np.uint32)
-        if n <= 0:
-            raise ValueError("n must be positive")
-        shift = _np.uint32(32 - n.bit_length())
-        chunks: List = []
-        accepted = 0
-        while accepted < count:
-            r = self.words(count - accepted) >> shift
-            good = r[r < n]
-            accepted += len(good)
-            chunks.append(good)
-        return chunks[0] if len(chunks) == 1 else _np.concatenate(chunks)
-
-    # -- handing the stream back ---------------------------------------
-    def commit(self) -> None:
-        """Write the advanced state back into the adopted generator.
-
-        After this call the original ``random.Random`` continues the
-        stream exactly where the batched draws left off.
-        """
-        state = tuple(int(x) for x in self._key) + (self._pos,)
-        self._rng.setstate((_STATE_VERSION, state, self._gauss))
+from ..rng import (  # noqa: F401
+    _LOWER_MASK,
+    _M,
+    _MATRIX_A,
+    _N,
+    _STATE_VERSION,
+    _UPPER_MASK,
+    HAVE_NUMPY,
+    MTStream,
+)

@@ -36,7 +36,7 @@ from ..congest import (
 from ..errors import GraphError, RoutingError
 from ..graph import Graph
 from ..rng import SeedLike
-from ._mt_stream import HAVE_NUMPY, MTStream
+from ..rng import HAVE_NUMPY, MTStream
 
 #: Hard cap on forward walk length, protecting experiments from
 #: pathologically low-conductance clusters (a failed execution is then

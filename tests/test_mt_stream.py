@@ -74,6 +74,11 @@ def test_randbelow_batch_rejects_nonpositive():
         MTStream(random.Random(0)).randbelow_batch(0, 3)
 
 
+def test_randbelow_batch_rejects_multiword_bounds():
+    with pytest.raises(ValueError):
+        MTStream(random.Random(0)).randbelow_batch(2**32, 3)
+
+
 def _run_exchange():
     g = k_tree(60, 3, seed=5)
     leader = max(g.vertices(), key=g.degree)
@@ -96,3 +101,115 @@ def test_walk_exchange_invariant_under_threshold(monkeypatch):
     assert vectorized.undelivered == scalar.undelivered
     assert vectorized.unanswered == scalar.unanswered
     assert vectorized.metrics.summary() == scalar.metrics.summary()
+
+
+def test_module_is_a_shim_for_repro_rng():
+    """The stream moved to :mod:`repro.rng`; the old path re-exports."""
+    from repro import rng
+
+    assert MTStream is rng.MTStream
+    assert HAVE_NUMPY == rng.HAVE_NUMPY
+
+
+# ----------------------------------------------------------------------
+# Property-based interleavings (satellite for the kernel layer): any
+# mixture of scalar draws and vectorized blocks on one shared stream
+# must walk the exact same MT19937 word sequence as random.Random.
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("case_seed", range(12))
+def test_random_interleavings_match_scalar_stream(case_seed):
+    driver = random.Random(1000 + case_seed)
+    seed = driver.getrandbits(48)
+    ours, theirs = random.Random(seed), random.Random(seed)
+    stream = None
+    for _op in range(40):
+        kind = driver.randrange(5)
+        if kind == 0:
+            # Scalar float draws; any open stream must commit first.
+            if stream is not None:
+                stream.commit()
+                stream = None
+            count = driver.randrange(1, 8)
+            assert [ours.random() for _ in range(count)] == [
+                theirs.random() for _ in range(count)
+            ]
+        elif kind == 1:
+            # Scalar getrandbits, including partial-word widths — the
+            # commit must cope with a consumer that left the generator
+            # mid-state in every way random.Random can.
+            if stream is not None:
+                stream.commit()
+                stream = None
+            bits = driver.randrange(1, 128)
+            assert ours.getrandbits(bits) == theirs.getrandbits(bits)
+        elif kind == 2:
+            if stream is None:
+                stream = MTStream(ours)
+            count = driver.randrange(1, 700)
+            assert [float(x) for x in stream.random_batch(count)] == [
+                theirs.random() for _ in range(count)
+            ]
+        elif kind == 3:
+            if stream is None:
+                stream = MTStream(ours)
+            count = driver.randrange(1, 700)
+            assert [int(w) for w in stream.words(count)] == [
+                theirs.getrandbits(32) for _ in range(count)
+            ]
+        else:
+            if stream is None:
+                stream = MTStream(ours)
+            bound = driver.randrange(1, 1 << driver.randrange(1, 33))
+            count = driver.randrange(1, 120)
+            assert [
+                int(x) for x in stream.randbelow_batch(bound, count)
+            ] == [theirs._randbelow(bound) for _ in range(count)]
+    if stream is not None:
+        stream.commit()
+    assert ours.getstate() == theirs.getstate()
+
+
+@pytest.mark.parametrize("case_seed", range(6))
+def test_mt_column_interleaves_with_scalar_draws(case_seed):
+    """The kernels' per-vertex columns stay equal to ``random.Random``
+    under ragged vectorized draws interleaved with scalar consumption
+    (commit-back through ``state_of`` after partial block use)."""
+    np = pytest.importorskip("numpy")
+    from repro.rng import MTColumn, fresh_random_from_state
+
+    driver = random.Random(2000 + case_seed)
+    n = 6
+    seeds = [driver.getrandbits(32) for _ in range(n)]
+    scalars = [random.Random(s) for s in seeds]
+    col = MTColumn(n)
+    col.adopt_seeds(np.arange(n), seeds)
+    for _op in range(25):
+        rows = np.array(
+            sorted(driver.sample(range(n), driver.randrange(1, n + 1))),
+            dtype=np.intp,
+        )
+        kind = driver.randrange(3)
+        if kind == 0:
+            drawn = col.random_column(rows)
+            for row, value in zip(rows.tolist(), drawn.tolist()):
+                assert value == scalars[row].random()
+        elif kind == 1:
+            bounds = np.array(
+                [driver.randrange(1, 50) for _ in rows], dtype=np.int64
+            )
+            drawn = col.randbelow_column(rows, bounds)
+            for row, bound, value in zip(
+                rows.tolist(), bounds.tolist(), drawn.tolist()
+            ):
+                assert value == scalars[row]._randbelow(bound)
+        else:
+            # Commit one row back to a scalar generator, draw there,
+            # and re-adopt: partial consumption must survive the trip.
+            row = int(rows[0])
+            rebuilt = fresh_random_from_state(col.state_of(row))
+            assert rebuilt.getstate() == scalars[row].getstate()
+            assert rebuilt.random() == scalars[row].random()
+            col.adopt_state(row, rebuilt)
+    for row in range(n):
+        assert col.state_of(row) == scalars[row].getstate()
