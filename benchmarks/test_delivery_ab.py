@@ -1,0 +1,113 @@
+"""A/B benchmark: batched send-plan delivery vs scalar outbox delivery.
+
+Kernels are engaged on both sides; the only difference is how each
+round's sends reach the engine — as a columnar :class:`SendPlan`
+(accounted vectorized, inboxes materialized lazily) or through the
+classic per-context outboxes drained message-by-message.  The measured
+cells are deliberately message-heavy (dense G(n, p), long protocols):
+batching is a *delivery* optimization, so its win scales with messages
+per round, not with n.  Sparse short-lived cells sit nearer parity —
+per-run fixed costs (lazy RNG construction, scheduling) are shared by
+both modes; the honest sparse numbers live in ``docs/kernels.md``.
+
+Runs are interleaved A/B pairs (one batched, one scalar, alternating)
+so drift in machine load biases neither side, and every pair's outputs
+and metric summaries are asserted identical — the table measures two
+executions of the *same* simulation, by construction.
+
+Usage: ``PYTHONPATH=src python -m pytest benchmarks/test_delivery_ab.py -q``
+writes ``benchmarks/results/delivery_ab.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _util import record_table, reset_result
+from repro.analysis import Table
+from repro.congest.algorithm import (
+    set_batch_delivery_enabled,
+    set_kernels_enabled,
+)
+from repro.congest.network import CongestSimulator
+from repro.decomposition.mpx import MPXClustering
+from repro.generators import gnp_random_graph
+from repro.independent_set.greedy import LubyMIS
+from repro.matching.distributed import ProposalMatching
+from repro.rng import HAVE_NUMPY
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="delivery A/B requires the kernelized path"
+)
+
+PAIRS = 8
+SEED = 7
+
+CELLS = {
+    "luby": (
+        lambda: gnp_random_graph(3000, 0.02, seed=SEED),
+        lambda v: LubyMIS(40),
+        100,
+    ),
+    "matching": (
+        lambda: gnp_random_graph(3000, 0.02, seed=SEED),
+        lambda v: ProposalMatching(60),
+        140,
+    ),
+    "mpx": (
+        lambda: gnp_random_graph(3000, 0.01, seed=SEED),
+        lambda v: MPXClustering(0.3, 54.0, 60),
+        62,
+    ),
+}
+
+
+def _run(graph, factory, rounds, batched):
+    set_kernels_enabled(True)
+    set_batch_delivery_enabled(batched)
+    try:
+        sim = CongestSimulator(graph, factory, seed=SEED)
+        start = time.perf_counter()
+        result = sim.run(max_rounds=rounds)
+        elapsed = time.perf_counter() - start
+        kernel = sim._engine._kernel
+        assert kernel is not None, "cell must actually kernelize"
+        assert kernel._batched == batched
+    finally:
+        set_kernels_enabled(True)
+        set_batch_delivery_enabled(True)
+    return elapsed, (result.outputs, result.metrics.summary())
+
+
+def test_batched_delivery_ab():
+    table = Table(
+        "batched vs scalar delivery "
+        f"({PAIRS} interleaved pairs, best-of, seed {SEED})",
+        ["cell", "n", "messages", "batched_ms", "scalar_ms", "speedup"],
+    )
+    for name, (gen, factory, rounds) in CELLS.items():
+        graph = gen()
+        # One warmup per side keeps allocator/import noise out of the
+        # timed pairs.
+        _run(graph, factory, rounds, True)
+        _run(graph, factory, rounds, False)
+        batched_times, scalar_times = [], []
+        for _ in range(PAIRS):
+            elapsed_on, obs_on = _run(graph, factory, rounds, True)
+            elapsed_off, obs_off = _run(graph, factory, rounds, False)
+            assert obs_on == obs_off, "delivery modes diverged"
+            batched_times.append(elapsed_on)
+            scalar_times.append(elapsed_off)
+        best_on, best_off = min(batched_times), min(scalar_times)
+        table.add_row(
+            name,
+            graph.n,
+            obs_on[1]["total_messages"],
+            f"{best_on * 1000:.1f}",
+            f"{best_off * 1000:.1f}",
+            f"{best_off / best_on:.2f}x",
+        )
+    reset_result("delivery_ab.txt")
+    record_table("delivery_ab.txt", table)

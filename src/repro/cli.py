@@ -275,6 +275,10 @@ def cmd_bench(args) -> int:
         from .congest.algorithm import set_kernels_enabled
 
         set_kernels_enabled(False)
+    if args.no_batch_delivery:
+        from .congest.algorithm import set_batch_delivery_enabled
+
+        set_batch_delivery_enabled(False)
     if args.faults:
         names = (args.suite or []) + ["E11"]
     else:
@@ -642,6 +646,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "run every CONGEST cell on the scalar "
                             "per-vertex path (results are bit-identical"
                             "; see docs/kernels.md)")
+    bench.add_argument("--no-batch-delivery", action="store_true",
+                       help="keep kernels but deliver their messages "
+                            "through the scalar per-context outboxes "
+                            "instead of columnar send plans (results "
+                            "are bit-identical; see docs/kernels.md)")
     bench.set_defaults(handler=cmd_bench)
 
     faults = sub.add_parser(

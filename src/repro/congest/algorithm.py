@@ -226,6 +226,33 @@ def kernel_threshold() -> int:
     return KERNEL_THRESHOLD
 
 
+_batch_delivery_enabled = os.environ.get(
+    "REPRO_NO_BATCH_DELIVERY", ""
+).lower() not in ("1", "true", "yes")
+
+
+def batch_delivery_enabled() -> bool:
+    """Whether kernels that emit send plans may deliver them batched."""
+    return _batch_delivery_enabled
+
+
+def set_batch_delivery_enabled(flag: bool) -> None:
+    """Enable or disable batched delivery process-wide.
+
+    Mirrored into the ``REPRO_NO_BATCH_DELIVERY`` environment variable
+    so spawned benchmark workers inherit the choice (the CLI's
+    ``repro bench --no-batch-delivery`` escape hatch relies on this).
+    Only affects kernels whose class sets ``emits_send_plans``; scalar
+    runs and non-plan kernels are untouched.
+    """
+    global _batch_delivery_enabled
+    _batch_delivery_enabled = bool(flag)
+    if flag:
+        os.environ.pop("REPRO_NO_BATCH_DELIVERY", None)
+    else:
+        os.environ["REPRO_NO_BATCH_DELIVERY"] = "1"
+
+
 class RoundKernel:
     """Contract for a columnar (vectorized) round executor.
 
@@ -241,6 +268,14 @@ class RoundKernel:
 
     #: Set by :func:`register_kernel`.
     algorithm_cls: Optional[type] = None
+
+    #: Capability flag: ``True`` iff the kernel routes every send
+    #: through the :class:`repro.congest.kernels.KernelBase` emission
+    #: helpers (``_emit_broadcast``/``_emit_send``) rather than writing
+    #: per-context outboxes directly.  Only such kernels qualify for
+    #: the engine's batched delivery path; see "Batched delivery" in
+    #: ``docs/kernels.md``.
+    emits_send_plans: bool = False
 
     @classmethod
     def supports(cls, engine) -> bool:

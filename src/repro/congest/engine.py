@@ -192,6 +192,14 @@ class FastEngine:
         # post-init checkpoint carries True, so run() then skips
         # initialization and continues mid-simulation.
         self._initialized = False
+        # Batched delivery (see repro.congest.kernels.SendPlan): a
+        # kernel that emits send plans parks the current round's plan
+        # in _send_plan for _collect to charge vectorized; the charged
+        # plan then waits in _lazy_plan, standing in for the pending
+        # inbox dictionaries until the next round consumes it — or
+        # until checkpoint capture / crash filtering materializes it.
+        self._send_plan = None
+        self._lazy_plan = None
         # Columnar round kernel, when the algorithm class registered
         # one and this run qualifies (see repro.congest.kernels);
         # None means the ordinary scalar step loop.
@@ -247,7 +255,11 @@ class FastEngine:
                     algorithms[i].initialize(contexts[i])
             if init_crashed:
                 self.metrics.record_crashed(init_crashed)
-            self._collect(range(self._n))
+            if self._registry is not None:
+                with self._registry.span("congest.collect"):
+                    self._collect(range(self._n))
+            else:
+                self._collect(range(self._n))
             self._runnable = {
                 i for i in range(self._n) if not contexts[i]._halted
             }
@@ -307,7 +319,13 @@ class FastEngine:
                 # Fail-stop filtering happens before any stepping, so
                 # both the scalar loop and a kernel see the same live
                 # cohort (a vertex never steps at or after its crash
-                # round and its mail dies with it).
+                # round and its mail dies with it).  Filtering drops a
+                # crashing vertex's queued mail, which needs real inbox
+                # dictionaries — materialize a lazily-delivered plan
+                # first, preserving the scalar collect-then-filter
+                # order.
+                if self._lazy_plan is not None:
+                    self._materialize_lazy()
                 stepping = []
                 for i in due:
                     cr = crash_rounds[i]
@@ -335,9 +353,18 @@ class FastEngine:
                         pending[i] = None
                         pending_ids_discard(i)
                     algorithms[i].step(ctx, box)
+            # A lazily-delivered plan is fully consumed by this round's
+            # step (its receivers were all due); drop it before the
+            # next collection replaces it.
+            self._lazy_plan = None
             # Revived vertices may have queued messages while (re-)
             # initializing; drain their outboxes along with the steppers.
-            collect(list(due) + list(revived) if revived else due)
+            registry = self._registry
+            if registry is not None:
+                with registry.span("congest.collect"):
+                    collect(list(due) + list(revived) if revived else due)
+            else:
+                collect(list(due) + list(revived) if revived else due)
             reschedule(due)
             if self._snapshot_interval is not None and self._snapshot_targets:
                 self._take_local_snapshots(due, next_round)
@@ -494,6 +521,11 @@ class FastEngine:
             # Columnar state becomes scalar truth before pickling, so
             # the envelope stays engine- and kernel-neutral.
             self._kernel.sync()
+        if self._lazy_plan is not None:
+            # Checkpoints serialize pending inboxes as real
+            # dictionaries; a lazily-delivered plan must become one
+            # first so restores stay bit-identical across modes.
+            self._materialize_lazy()
         contexts = self._contexts
         verts = self._verts
         n = self._n
@@ -655,6 +687,10 @@ class FastEngine:
         # A pre-initialization checkpoint (captured before run()) leaves
         # this False, so the resumed run still initializes normally.
         self._initialized = bool(state.get("initialized", True))
+        # Restored pending state is always dictionary-shaped (capture
+        # materializes); discard any plan from the pre-restore life.
+        self._send_plan = None
+        self._lazy_plan = None
         # Rebuild the kernel over the restored scalar state.  resume=True
         # makes its first round replay the restored inbox dictionaries
         # (the previous round's sends are not in any column yet).
@@ -743,12 +779,23 @@ class FastEngine:
         messages, so delivery touches the active set instead of all
         ``n`` vertices.  The collected traffic is buffered in
         ``_inflight`` and recorded against the round that delivers it.
+
+        A kernel running batched delivery leaves its sends in
+        ``_send_plan`` instead of the outboxes; those rounds divert to
+        :meth:`_collect_batched` and never touch per-message objects.
         """
+        plan = self._send_plan
+        if plan is not None:
+            self._send_plan = None
+            self._collect_batched(plan)
+            return
         contexts = self._contexts
         senders = [i for i in sender_ids if contexts[i]._outbox]
         if not senders:
             self._inflight = _NO_TRAFFIC
             return
+        if self._registry is not None:
+            self._registry.count("congest.delivery.scalar")
         per_edge: Dict[int, int] = {}
         messages = 0
         bits = 0
@@ -879,3 +926,41 @@ class FastEngine:
             (dropped, duplicated, corrupted) if injector is not None
             else NO_FAULTS,
         )
+
+    def _collect_batched(self, plan) -> None:
+        """Charge a columnar send plan without materializing inboxes.
+
+        The plan's vectorized accounting reproduces the scalar path
+        bit-for-bit (same per-edge counts, bits, histogram, errors);
+        receivers are marked due via ``_pending_ids`` but their inbox
+        dictionaries stay unbuilt — the plan itself is parked in
+        ``_lazy_plan`` and reconstructed only if checkpoint capture or
+        crash filtering needs object-level messages.  Kernelized plans
+        ride a lossless channel by construction (message-faulting plans
+        disable kernels), so the fault channel is skipped; crash-only
+        injectors still get their zeroed per-round fault counters.
+        """
+        per_edge, messages, bits, bits_hist, max_bits, receivers = (
+            plan.account(self)
+        )
+        if max_bits > self.metrics.max_message_bits:
+            self.metrics.max_message_bits = max_bits
+        self._pending_ids.update(receivers)
+        self._lazy_plan = plan
+        if self._registry is not None:
+            self._registry.count("congest.delivery.batched")
+        self._inflight = (
+            per_edge,
+            messages,
+            bits,
+            bits_hist,
+            NO_FAULTS if self.faults is None else (0, 0, 0),
+        )
+
+    def _materialize_lazy(self) -> None:
+        """Build the inbox dictionaries a lazily-delivered plan deferred."""
+        plan = self._lazy_plan
+        self._lazy_plan = None
+        plan.materialize(self)
+        if self._registry is not None:
+            self._registry.count("congest.delivery.materialized")

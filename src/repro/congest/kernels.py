@@ -40,12 +40,19 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from .. import rng as _rng
+from ..errors import MessageTooLargeError, ProtocolError
 from .algorithm import (
     RoundKernel,
+    batch_delivery_enabled,
     kernel_class_for,
     kernel_threshold,
     kernels_enabled,
 )
+from .message import message_bits
+
+#: Private sentinel distinguishing "no shared payload" from a shared
+#: payload of ``None`` (a legal CONGEST signal).
+_NO_PAYLOAD = object()
 
 
 def maybe_build_kernel(engine, resume: bool = False) -> Optional[RoundKernel]:
@@ -132,6 +139,288 @@ def seg_max(vals, indptr, empty):
     return out
 
 
+# -- batched delivery --------------------------------------------------------
+
+def int_bit_lengths(vals):
+    """Vectorized ``int.bit_length() or 1`` for an integer column.
+
+    Matches :func:`repro.congest.message.message_bits`'s charge for an
+    int field (before the sign/framing extra): ``frexp`` on the exact
+    float64 image of the magnitude yields the bit length, which is
+    exact for ``|value| < 2**53`` — far beyond any vertex label or
+    fixed-point shift the kernels ship.  Zero maps to 1, like scalar.
+    """
+    np = _np()
+    mags = np.abs(vals)
+    if mags.size and int(mags.max()) >= 2**53:
+        raise ValueError("int_bit_lengths requires |values| < 2**53")
+    return np.maximum(
+        np.frexp(mags.astype(np.float64))[1], 1
+    ).astype(np.int64)
+
+
+class SendPlan:
+    """One round of kernel sends in columnar form.
+
+    A plan holds the segments a kernel emitted through
+    :meth:`KernelBase._emit_broadcast` / :meth:`KernelBase._emit_send`
+    this round.  Each segment is ``(kind, rows, targets, payloads,
+    shared, size)``:
+
+    * ``kind`` — ``"b"`` (broadcast to every CSR neighbor of each row)
+      or ``"u"`` (one explicit target per row);
+    * ``rows`` — ascending dense sender indices;
+    * ``targets`` — dense receiver indices aligned with ``rows``
+      (``kind == "u"`` only);
+    * ``payloads`` — a per-row payload column, a zero-argument
+      callable returning one (built only if the plan materializes, so
+      the hot path never constructs payload objects), or ``None`` when
+      every row sends the ``shared`` payload object;
+    * ``size`` — the ``message_bits`` of the payloads: a uniform int,
+      a per-row ``int64`` column aligned with ``rows`` (computed
+      vectorized by the kernel, e.g. via :func:`int_bit_lengths`), or
+      ``None`` to measure (once per distinct payload, not per edge).
+
+    The engine charges the whole plan vectorized in :meth:`account` —
+    per-edge congestion via ``bincount``-style unique/count reduction
+    over dense ``sender * n + receiver`` edge keys, budget and strict
+    checks as array comparisons that reproduce the scalar error text
+    and attribution exactly — and defers building per-receiver inbox
+    dictionaries until something needs object-level messages
+    (:meth:`materialize`: checkpoint capture or crash filtering).
+
+    Faithfulness constraint (holds for every shipped kernel, asserted
+    nowhere for speed): the flattened segment-major order of a plan
+    must equal the order the scalar path would drain the same sends —
+    i.e. a sender appears in at most one segment per round, or only
+    single-sender plans span segments.  Error attribution and
+    materialized inbox insertion order both rely on it.
+    """
+
+    __slots__ = ("kernel", "segments")
+
+    def __init__(self, kernel: "KernelBase", segments: List[tuple]) -> None:
+        self.kernel = kernel
+        self.segments = segments
+
+    def account(self, engine):
+        """Vectorized twin of the scalar ``_collect`` accounting.
+
+        Returns ``(per_edge, messages, bits, bits_hist, max_bits,
+        receivers)`` without touching any pending inbox; raises
+        ``MessageTooLargeError`` / ``ProtocolError`` for the same first
+        offending message, with the same text, as the scalar path.
+        """
+        kernel = self.kernel
+        np = kernel.np
+        indptr = kernel.indptr
+        nbr = kernel.nbr
+        n = engine._n
+        verts = engine._verts
+        budget_bits = engine.budget.bits
+        want_hist = engine._want_bits_hist
+        messages = 0
+        bits = 0
+        max_bits = 0
+        bits_hist: dict = {}
+        key_arrays = []
+        # Earliest over-budget message, as (flat position in plan
+        # order, measured bits, sender index, receiver index).  The
+        # scalar loop checks budget before strict capacity on each
+        # message, so ties at the same position resolve to budget.
+        first_budget = None
+        flat_base = 0
+        for kind, rows, targets, payloads, shared, size in self.segments:
+            rows = rows.astype(np.int64, copy=False)
+            if kind == "b":
+                deg = indptr[rows + 1] - indptr[rows]
+                total = int(deg.sum())
+                if total == 0:
+                    continue
+                starts = indptr[rows]
+                cum = np.cumsum(deg)
+                flat = np.repeat(starts - (cum - deg), deg) + np.arange(
+                    total, dtype=np.int64
+                )
+                tgt = nbr[flat]
+                senders = np.repeat(rows, deg)
+            else:
+                total = int(rows.shape[0])
+                if total == 0:
+                    continue
+                deg = None
+                tgt = targets.astype(np.int64, copy=False)
+                senders = rows
+            if payloads is None or (
+                size is not None and not isinstance(size, np.ndarray)
+            ):
+                # One distinct payload (or one declared size): measure
+                # once, charge everywhere.
+                if size is None:
+                    size = message_bits(shared)
+                if size > budget_bits and first_budget is None:
+                    first_budget = (
+                        flat_base, size, int(senders[0]), int(tgt[0])
+                    )
+                bits += size * total
+                if size > max_bits:
+                    max_bits = size
+                if want_hist:
+                    bits_hist[size] = bits_hist.get(size, 0) + total
+            else:
+                # Per-sender size column (vectorized by the kernel) or
+                # one measurement per payload (never per edge).
+                if size is not None:
+                    row_sizes = size.astype(np.int64, copy=False)
+                else:
+                    if callable(payloads):
+                        payloads = payloads()
+                    row_sizes = np.fromiter(
+                        (message_bits(p) for p in payloads),
+                        np.int64,
+                        count=len(payloads),
+                    )
+                edge_sizes = (
+                    np.repeat(row_sizes, deg) if deg is not None else row_sizes
+                )
+                if first_budget is None:
+                    over = edge_sizes > budget_bits
+                    if over.any():
+                        k = int(np.argmax(over))
+                        first_budget = (
+                            flat_base + k,
+                            int(edge_sizes[k]),
+                            int(senders[k]),
+                            int(tgt[k]),
+                        )
+                bits += int(edge_sizes.sum())
+                if deg is not None:
+                    charged = row_sizes[deg > 0]
+                else:
+                    charged = row_sizes
+                if charged.shape[0]:
+                    m = int(charged.max())
+                    if m > max_bits:
+                        max_bits = m
+                if want_hist:
+                    if deg is not None:
+                        uniq, inv = np.unique(row_sizes, return_inverse=True)
+                        weights = np.bincount(
+                            inv, weights=deg, minlength=uniq.shape[0]
+                        ).astype(np.int64)
+                    else:
+                        uniq, weights = np.unique(
+                            row_sizes, return_counts=True
+                        )
+                    for s, c in zip(uniq.tolist(), weights.tolist()):
+                        if c:
+                            bits_hist[s] = bits_hist.get(s, 0) + c
+            key_arrays.append(senders * n + tgt)
+            messages += total
+            flat_base += total
+        if not key_arrays:
+            return {}, 0, 0, {}, 0, []
+        all_keys = (
+            key_arrays[0]
+            if len(key_arrays) == 1
+            else np.concatenate(key_arrays)
+        )
+        uniq_keys, counts = np.unique(all_keys, return_counts=True)
+        first_strict = None
+        capacity = engine.capacity
+        if engine.strict and int(counts.max()) > capacity:
+            # Per-position occurrence rank of each edge key, in plan
+            # order: the first position whose edge already carried
+            # ``capacity`` messages is exactly where the scalar loop
+            # raises.
+            order = np.argsort(all_keys, kind="stable")
+            sorted_keys = all_keys[order]
+            new_group = np.empty(sorted_keys.shape[0], dtype=bool)
+            new_group[0] = True
+            np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=new_group[1:])
+            group_start = np.nonzero(new_group)[0]
+            group_idx = np.cumsum(new_group) - 1
+            occurrence = np.empty(sorted_keys.shape[0], dtype=np.int64)
+            occurrence[order] = (
+                np.arange(sorted_keys.shape[0], dtype=np.int64)
+                - group_start[group_idx]
+            )
+            over = occurrence >= capacity
+            k = int(np.argmax(over))
+            first_strict = (k, int(all_keys[k]))
+        if first_budget is not None and (
+            first_strict is None or first_budget[0] <= first_strict[0]
+        ):
+            _, size, si, ti = first_budget
+            raise MessageTooLargeError(
+                size,
+                budget_bits,
+                detail=f"from {verts[si]!r} to {verts[ti]!r}",
+            )
+        if first_strict is not None:
+            _, key = first_strict
+            v = verts[key // n]
+            neighbor = verts[key % n]
+            raise ProtocolError(
+                f"edge {(v, neighbor)!r} carried {capacity + 1} messages "
+                f"in one round (capacity {capacity})"
+            )
+        per_edge = dict(zip(uniq_keys.tolist(), counts.tolist()))
+        receivers = np.unique(uniq_keys % n).tolist()
+        return per_edge, messages, bits, bits_hist, max_bits, receivers
+
+    def materialize(self, engine) -> None:
+        """Build the per-receiver inbox dictionaries this plan deferred.
+
+        Iterates the segments in plan (= scalar send) order and writes
+        structurally identical boxes — same payload objects, one shared
+        object per broadcast, insertion order matching the scalar
+        drain — so checkpoint capture and crash filtering observe
+        exactly the state the scalar path would have built.
+        """
+        contexts = engine._contexts
+        pending = engine._pending
+        pending_ids_add = engine._pending_ids.add
+        verts = engine._verts
+        index = engine._index
+        for kind, rows, targets, payloads, shared, _size in self.segments:
+            if callable(payloads):
+                payloads = payloads()
+            row_list = rows.tolist()
+            if kind == "b":
+                for k, i in enumerate(row_list):
+                    payload = shared if payloads is None else payloads[k]
+                    v = verts[i]
+                    for neighbor in contexts[i].neighbors:
+                        j = index[neighbor]
+                        box = pending[j]
+                        if box is None:
+                            pending[j] = {v: [payload]}
+                            pending_ids_add(j)
+                        else:
+                            lst = box.get(v)
+                            if lst is None:
+                                box[v] = [payload]
+                            else:
+                                lst.append(payload)
+            else:
+                target_list = targets.tolist()
+                for k, i in enumerate(row_list):
+                    payload = shared if payloads is None else payloads[k]
+                    j = target_list[k]
+                    v = verts[i]
+                    box = pending[j]
+                    if box is None:
+                        pending[j] = {v: [payload]}
+                        pending_ids_add(j)
+                    else:
+                        lst = box.get(v)
+                        if lst is None:
+                            box[v] = [payload]
+                        else:
+                            lst.append(payload)
+
+
 class KernelBase(RoundKernel):
     """Plumbing shared by every concrete kernel.
 
@@ -192,6 +481,14 @@ class KernelBase(RoundKernel):
         # available as the restored inbox dictionaries; replay those
         # once, then trust the columns.
         self._use_dicts = bool(resume)
+        # Sends emitted through _emit_broadcast/_emit_send either
+        # accumulate into a SendPlan (batched delivery) or write the
+        # classic per-context outboxes; sampled once per kernel build,
+        # like the kernel flag itself.
+        self._plan_segments: List[tuple] = []
+        self._batched = bool(
+            type(self).emits_send_plans and batch_delivery_enabled()
+        )
         self._load_columns()
 
     # -- engine-facing entry points ------------------------------------
@@ -200,6 +497,7 @@ class KernelBase(RoundKernel):
         rows = np.fromiter(live, np.intp, count=len(live))
         self._state_dirty = True
         self._initialize_rows(rows)
+        self._flush_plan()
 
     def step_round(self, due: Sequence[int], round_number: int) -> None:
         np = self.np
@@ -220,6 +518,13 @@ class KernelBase(RoundKernel):
             pids.difference_update(due)
         self._step_rows(rows, round_number, boxes)
         self._use_dicts = False
+        self._flush_plan()
+
+    def _flush_plan(self) -> None:
+        segments = self._plan_segments
+        if segments:
+            self._plan_segments = []
+            self.engine._send_plan = SendPlan(self, segments)
 
     def sync(self) -> None:
         np = self.np
@@ -235,6 +540,59 @@ class KernelBase(RoundKernel):
         ctx = self.contexts[i]
         ctx._halted = True
         ctx._output = output
+
+    def _emit_broadcast(self, rows, payloads=None, shared=_NO_PAYLOAD,
+                        size=None) -> None:
+        """Queue a broadcast from each of ``rows`` to all its neighbors.
+
+        Pass either ``payloads`` (a list aligned with ``rows`` — or a
+        zero-argument callable building one, deferred until an inbox
+        must actually materialize; each row's object is shared across
+        its neighbors, as the scalar path does) or ``shared`` (one
+        object for every row).  ``size`` optionally declares the
+        ``message_bits`` of the payloads — a uniform int or a per-row
+        ``int64`` column — skipping measurement on the batched path.
+        """
+        if rows.shape[0] == 0:
+            return
+        if self._batched:
+            self._plan_segments.append(
+                ("b", rows, None, payloads, shared, size)
+            )
+            return
+        contexts = self.contexts
+        if callable(payloads):
+            payloads = payloads()
+        row_list = rows.tolist()
+        for k, i in enumerate(row_list):
+            ctx = contexts[i]
+            payload = shared if payloads is None else payloads[k]
+            queued = [(u, payload) for u in ctx.neighbors]
+            outbox = ctx._outbox
+            if outbox:
+                outbox.extend(queued)
+            else:
+                ctx._outbox = queued
+
+    def _emit_send(self, rows, targets, payload, size=None) -> None:
+        """Queue one ``payload`` from each of ``rows`` to the aligned
+        dense index in ``targets`` (a unicast column)."""
+        if rows.shape[0] == 0:
+            return
+        if self._batched:
+            self._plan_segments.append(
+                ("u", rows, targets, None, payload, size)
+            )
+            return
+        contexts = self.contexts
+        verts = self.verts
+        for i, t in zip(rows.tolist(), targets.tolist()):
+            ctx = contexts[i]
+            outbox = ctx._outbox
+            if outbox:
+                outbox.append((verts[t], payload))
+            else:
+                ctx._outbox = [(verts[t], payload)]
 
     # -- subclass responsibilities -------------------------------------
     def _load_columns(self) -> None:

@@ -162,7 +162,11 @@ class ReferenceEngine:
                 self._algorithms[v].initialize(self._contexts[v])
             if init_crashed:
                 self.metrics.record_crashed(init_crashed)
-            self._collect()
+            if self._registry is not None:
+                with self._registry.span("congest.collect"):
+                    self._collect()
+            else:
+                self._collect()
             self._runnable = {
                 v for v in self._order if not self._contexts[v].halted
             }
@@ -234,7 +238,11 @@ class ReferenceEngine:
                 stepped.append(v)
             # _collect scans every vertex, so revived outboxes drain
             # here without the fast engine's explicit active-set union.
-            self._collect()
+            if self._registry is not None:
+                with self._registry.span("congest.collect"):
+                    self._collect()
+            else:
+                self._collect()
             self._reschedule(stepped)
             if self._snapshot_interval is not None and self._snapshot_targets:
                 self._take_local_snapshots(stepped, next_round)
@@ -537,15 +545,24 @@ class ReferenceEngine:
         max_bits = 0
         want_hist = self._want_bits_hist
         bits_hist: Dict[int, int] = {}
+        # Per-message attribute lookups hoisted into locals, mirroring
+        # the fast engine's prologue.
         budget_bits = self.budget.bits
+        strict = self.strict
+        capacity = self.capacity
+        contexts = self._contexts
+        pending = self._pending
+        has_pending_add = self._has_pending.add
+        per_edge_get = per_edge.get
+        sizeof = message_bits
         injector = self.faults
         send_round = self._round
         dropped = duplicated = corrupted = 0
         for v in self._order:
-            ctx = self._contexts[v]
+            ctx = contexts[v]
             outbox = ctx._drain_outbox()
             for neighbor, payload in outbox:
-                size = message_bits(payload)
+                size = sizeof(payload)
                 if size > budget_bits:
                     raise MessageTooLargeError(
                         size,
@@ -555,12 +572,12 @@ class ReferenceEngine:
                 if size > max_bits:
                     max_bits = size
                 edge = (v, neighbor)
-                count = per_edge.get(edge, 0) + 1
+                count = per_edge_get(edge, 0) + 1
                 per_edge[edge] = count
-                if self.strict and count > self.capacity:
+                if strict and count > capacity:
                     raise ProtocolError(
                         f"edge {edge!r} carried {count} messages in one "
-                        f"round (capacity {self.capacity})"
+                        f"round (capacity {capacity})"
                     )
                 messages += 1
                 bits += size
@@ -590,13 +607,15 @@ class ReferenceEngine:
                         payload = injector.corrupted_payload(
                             send_round, v, neighbor, count - 1
                         )
-                inbox = self._pending[neighbor].setdefault(v, [])
+                inbox = pending[neighbor].setdefault(v, [])
                 inbox.append(payload)
                 if copies == 2:
                     inbox.append(payload)
-                self._has_pending.add(neighbor)
+                has_pending_add(neighbor)
         if max_bits > self.metrics.max_message_bits:
             self.metrics.max_message_bits = max_bits
+        if messages and self._registry is not None:
+            self._registry.count("congest.delivery.scalar")
         self._inflight = (
             per_edge,
             messages,

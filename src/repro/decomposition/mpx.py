@@ -27,7 +27,7 @@ from ..congest import (
     VertexContext,
 )
 from ..congest.algorithm import register_kernel
-from ..congest.kernels import KernelBase, seg_max
+from ..congest.kernels import KernelBase, int_bit_lengths, seg_max
 from ..errors import DecompositionError
 from ..graph import Graph
 from ..rng import SeedLike, ensure_rng
@@ -92,6 +92,8 @@ class MPXKernel(KernelBase):
     ``log`` is not guaranteed ULP-identical to libm's.
     """
 
+    emits_send_plans = True
+
     #: Sentinel below any reachable adoption key.
     _KEY_MIN = -(2**62)
 
@@ -113,6 +115,9 @@ class MPXKernel(KernelBase):
         self.shift_cap = algo.shift_cap
         self.budget = algo.budget
         index = self.engine._index
+        # Label column for vectorized payload sizing (labels are ints
+        # wherever a kernel engages).
+        self.labels = np.array(self.verts, dtype=np.int64)
         self.started = np.zeros(n, bool)
         self.best_scaled = np.zeros(n, np.int64)
         self.best_root = np.zeros(n, np.int64)
@@ -139,17 +144,32 @@ class MPXKernel(KernelBase):
                 algo.best = (scaled[i], verts[root[i]], dist[i])
 
     def _broadcast(self, rows) -> None:
-        contexts = self.contexts
         verts = self.verts
-        scaled = self.best_scaled[rows].tolist()
-        root = self.best_root[rows].tolist()
-        dist = self.best_dist[rows].tolist()
+        scaled = self.best_scaled[rows]
+        root = self.best_root[rows]
+        dist = self.best_dist[rows]
         self.sent[:] = False
         self.sent[rows] = True
-        for k, i in enumerate(rows.tolist()):
-            ctx = contexts[i]
-            payload = (verts[root[k]], scaled[k], dist[k])
-            ctx._outbox = [(u, payload) for u in ctx.neighbors]
+
+        def payloads():
+            s = scaled.tolist()
+            r = root.tolist()
+            d = dist.tolist()
+            return [(verts[r[k]], s[k], d[k]) for k in range(len(r))]
+
+        if self._batched:
+            # (label, scaled, dist) int triples: 2 bits of tuple
+            # framing plus three (bit_length + 3)-bit fields, computed
+            # columnar so the hot path builds no payload objects.
+            sizes = (
+                11
+                + int_bit_lengths(self.labels[root])
+                + int_bit_lengths(scaled)
+                + int_bit_lengths(dist)
+            )
+            self._emit_broadcast(rows, payloads, size=sizes)
+        else:
+            self._emit_broadcast(rows, payloads())
 
     def _initialize_rows(self, rows) -> None:
         # One scalar draw per vertex (the only draw of the protocol);

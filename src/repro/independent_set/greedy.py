@@ -25,6 +25,7 @@ from ..congest import (
 )
 from ..congest.algorithm import register_kernel
 from ..congest.kernels import KernelBase, seg_any
+from ..congest.message import message_bits
 from ..graph import Graph
 from ..rng import SeedLike
 
@@ -123,6 +124,8 @@ class LubyKernel(KernelBase):
     ``supports`` gate admits.
     """
 
+    emits_send_plans = True
+
     @classmethod
     def _supports_population(cls, engine) -> bool:
         first = engine._algorithms[0].max_phases
@@ -134,6 +137,10 @@ class LubyKernel(KernelBase):
         np = self.np
         n = self.n
         self.max_phases = self.algorithms[0].max_phases
+        # Both message shapes have value-independent sizes (a 3-char
+        # tag plus a float); measure once, charge per edge.
+        self._pri_size = message_bits(("PRI", 0.0))
+        self._in_size = message_bits(("IN", 0.0))
         self.status = np.zeros(n, np.int8)
         self.pri = np.zeros(n, np.float64)
         self.drawn = np.zeros(n, bool)  # has a priority (initialized)
@@ -170,12 +177,13 @@ class LubyKernel(KernelBase):
         self.sent_pri[:] = False
         self.sent_pri[rows] = True
         contexts = self.contexts
+        payloads = []
+        append = payloads.append
         for i in rows.tolist():
-            ctx = contexts[i]
-            p = ctx.rng.random()
+            p = contexts[i].rng.random()
             pri[i] = p
-            payload = ("PRI", p)
-            ctx._outbox = [(u, payload) for u in ctx.neighbors]
+            append(("PRI", p))
+        self._emit_broadcast(rows, payloads, size=self._pri_size)
 
     def _initialize_rows(self, rows) -> None:
         self._draw_and_announce(rows)
@@ -206,11 +214,11 @@ class LubyKernel(KernelBase):
             self.sent_pri[:] = False
             self.sent_in[:] = False
             self.sent_in[winners] = True
-            contexts = self.contexts
-            for i in winners.tolist():
-                ctx = contexts[i]
-                payload = ("IN", 0.0)
-                ctx._outbox = [(u, payload) for u in ctx.neighbors]
+            self._emit_broadcast(
+                winners,
+                [("IN", 0.0) for _ in range(winners.shape[0])],
+                size=self._in_size,
+            )
         else:
             # Resolution round: losers of an IN neighbor leave.
             undecided = rows[status[rows] == 0]

@@ -174,6 +174,8 @@ class ProposalMatchingKernel(KernelBase):
     (a stale stamp never matches the current phase).
     """
 
+    emits_send_plans = True
+
     @classmethod
     def _supports_population(cls, engine) -> bool:
         first = engine._algorithms[0].max_phases
@@ -330,12 +332,7 @@ class ProposalMatchingKernel(KernelBase):
         targets = nbr[edge]
         self.proposed[proposers] = targets
         self.prop_round[proposers] = r
-        contexts = self.contexts
-        verts = self.verts
-        for i, t in zip(proposers.tolist(), targets.tolist()):
-            contexts[i]._outbox = [
-                (verts[t], ProposalMatching.PROPOSE)
-            ]
+        self._emit_send(proposers, targets, ProposalMatching.PROPOSE)
 
     def _accept(self, rows, r: int, boxes) -> None:
         np = self.np
@@ -371,10 +368,7 @@ class ProposalMatchingKernel(KernelBase):
         self.matched[acc_rows] = True
         self.mate[acc_rows] = acc_mate
         self.acc_round[acc_rows] = r
-        contexts = self.contexts
-        verts = self.verts
-        for i, t in zip(acc_rows.tolist(), acc_mate.tolist()):
-            contexts[i]._outbox = [(verts[t], ProposalMatching.ACCEPT)]
+        self._emit_send(acc_rows, acc_mate, ProposalMatching.ACCEPT)
 
     def _resolve(self, rows, r: int, boxes) -> None:
         np = self.np
@@ -410,12 +404,9 @@ class ProposalMatchingKernel(KernelBase):
             return
         self.announced[ann] = True
         self.sent_ann[ann] = True
-        contexts = self.contexts
+        self._emit_broadcast(ann, shared=ProposalMatching.MATCHED)
         verts = self.verts
         for i, m in zip(ann.tolist(), self.mate[ann].tolist()):
-            ctx = contexts[i]
-            payload = ProposalMatching.MATCHED
-            ctx._outbox = [(u, payload) for u in ctx.neighbors]
             self._halt(i, verts[m])
 
 

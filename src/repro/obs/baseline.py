@@ -121,12 +121,22 @@ class BaselineDiff:
 
 
 def _timing_series(snapshot: Dict[str, Any]) -> Dict[str, float]:
-    """Flatten a snapshot into comparable ``metric -> seconds`` pairs."""
+    """Flatten a snapshot into comparable ``metric -> seconds`` pairs.
+
+    Besides suite and cell wall clocks, telemetry phase spans flatten
+    to ``span:<path>`` seconds, so the diff can budget engine-internal
+    phases (e.g. ``congest.collect``, the delivery-accounting phase the
+    batched send-plan path exists to shrink) and not just end-to-end
+    cells.
+    """
     series: Dict[str, float] = {}
     for suite_name, suite in snapshot.get("suites", {}).items():
         series[f"suite:{suite_name}"] = float(suite.get("wall_seconds", 0.0))
         for label, cell in suite.get("cells", {}).items():
             series[f"cell:{label}"] = float(cell.get("elapsed", 0.0))
+    spans = snapshot.get("telemetry", {}).get("spans", {})
+    for path, stats in spans.items():
+        series[f"span:{path}"] = float(stats.get("wall_ns", 0)) / 1e9
     return series
 
 

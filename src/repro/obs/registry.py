@@ -188,13 +188,14 @@ class TelemetryRegistry:
         """The deterministic projection: everything except timings.
 
         Span values reduce to their execution counts; wall/CPU fields
-        are dropped.  ``congest.kernel.*`` counters are dropped too:
-        they describe *how* the work was executed (columnar kernel vs
-        scalar loop), not what was simulated, and the kernel layer's
-        contract is precisely that the two executions are otherwise
+        are dropped.  ``congest.kernel.*`` and ``congest.delivery.*``
+        counters are dropped too: they describe *how* the work was
+        executed (columnar kernel vs scalar loop, batched vs scalar
+        delivery), not what was simulated, and those layers' contract
+        is precisely that the executions are otherwise
         indistinguishable.  Two runs doing identical work — fast vs
-        reference engine, kernels on vs off, serial vs sharded —
-        produce equal comparable dicts.
+        reference engine, kernels on vs off, batched delivery on vs
+        off, serial vs sharded — produce equal comparable dicts.
         """
         data = self.to_dict()
         data["spans"] = {
@@ -203,7 +204,7 @@ class TelemetryRegistry:
         data["counters"] = {
             name: value
             for name, value in data["counters"].items()
-            if not name.startswith("congest.kernel.")
+            if not name.startswith(("congest.kernel.", "congest.delivery."))
         }
         return data
 
