@@ -280,7 +280,7 @@ def cmd_bench(args) -> int:
 
         set_batch_delivery_enabled(False)
     if args.faults:
-        names = (args.suite or []) + ["E11"]
+        names = (args.suite or []) + ["E11", "E15"]
     else:
         names = args.suite or suite_names()
     # Hidden suites stay out of the default sweep but remain reachable
@@ -314,7 +314,7 @@ def cmd_bench(args) -> int:
             resume=args.resume,
         )
         runs.append(run)
-        rendered = run.render_table()
+        rendered = run.render_table() + "\n" + run.footer()
         print("\n" + rendered)
         if run.journal_path:
             log.info(
@@ -398,11 +398,12 @@ def cmd_bench(args) -> int:
 
 def cmd_faults(args) -> int:
     """Run one algorithm under an explicit fault plan and grade it."""
-    from .congest import FaultPlan, use_faults
+    from .congest import EdgeWindow, FaultPlan, PartitionWindow, use_faults
     from .resilience import (
         Verdict,
         validate_framework,
         validate_independent_set,
+        validate_matching,
     )
 
     def parse_schedule(specs, flag):
@@ -417,6 +418,61 @@ def cmd_faults(args) -> int:
                 )
         return tuple(entries)
 
+    def parse_edge_rounds(specs, flag):
+        """``U-V:ROUND`` -> (u, v, round)."""
+        entries = []
+        for spec in specs or []:
+            try:
+                edge, round_number = spec.split(":", 1)
+                u, v = edge.split("-", 1)
+                entries.append((int(u), int(v), int(round_number)))
+            except ValueError:
+                raise SystemExit(
+                    f"bad {flag} {spec!r}; expected U-V:ROUND"
+                )
+        return tuple(entries)
+
+    def parse_edge_windows(specs):
+        """``U-V:START-END`` -> EdgeWindow."""
+        entries = []
+        for spec in specs or []:
+            try:
+                edge, window = spec.split(":", 1)
+                u, v = edge.split("-", 1)
+                start, end = window.split("-", 1)
+                entries.append(
+                    EdgeWindow(int(u), int(v), int(start), int(end))
+                )
+            except ValueError:
+                raise SystemExit(
+                    f"bad --edge-up {spec!r}; expected U-V:START-END"
+                )
+        return tuple(entries)
+
+    def parse_partitions(specs):
+        """``START-END:V1,V2,...`` -> PartitionWindow isolating one
+        block; every unlisted vertex lands in the implicit rest
+        block."""
+        entries = []
+        for spec in specs or []:
+            try:
+                window, block = spec.split(":", 1)
+                start, end = window.split("-", 1)
+                vertices = tuple(
+                    int(v) for v in block.split(",") if v.strip()
+                )
+                if not vertices:
+                    raise ValueError("empty block")
+                entries.append(
+                    PartitionWindow((vertices,), int(start), int(end))
+                )
+            except ValueError:
+                raise SystemExit(
+                    f"bad --partition {spec!r}; "
+                    "expected START-END:V1,V2,..."
+                )
+        return tuple(entries)
+
     from .errors import FaultError
 
     try:
@@ -428,12 +484,26 @@ def cmd_faults(args) -> int:
             crashes=parse_schedule(args.crash, "--crash"),
             rejoins=parse_schedule(args.rejoin, "--rejoin"),
             checkpoint_interval=args.checkpoint_interval,
+            edge_arrivals=parse_edge_rounds(
+                args.edge_arrive, "--edge-arrive"
+            ),
+            edge_departures=parse_edge_rounds(
+                args.edge_depart, "--edge-depart"
+            ),
+            edge_up_windows=parse_edge_windows(args.edge_up),
+            partitions=parse_partitions(args.partition),
+            delay=args.delay,
+            max_delay=args.max_delay,
         )
     except (FaultError, ValueError) as exc:
-        # e.g. a rejoin without a matching crash, or a rate out of range
-        raise SystemExit(f"invalid fault plan: {exc}")
+        # e.g. a rejoin without a matching crash, conflicting churn
+        # schedules, or a rate out of range: operator error, not a
+        # bug — report cleanly instead of dumping a traceback.
+        log.error("invalid fault plan: %s", exc)
+        return 2
     g = _build_graph(args)
     metrics = None
+    halted = True
     try:
         with use_faults(plan):
             if args.algorithm == "maxis":
@@ -441,7 +511,19 @@ def cmd_faults(args) -> int:
 
                 mis, result = luby_mis(g, seed=args.seed)
                 metrics = result.metrics
+                halted = result.halted
                 verdict = validate_independent_set(g, mis)
+            elif args.algorithm == "matching":
+                from .matching.distributed import (
+                    distributed_maximal_matching,
+                )
+
+                matching, result = distributed_maximal_matching(
+                    g, seed=args.seed
+                )
+                metrics = result.metrics
+                halted = result.halted
+                verdict = validate_matching(g, matching)
             else:
                 from .core.framework import run_framework
 
@@ -454,12 +536,23 @@ def cmd_faults(args) -> int:
                 )
                 metrics = result.metrics
                 verdict = validate_framework(result)
+        if not halted:
+            # The adversity (a long partition, sustained churn, heavy
+            # delay) kept the protocol from terminating: grade the run
+            # stalled rather than judging its partial output.
+            verdict = Verdict.stalled(
+                f"not halted after {metrics.rounds} rounds"
+            )
     except Exception as exc:  # graded outcome, not a crash
         verdict = Verdict.failed(f"{type(exc).__name__}: {exc}")
 
     print(f"plan: drop={plan.drop} duplicate={plan.duplicate} "
           f"corrupt={plan.corrupt} crashes={len(plan.crashes)} "
-          f"rejoins={len(plan.rejoins)} seed={plan.seed}")
+          f"rejoins={len(plan.rejoins)} "
+          f"churn={len(plan.edge_arrivals) + len(plan.edge_departures)}"
+          f"+{len(plan.edge_up_windows)}w "
+          f"partitions={len(plan.partitions)} delay={plan.delay} "
+          f"seed={plan.seed}")
     if metrics is not None:
         _print_metrics(metrics)
         if metrics.faulted:
@@ -663,7 +756,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(faults)
     faults.add_argument("--algorithm", default="maxis",
-                        choices=["maxis", "framework"],
+                        choices=["maxis", "matching", "framework"],
                         help="which algorithm to subject to faults")
     faults.add_argument("--drop", type=float, default=0.0,
                         help="per-message drop probability")
@@ -686,6 +779,30 @@ def build_parser() -> argparse.ArgumentParser:
                              "steps (default: re-initialize fresh)")
     faults.add_argument("--fault-seed", type=int, default=0,
                         help="seed of the deterministic fault stream")
+    faults.add_argument("--edge-arrive", action="append", default=None,
+                        metavar="U-V:ROUND",
+                        help="edge (u, v) only exists from ROUND on "
+                             "(repeatable; topology churn)")
+    faults.add_argument("--edge-depart", action="append", default=None,
+                        metavar="U-V:ROUND",
+                        help="edge (u, v) disappears at ROUND "
+                             "(repeatable; topology churn)")
+    faults.add_argument("--edge-up", action="append", default=None,
+                        metavar="U-V:START-END",
+                        help="edge (u, v) is only up during rounds "
+                             "[START, END] (repeatable)")
+    faults.add_argument("--partition", action="append", default=None,
+                        metavar="START-END:V1,V2,...",
+                        help="isolate the listed vertices from the "
+                             "rest of the network during rounds "
+                             "[START, END], then heal (repeatable)")
+    faults.add_argument("--delay", type=float, default=0.0,
+                        help="per-message delay probability "
+                             "(delayed messages arrive 1..MAX rounds "
+                             "late, deterministically)")
+    faults.add_argument("--max-delay", type=int, default=1,
+                        help="upper bound on extra delivery rounds "
+                             "for delayed messages (default: 1)")
     faults.set_defaults(handler=cmd_faults)
 
     obs = sub.add_parser(

@@ -14,9 +14,11 @@ from .metrics import CongestMetrics
 from .algorithm import VertexAlgorithm, VertexContext
 from .faults import (
     CorruptedPayload,
+    EdgeWindow,
     FaultInjector,
     FaultPlan,
     LinkFailure,
+    PartitionWindow,
     active_fault_plan,
     use_faults,
 )
@@ -47,9 +49,11 @@ __all__ = [
     "TraceRecorder",
     "TraceSession",
     "CorruptedPayload",
+    "EdgeWindow",
     "FaultInjector",
     "FaultPlan",
     "LinkFailure",
+    "PartitionWindow",
     "active_fault_plan",
     "use_faults",
     "CHECKPOINT_SCHEMA_VERSION",

@@ -38,7 +38,15 @@ from .checkpoint import (
     graph_fingerprint,
     verify_restore_target,
 )
-from .faults import CORRUPT, DELIVER, DROP, DUPLICATE, NO_FAULTS, FaultInjector
+from .faults import (
+    CORRUPT,
+    DELIVER,
+    DROP,
+    DUPLICATE,
+    NO_FAULTS,
+    FaultInjector,
+    pad_fault_counts,
+)
 from .message import (
     _BOOL_BITS,
     _FLOAT_TOTAL,
@@ -52,8 +60,8 @@ from .trace import RoundTrace, TraceRecorder
 from ..obs import registry as _telemetry
 
 #: Sentinel for "no traffic in flight": (per-edge counts, messages,
-#: bits, message-size histogram, (dropped, duplicated, corrupted)).
-_NO_TRAFFIC: Tuple[Dict, int, int, Dict, Tuple[int, int, int]] = (
+#: bits, message-size histogram, per-round fault counters).
+_NO_TRAFFIC: Tuple[Dict, int, int, Dict, Tuple[int, ...]] = (
     {}, 0, 0, {}, NO_FAULTS
 )
 
@@ -158,9 +166,14 @@ class FastEngine:
         self._want_bits_hist = trace is not None or self._registry is not None
         # Traffic collected at the end of the previous round, awaiting
         # delivery (and metric attribution) at the next executed round.
-        self._inflight: Tuple[Dict, int, int, Dict, Tuple[int, int, int]] = (
+        self._inflight: Tuple[Dict, int, int, Dict, Tuple[int, ...]] = (
             _NO_TRAFFIC
         )
+        # Payloads the fault channel withheld, keyed by release round:
+        # release -> [(send round, sender, receiver, payload)].  Drained
+        # at the top of each executed round; vertex-keyed (never by
+        # engine index) so checkpoints stay engine-neutral.
+        self._delay_queue: Dict[int, List[Tuple[int, Any, Any, Any]]] = {}
         # Crash schedule (per vertex id), or None when the plan has no
         # crashes so the hot path can skip the lookup entirely.
         if faults is not None and faults.plan.crashes:
@@ -278,6 +291,8 @@ class FastEngine:
             self._live > 0 or self._rejoin_queue
         ):
             next_round = self._round + 1
+            if self._delay_queue:
+                self._deliver_delayed(next_round)
             due = due_vertices(next_round)
             skipped = 0
             if not due:
@@ -289,6 +304,12 @@ class FastEngine:
                     # A scheduled rejoin is an event like a wakeup: the
                     # quiescent stretch before it can be fast-forwarded.
                     target = rejoin_queue[0][0]
+                if self._delay_queue:
+                    # A withheld payload's release is an event too: its
+                    # receiver becomes due the round it is delivered.
+                    release = min(self._delay_queue)
+                    if target is None or release < target:
+                        target = release
                 if target is None:
                     break  # nothing will ever happen again
                 if target > max_rounds:
@@ -298,6 +319,8 @@ class FastEngine:
                 skipped = target - next_round
                 record_skipped(skipped)
                 next_round = target
+                if self._delay_queue:
+                    self._deliver_delayed(next_round)
                 due = due_vertices(next_round)
             self._round = next_round
             revived = (
@@ -402,6 +425,9 @@ class FastEngine:
                     corrupted=fcounts[2],
                     crashed=crashed_now,
                     rejoined=len(revived),
+                    delayed=fcounts[3],
+                    topo_lost=fcounts[4],
+                    partitioned=fcounts[5],
                     message_bits_histogram=bits_hist,
                 )
             if (
@@ -558,6 +584,14 @@ class FastEngine:
                 "bits_hist": dict(bits_hist),
                 "fcounts": tuple(fcounts),
             },
+            # Withheld payloads still in flight, flattened in release
+            # order (entries are already vertex-keyed in both engines).
+            "delayed": [
+                (release, send_round, sender, receiver, payload)
+                for release in sorted(self._delay_queue)
+                for send_round, sender, receiver, payload
+                in self._delay_queue[release]
+            ],
             "crashed": {verts[i] for i in self._crashed_ids},
             "crash_rounds": (
                 None
@@ -650,8 +684,15 @@ class FastEngine:
                 inflight["messages"],
                 inflight["bits"],
                 dict(inflight["bits_hist"]),
-                tuple(inflight["fcounts"]),
+                pad_fault_counts(inflight["fcounts"]),
             )
+            self._delay_queue = {}
+            for release, send_round, sender, receiver, payload in state.get(
+                "delayed", ()
+            ):
+                self._delay_queue.setdefault(release, []).append(
+                    (send_round, sender, receiver, payload)
+                )
             self._crashed_ids = {index[v] for v in state["crashed"]}
             crash_rounds = state["crash_rounds"]
             if crash_rounds is None:
@@ -772,6 +813,38 @@ class FastEngine:
             else:
                 runnable_add(i)
 
+    def _deliver_delayed(self, round_number: int) -> None:
+        """Release withheld payloads whose delivery round has arrived.
+
+        Entries are ordered by (send round, sender rank, receiver rank)
+        — a pure function of the plan and the canonical vertex order —
+        so both engines append released payloads to the pending inboxes
+        in the identical order regardless of internal iteration order.
+        """
+        queue = self._delay_queue
+        ready = [r for r in queue if r <= round_number]
+        if not ready:
+            return
+        entries: List[Tuple[int, Any, Any, Any]] = []
+        for release in sorted(ready):
+            entries.extend(queue.pop(release))
+        index = self._index
+        entries.sort(key=lambda e: (e[0], index[e[1]], index[e[2]]))
+        pending = self._pending
+        pending_ids_add = self._pending_ids.add
+        for _send_round, sender, receiver, payload in entries:
+            j = index[receiver]
+            box = pending[j]
+            if box is None:
+                pending[j] = {sender: [payload]}
+                pending_ids_add(j)
+            else:
+                lst = box.get(sender)
+                if lst is None:
+                    box[sender] = [payload]
+                else:
+                    lst.append(payload)
+
     def _collect(self, sender_ids) -> None:
         """Drain the outboxes of the vertices that just stepped.
 
@@ -815,6 +888,12 @@ class FastEngine:
         injector = self.faults
         send_round = self._round
         dropped = duplicated = corrupted = 0
+        delayed = topo_lost = partitioned = 0
+        if injector is not None:
+            inj_topo = injector.has_topology
+            inj_part = injector.has_partitions
+            inj_delay = injector.has_delay
+            delay_queue = self._delay_queue
         for i in senders:
             ctx = contexts[i]
             outbox = ctx._outbox
@@ -887,6 +966,16 @@ class FastEngine:
                     # The sender has paid; what follows is the channel.
                     # Fault decisions key on the per-edge sequence
                     # number ``count - 1``, identical in both engines.
+                    if inj_topo and not injector.topology_live(
+                        v, neighbor, send_round
+                    ):
+                        topo_lost += 1
+                        continue
+                    if inj_part and injector.partitioned(
+                        v, neighbor, send_round
+                    ):
+                        partitioned += 1
+                        continue
                     if injector.link_down(v, neighbor, send_round):
                         dropped += 1
                         continue
@@ -904,6 +993,23 @@ class FastEngine:
                         payload = injector.corrupted_payload(
                             send_round, v, neighbor, count - 1
                         )
+                    if inj_delay:
+                        extra = injector.delay_rounds(
+                            send_round, v, neighbor, count - 1
+                        )
+                        if extra:
+                            # Charged now, handed over later: the
+                            # payload (every copy of it) waits in the
+                            # delay queue for its release round.
+                            delayed += 1
+                            release = delay_queue.setdefault(
+                                send_round + 1 + extra, []
+                            )
+                            entry = (send_round, v, neighbor, payload)
+                            release.append(entry)
+                            if copies == 2:
+                                release.append(entry)
+                            continue
                 box = pending[j]
                 if box is None:
                     pending[j] = {v: [payload] * copies}
@@ -923,7 +1029,8 @@ class FastEngine:
             messages,
             bits,
             bits_hist,
-            (dropped, duplicated, corrupted) if injector is not None
+            (dropped, duplicated, corrupted, delayed, topo_lost, partitioned)
+            if injector is not None
             else NO_FAULTS,
         )
 
@@ -954,7 +1061,7 @@ class FastEngine:
             messages,
             bits,
             bits_hist,
-            NO_FAULTS if self.faults is None else (0, 0, 0),
+            NO_FAULTS,
         )
 
     def _materialize_lazy(self) -> None:

@@ -3,9 +3,13 @@
 The paper's round-complexity theorems assume a perfectly synchronous,
 lossless network.  This module lets experiments *remove* that
 assumption in a controlled way: a :class:`FaultPlan` declares message
-drop / duplicate / corrupt probabilities, scheduled link failures, and
-vertex crash rounds, and compiles into a :class:`FaultInjector` that
-both engines (:class:`~repro.congest.engine.FastEngine` and
+drop / duplicate / corrupt probabilities, scheduled link failures,
+vertex crash rounds, and — the network-level adversity layer — topology
+churn (edge arrivals / departures / up-windows), partition windows
+that split the vertex set into isolated blocks for a stretch of
+rounds, and a bounded deterministic per-message delay.  The plan
+compiles into a :class:`FaultInjector` that both engines
+(:class:`~repro.congest.engine.FastEngine` and
 :class:`~repro.congest.reference.ReferenceEngine`) consult at delivery
 time.
 
@@ -16,17 +20,25 @@ Every fault decision is a pure function of
 via a keyed hash — *not* a sequentially drawn RNG stream.  Iteration
 order therefore cannot influence any decision, which is what makes
 faulted runs bit-identical across the two engines (pinned by
-``tests/test_faults.py``) and across repeated executions.
+``tests/test_faults.py``) and across repeated executions.  Schedules
+(links, churn, partitions, crashes) are pure functions of the round
+number alone; the per-message delay draws from the same keyed hash
+under a disjoint sequence-number domain, so delay decisions never
+correlate with drop/duplicate/corrupt decisions.
 
 Accounting semantics
 --------------------
 Fault decisions happen on the wire, *after* the sender has paid for the
-transmission: a dropped, duplicated, or corrupted message still counts
-once in ``total_messages`` / ``total_bits`` / per-edge congestion (and
-once against strict-mode capacity — a duplicate is the network's fault,
-not the sender's protocol violation).  What the channel then did is
-tracked separately in the ``messages_dropped`` / ``messages_duplicated``
-/ ``messages_corrupted`` / ``vertices_crashed`` counters of
+transmission: a dropped, duplicated, corrupted, delayed, or
+topology-lost message still counts once in ``total_messages`` /
+``total_bits`` / per-edge congestion (and once against strict-mode
+capacity — a duplicate is the network's fault, not the sender's
+protocol violation).  A *delayed* message is charged at its normal
+delivery slot; the channel merely withholds the payload for the extra
+rounds.  What the channel then did is tracked separately in the
+``messages_dropped`` / ``messages_duplicated`` / ``messages_corrupted``
+/ ``messages_delayed`` / ``messages_lost_topology`` /
+``messages_partitioned`` / ``vertices_crashed`` counters of
 :class:`~repro.congest.metrics.CongestMetrics` and per round in
 :class:`~repro.congest.trace.RoundTrace`.
 
@@ -54,8 +66,19 @@ DROP = 1
 DUPLICATE = 2
 CORRUPT = 3
 
-#: Zero per-round fault counters: (dropped, duplicated, corrupted).
-NO_FAULTS: Tuple[int, int, int] = (0, 0, 0)
+#: Zero per-round fault counters: (dropped, duplicated, corrupted,
+#: delayed, topology-lost, partitioned).
+NO_FAULTS: Tuple[int, int, int, int, int, int] = (0, 0, 0, 0, 0, 0)
+
+
+def pad_fault_counts(counts) -> Tuple[int, ...]:
+    """Normalize a historical (dropped, duplicated, corrupted) triple
+    to the current six-counter layout (checkpoints written before the
+    adversity counters existed carry the short form)."""
+    padded = tuple(counts)
+    if len(padded) >= len(NO_FAULTS):
+        return padded
+    return padded + (0,) * (len(NO_FAULTS) - len(padded))
 
 
 class CorruptedPayload:
@@ -106,6 +129,58 @@ class LinkFailure:
 
 
 @dataclass(frozen=True)
+class EdgeWindow:
+    """Undirected edge ``{u, v}`` is *up* only for send rounds
+    [start, end]; outside every declared up-window of an edge, the
+    edge is absent from that round's adjacency view."""
+
+    u: Any
+    v: Any
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise FaultError(
+                f"edge up-window [{self.start}, {self.end}] is empty"
+            )
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """Vertex blocks isolated from each other for send rounds
+    [start, end].
+
+    During the window a message crossing two different blocks is lost;
+    vertices listed in no block form one implicit "rest" block that
+    still communicates internally.  After ``end`` the network heals.
+    """
+
+    blocks: Tuple[Tuple[Any, ...], ...]
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise FaultError(
+                f"partition window [{self.start}, {self.end}] is empty"
+            )
+        object.__setattr__(
+            self, "blocks", tuple(tuple(block) for block in self.blocks)
+        )
+        seen: Dict[Any, int] = {}
+        for block_id, block in enumerate(self.blocks):
+            for vertex in block:
+                previous = seen.get(vertex)
+                if previous is not None and previous != block_id:
+                    raise FaultError(
+                        f"vertex {vertex!r} appears in two blocks of one "
+                        "partition window"
+                    )
+                seen[vertex] = block_id
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Seeded, fully deterministic description of what goes wrong.
 
@@ -126,6 +201,32 @@ class FaultPlan:
     number of rounds between local snapshots of rejoin-scheduled
     vertices; ``None`` means no snapshots are ever taken, so every
     rejoin is a fresh re-initialization.
+
+    The network-level adversity fields:
+
+    ``edge_arrivals`` / ``edge_departures``
+        Topology churn as ``(u, v, round)`` schedules: an edge with an
+        arrival is absent from the adjacency view before that send
+        round; an edge with a departure is absent at and after its
+        departure round.  Scheduling an edge to depart at or before it
+        arrives is a conflicting churn schedule and raises
+        :class:`~repro.errors.FaultError`, as does scheduling two
+        arrivals (or two departures) for the same edge.
+    ``edge_up_windows``
+        :class:`EdgeWindow` entries; an edge with at least one
+        up-window exists only during its up-windows.
+    ``partitions``
+        :class:`PartitionWindow` entries splitting the vertex set into
+        isolated blocks for a round window; messages crossing blocks
+        during the window are lost, and the network heals after it.
+    ``delay`` / ``max_delay``
+        Deterministic message delay: each transmission is withheld
+        with probability ``delay`` for between 1 and ``max_delay``
+        extra rounds (both decisions keyed-hash functions of the
+        message coordinates).  A delayed message is charged at its
+        normal delivery slot but reaches the receiver's inbox only
+        when its release round executes, which reorders it past later
+        traffic on the same edge.
     """
 
     seed: int = 0
@@ -136,6 +237,12 @@ class FaultPlan:
     crashes: Tuple[Tuple[Any, int], ...] = ()
     rejoins: Tuple[Tuple[Any, int], ...] = ()
     checkpoint_interval: Optional[int] = None
+    edge_arrivals: Tuple[Tuple[Any, Any, int], ...] = ()
+    edge_departures: Tuple[Tuple[Any, Any, int], ...] = ()
+    edge_up_windows: Tuple[EdgeWindow, ...] = ()
+    partitions: Tuple[PartitionWindow, ...] = ()
+    delay: float = 0.0
+    max_delay: int = 1
 
     def __post_init__(self) -> None:
         for name in ("drop", "duplicate", "corrupt"):
@@ -171,6 +278,69 @@ class FaultPlan:
             object.__setattr__(
                 self, "checkpoint_interval", int(self.checkpoint_interval)
             )
+        if not 0.0 <= self.delay <= 1.0:
+            raise FaultError(f"delay rate {self.delay!r} outside [0, 1]")
+        if int(self.max_delay) < 1:
+            raise FaultError(
+                f"max_delay {self.max_delay!r} must be a positive "
+                "round count"
+            )
+        object.__setattr__(self, "max_delay", int(self.max_delay))
+        object.__setattr__(
+            self,
+            "edge_arrivals",
+            tuple((u, v, int(r)) for u, v, r in self.edge_arrivals),
+        )
+        object.__setattr__(
+            self,
+            "edge_departures",
+            tuple((u, v, int(r)) for u, v, r in self.edge_departures),
+        )
+        object.__setattr__(
+            self,
+            "edge_up_windows",
+            tuple(
+                w if isinstance(w, EdgeWindow) else EdgeWindow(*w)
+                for w in self.edge_up_windows
+            ),
+        )
+        object.__setattr__(
+            self,
+            "partitions",
+            tuple(
+                w if isinstance(w, PartitionWindow) else PartitionWindow(*w)
+                for w in self.partitions
+            ),
+        )
+        # Churn schedules must be unambiguous: one arrival and one
+        # departure per edge at most, and an edge cannot depart before
+        # (or the instant) it arrives — that edge would never exist.
+        arrivals: Dict[Tuple, int] = {}
+        for u, v, round_number in self.edge_arrivals:
+            key = edge_key(u, v)
+            if key in arrivals:
+                raise FaultError(
+                    f"conflicting churn schedule: edge {key!r} has two "
+                    "arrival rounds"
+                )
+            arrivals[key] = round_number
+        departures: Dict[Tuple, int] = {}
+        for u, v, round_number in self.edge_departures:
+            key = edge_key(u, v)
+            if key in departures:
+                raise FaultError(
+                    f"conflicting churn schedule: edge {key!r} has two "
+                    "departure rounds"
+                )
+            departures[key] = round_number
+        for key, departure in departures.items():
+            arrival = arrivals.get(key)
+            if arrival is not None and departure <= arrival:
+                raise FaultError(
+                    f"conflicting churn schedule: edge {key!r} departs "
+                    f"at round {departure} but only arrives at round "
+                    f"{arrival}"
+                )
         # A rejoin only makes sense for a vertex that is scheduled to
         # crash first; validate against the earliest crash round, which
         # is the one the engines honor.
@@ -200,6 +370,11 @@ class FaultPlan:
             and self.corrupt == 0.0
             and not self.link_failures
             and not self.crashes
+            and not self.edge_arrivals
+            and not self.edge_departures
+            and not self.edge_up_windows
+            and not self.partitions
+            and self.delay == 0.0
         )
 
     def compile(self) -> Optional["FaultInjector"]:
@@ -219,6 +394,19 @@ class FaultPlan:
             ],
             "crashes": [[v, r] for v, r in self.crashes],
             "rejoins": [[v, r] for v, r in self.rejoins],
+            "edge_arrivals": [[u, v, r] for u, v, r in self.edge_arrivals],
+            "edge_departures": [
+                [u, v, r] for u, v, r in self.edge_departures
+            ],
+            "edge_up_windows": [
+                [w.u, w.v, w.start, w.end] for w in self.edge_up_windows
+            ],
+            "partitions": [
+                [[list(block) for block in w.blocks], w.start, w.end]
+                for w in self.partitions
+            ],
+            "delay": self.delay,
+            "max_delay": self.max_delay,
         }
         if self.checkpoint_interval is not None:
             data["checkpoint_interval"] = self.checkpoint_interval
@@ -242,6 +430,24 @@ class FaultPlan:
                 (v, r) for v, r in data.get("rejoins", ())
             ),
             checkpoint_interval=data.get("checkpoint_interval"),
+            edge_arrivals=tuple(
+                (u, v, r) for u, v, r in data.get("edge_arrivals", ())
+            ),
+            edge_departures=tuple(
+                (u, v, r) for u, v, r in data.get("edge_departures", ())
+            ),
+            edge_up_windows=tuple(
+                EdgeWindow(u, v, start, end)
+                for u, v, start, end in data.get("edge_up_windows", ())
+            ),
+            partitions=tuple(
+                PartitionWindow(
+                    tuple(tuple(block) for block in blocks), start, end
+                )
+                for blocks, start, end in data.get("partitions", ())
+            ),
+            delay=data.get("delay", 0.0),
+            max_delay=data.get("max_delay", 1),
         )
 
 
@@ -279,6 +485,37 @@ class FaultInjector:
             previous = self._rejoins.get(vertex)
             if previous is None or round_number < previous:
                 self._rejoins[vertex] = round_number
+        # Topology churn: per-edge arrival/departure rounds plus
+        # up-window lists (plan validation already rejected ambiguous
+        # schedules, so plain assignment is safe here).
+        self._arrivals: Dict[Tuple, int] = {
+            edge_key(u, v): r for u, v, r in plan.edge_arrivals
+        }
+        self._departures: Dict[Tuple, int] = {
+            edge_key(u, v): r for u, v, r in plan.edge_departures
+        }
+        self._up_windows: Dict[Tuple, List[Tuple[int, int]]] = {}
+        for window in plan.edge_up_windows:
+            key = edge_key(window.u, window.v)
+            self._up_windows.setdefault(key, []).append(
+                (window.start, window.end)
+            )
+        self.has_topology = bool(
+            self._arrivals or self._departures or self._up_windows
+        )
+        # Partition windows: (start, end, vertex -> block id); vertices
+        # in no declared block share the implicit rest block -1.
+        self._partition_windows: List[Tuple[int, int, Dict[Any, int]]] = []
+        for window in plan.partitions:
+            assignment: Dict[Any, int] = {}
+            for block_id, block in enumerate(window.blocks):
+                for vertex in block:
+                    assignment[vertex] = block_id
+            self._partition_windows.append(
+                (window.start, window.end, assignment)
+            )
+        self.has_partitions = bool(self._partition_windows)
+        self.has_delay = plan.delay > 0.0
 
     # -- crash schedule -------------------------------------------------
     def crash_round(self, vertex: Any) -> Optional[int]:
@@ -303,6 +540,44 @@ class FaultInjector:
         if not windows:
             return False
         return any(start <= send_round <= end for start, end in windows)
+
+    # -- topology churn -------------------------------------------------
+    def topology_live(self, u: Any, v: Any, send_round: int) -> bool:
+        """Does the undirected edge {u, v} exist in this round's
+        adjacency view?  (True for edges the churn schedule never
+        mentions.)"""
+        if not self.has_topology:
+            return True
+        key = edge_key(u, v)
+        arrival = self._arrivals.get(key)
+        if arrival is not None and send_round < arrival:
+            return False
+        departure = self._departures.get(key)
+        if departure is not None and send_round >= departure:
+            return False
+        windows = self._up_windows.get(key)
+        if windows is not None and not any(
+            start <= send_round <= end for start, end in windows
+        ):
+            return False
+        return True
+
+    def live_edges(self, edges, send_round: int) -> List[Tuple[Any, Any]]:
+        """Filter an edge iterable down to this round's adjacency view."""
+        return [
+            (u, v) for u, v in edges if self.topology_live(u, v, send_round)
+        ]
+
+    # -- partition schedule ---------------------------------------------
+    def partitioned(self, u: Any, v: Any, send_round: int) -> bool:
+        """Are ``u`` and ``v`` in different isolated blocks this round?"""
+        if not self.has_partitions:
+            return False
+        for start, end, assignment in self._partition_windows:
+            if start <= send_round <= end:
+                if assignment.get(u, -1) != assignment.get(v, -1):
+                    return True
+        return False
 
     # -- per-message classification -------------------------------------
     def _hash64(self, send_round: int, sender: Any, receiver: Any,
@@ -337,6 +612,28 @@ class FaultInjector:
         """The deterministic garbage delivered for a corrupted message."""
         nonce = self._hash64(send_round, sender, receiver, seq + 1_000_003)
         return CorruptedPayload(nonce & 0xFFFFFFFF)
+
+    # -- per-message delay ----------------------------------------------
+    def delay_rounds(self, send_round: int, sender: Any, receiver: Any,
+                     seq: int) -> int:
+        """Extra rounds the channel withholds this transmission (0 =
+        deliver on time).
+
+        Both draws live in sequence-number domains disjoint from the
+        classify/corrupt domains, so enabling delay never perturbs
+        which messages drop, duplicate, or corrupt.
+        """
+        if not self.has_delay:
+            return 0
+        gate = self._hash64(send_round, sender, receiver, seq + 2_000_003)
+        if gate / 2.0 ** 64 >= self.plan.delay:
+            return 0
+        if self.plan.max_delay == 1:
+            return 1
+        magnitude = self._hash64(
+            send_round, sender, receiver, seq + 3_000_017
+        )
+        return 1 + magnitude % self.plan.max_delay
 
 
 # ----------------------------------------------------------------------

@@ -25,11 +25,13 @@ A kernel engages only when
   algorithm class) and at least ``kernel_threshold()`` vertices big,
 * the fault plan cannot touch messages: kernels reconstruct inbound
   traffic from the sender-side columns of the previous round, which is
-  only faithful on a lossless channel.  Crash-only plans qualify
-  (crashed vertices are filtered before the kernel sees the round);
-  drop/duplicate/corrupt/link-failure/rejoin plans fall back, and the
-  first round after a checkpoint restore replays the restored inbox
-  dictionaries before switching to columnar reconstruction.
+  only faithful on a lossless, static channel.  Crash-only plans
+  qualify (crashed vertices are filtered before the kernel sees the
+  round); drop/duplicate/corrupt/link-failure/rejoin plans fall back,
+  as do the network-adversity plans (topology churn, partition
+  windows, message delay — each rewrites what the receiver sees), and
+  the first round after a checkpoint restore replays the restored
+  inbox dictionaries before switching to columnar reconstruction.
 
 The fallback is always silent and always bit-identical — a kernel is a
 pure performance feature (``tests/test_kernels.py`` pins this).
@@ -84,6 +86,11 @@ def maybe_build_kernel(engine, resume: bool = False) -> Optional[RoundKernel]:
                 or plan.corrupt
                 or plan.link_failures
                 or plan.rejoins
+                or plan.edge_arrivals
+                or plan.edge_departures
+                or plan.edge_up_windows
+                or plan.partitions
+                or plan.delay
             ):
                 reason = "faulty-channel"
     if reason is None and not kernel_cls.supports(engine):

@@ -64,6 +64,17 @@ class CongestMetrics:
         What the (injected-fault) channel did to transmissions that the
         volume counters above already charged to the sender: see
         :mod:`repro.congest.faults`.  All zero in a fault-free run.
+    ``messages_delayed``
+        Transmissions the channel withheld past their normal delivery
+        round (each is still charged at its send slot; the counter
+        records that its payload arrived late and possibly reordered).
+    ``messages_lost_topology``
+        Transmissions attempted over an edge absent from the round's
+        churned adjacency view (not yet arrived, departed, or outside
+        every up-window).
+    ``messages_partitioned``
+        Transmissions lost crossing two isolated blocks of an active
+        partition window.
     ``vertices_crashed``
         Vertices fail-stopped by a fault plan during this execution.
     ``vertices_rejoined``
@@ -82,6 +93,9 @@ class CongestMetrics:
     messages_dropped: int = 0
     messages_duplicated: int = 0
     messages_corrupted: int = 0
+    messages_delayed: int = 0
+    messages_lost_topology: int = 0
+    messages_partitioned: int = 0
     vertices_crashed: int = 0
     vertices_rejoined: int = 0
     messages_per_round: List[int] = field(default_factory=list)
@@ -92,12 +106,14 @@ class CongestMetrics:
         per_edge_counts: Dict,
         messages: int,
         bits: int,
-        faults: "tuple[int, int, int] | None" = None,
+        faults: "tuple[int, ...] | None" = None,
     ) -> None:
         """Fold one round of traffic into the aggregates.
 
-        ``faults`` is the optional (dropped, duplicated, corrupted)
-        triple for the traffic delivered into this round.
+        ``faults`` is the optional (dropped, duplicated, corrupted,
+        delayed, topology-lost, partitioned) counter tuple for the
+        traffic delivered into this round (historical 3-tuples are
+        still accepted).
         """
         self.rounds += 1
         if per_edge_counts:
@@ -128,6 +144,10 @@ class CongestMetrics:
             self.messages_dropped += faults[0]
             self.messages_duplicated += faults[1]
             self.messages_corrupted += faults[2]
+            if len(faults) > 3:
+                self.messages_delayed += faults[3]
+                self.messages_lost_topology += faults[4]
+                self.messages_partitioned += faults[5]
 
     def record_crashed(self, count: int) -> None:
         """Account ``count`` vertices fail-stopped by a fault plan."""
@@ -167,6 +187,13 @@ class CongestMetrics:
             ),
             messages_corrupted=(
                 self.messages_corrupted + other.messages_corrupted
+            ),
+            messages_delayed=self.messages_delayed + other.messages_delayed,
+            messages_lost_topology=(
+                self.messages_lost_topology + other.messages_lost_topology
+            ),
+            messages_partitioned=(
+                self.messages_partitioned + other.messages_partitioned
             ),
             vertices_crashed=self.vertices_crashed + other.vertices_crashed,
             vertices_rejoined=(
@@ -214,6 +241,9 @@ class CongestMetrics:
             merged.messages_dropped += m.messages_dropped
             merged.messages_duplicated += m.messages_duplicated
             merged.messages_corrupted += m.messages_corrupted
+            merged.messages_delayed += m.messages_delayed
+            merged.messages_lost_topology += m.messages_lost_topology
+            merged.messages_partitioned += m.messages_partitioned
             merged.vertices_crashed += m.vertices_crashed
             merged.vertices_rejoined += m.vertices_rejoined
             # Congestion observations are per (round, edge) pairs;
@@ -241,6 +271,9 @@ class CongestMetrics:
             "messages_dropped": self.messages_dropped,
             "messages_duplicated": self.messages_duplicated,
             "messages_corrupted": self.messages_corrupted,
+            "messages_delayed": self.messages_delayed,
+            "messages_lost_topology": self.messages_lost_topology,
+            "messages_partitioned": self.messages_partitioned,
             "vertices_crashed": self.vertices_crashed,
             "vertices_rejoined": self.vertices_rejoined,
             # String keys so the payload survives a JSON round trip
@@ -265,6 +298,9 @@ class CongestMetrics:
             messages_dropped=data.get("messages_dropped", 0),
             messages_duplicated=data.get("messages_duplicated", 0),
             messages_corrupted=data.get("messages_corrupted", 0),
+            messages_delayed=data.get("messages_delayed", 0),
+            messages_lost_topology=data.get("messages_lost_topology", 0),
+            messages_partitioned=data.get("messages_partitioned", 0),
             vertices_crashed=data.get("vertices_crashed", 0),
             vertices_rejoined=data.get("vertices_rejoined", 0),
             messages_per_round=list(data.get("messages_per_round", [])),
@@ -313,6 +349,9 @@ class CongestMetrics:
             "messages_dropped": self.messages_dropped,
             "messages_duplicated": self.messages_duplicated,
             "messages_corrupted": self.messages_corrupted,
+            "messages_delayed": self.messages_delayed,
+            "messages_lost_topology": self.messages_lost_topology,
+            "messages_partitioned": self.messages_partitioned,
             "vertices_crashed": self.vertices_crashed,
             "vertices_rejoined": self.vertices_rejoined,
         }

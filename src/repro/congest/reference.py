@@ -31,7 +31,14 @@ from .checkpoint import (
     verify_restore_target,
 )
 from .engine import _NO_TRAFFIC, build_vertex_state
-from .faults import CORRUPT, DROP, DUPLICATE, NO_FAULTS, FaultInjector
+from .faults import (
+    CORRUPT,
+    DROP,
+    DUPLICATE,
+    NO_FAULTS,
+    FaultInjector,
+    pad_fault_counts,
+)
 from .message import MessageBudget, message_bits
 from .metrics import CongestMetrics
 from .trace import RoundTrace, TraceRecorder
@@ -69,6 +76,9 @@ class ReferenceEngine:
             graph, algorithm_factory, seed
         )
         self._order = order
+        # Canonical rank, shared with the fast engine's integer ids, so
+        # delayed-delivery ordering is identical across engines.
+        self._rank: Dict[Any, int] = {v: i for i, v in enumerate(order)}
         self._contexts: Dict[Any, VertexContext] = dict(zip(order, contexts))
         self._algorithms: Dict[Any, VertexAlgorithm] = dict(
             zip(order, algorithms)
@@ -89,9 +99,12 @@ class ReferenceEngine:
         )
         self._want_bits_hist = trace is not None or self._registry is not None
         # Traffic awaiting delivery at the next executed round.
-        self._inflight: Tuple[Dict, int, int, Dict, Tuple[int, int, int]] = (
+        self._inflight: Tuple[Dict, int, int, Dict, Tuple[int, ...]] = (
             _NO_TRAFFIC
         )
+        # Payloads the fault channel withheld, keyed by release round
+        # (mirrors the fast engine; vertex-keyed for checkpoints).
+        self._delay_queue: Dict[int, List[Tuple[int, Any, Any, Any]]] = {}
         # Crash schedule, or None when the plan has no crashes.
         if faults is not None and faults.plan.crashes:
             self._crash_rounds: Optional[Dict[Any, int]] = {
@@ -175,17 +188,22 @@ class ReferenceEngine:
             not self._all_halted() or self._rejoin_queue
         ):
             next_round = self._round + 1
+            if self._delay_queue:
+                self._deliver_delayed(next_round)
             due = self._due_vertices(next_round)
             skipped = 0
             if not due:
-                # Fast-forward to the earliest scheduled wakeup or
-                # rejoin (a rejoin is an event exactly like a wakeup).
+                # Fast-forward to the earliest scheduled wakeup, rejoin,
+                # or delayed-message release (all are events exactly
+                # like a wakeup).
                 future = [
                     w
                     for v, w in self._wakeups.items()
                     if not self._contexts[v].halted
                 ]
                 future.extend(r for r, _ in self._rejoin_queue)
+                if self._delay_queue:
+                    future.append(min(self._delay_queue))
                 if not future:
                     break  # nothing will ever happen again
                 target = min(future)
@@ -196,6 +214,8 @@ class ReferenceEngine:
                 skipped = target - next_round
                 self.metrics.record_skipped(skipped)
                 next_round = target
+                if self._delay_queue:
+                    self._deliver_delayed(next_round)
                 due = self._due_vertices(next_round)
             self._round = next_round
             revived = (
@@ -276,6 +296,9 @@ class ReferenceEngine:
                     corrupted=fcounts[2],
                     crashed=crashed_now,
                     rejoined=len(revived),
+                    delayed=fcounts[3],
+                    topo_lost=fcounts[4],
+                    partitioned=fcounts[5],
                     message_bits_histogram=bits_hist,
                 )
             if (
@@ -401,6 +424,14 @@ class ReferenceEngine:
                 "bits_hist": dict(bits_hist),
                 "fcounts": tuple(fcounts),
             },
+            # Withheld payloads still in flight, flattened in release
+            # order (entries are already vertex-keyed in both engines).
+            "delayed": [
+                (release, send_round, sender, receiver, payload)
+                for release in sorted(self._delay_queue)
+                for send_round, sender, receiver, payload
+                in self._delay_queue[release]
+            ],
             "crashed": set(self._crashed),
             "crash_rounds": (
                 None
@@ -470,8 +501,15 @@ class ReferenceEngine:
                 inflight["messages"],
                 inflight["bits"],
                 dict(inflight["bits_hist"]),
-                tuple(inflight["fcounts"]),
+                pad_fault_counts(inflight["fcounts"]),
             )
+            self._delay_queue = {}
+            for release, send_round, sender, receiver, payload in state.get(
+                "delayed", ()
+            ):
+                self._delay_queue.setdefault(release, []).append(
+                    (send_round, sender, receiver, payload)
+                )
             self._crashed = set(state["crashed"])
             crash_rounds = state["crash_rounds"]
             self._crash_rounds = (
@@ -558,6 +596,12 @@ class ReferenceEngine:
         injector = self.faults
         send_round = self._round
         dropped = duplicated = corrupted = 0
+        delayed = topo_lost = partitioned = 0
+        if injector is not None:
+            inj_topo = injector.has_topology
+            inj_part = injector.has_partitions
+            inj_delay = injector.has_delay
+            delay_queue = self._delay_queue
         for v in self._order:
             ctx = contexts[v]
             outbox = ctx._drain_outbox()
@@ -590,6 +634,16 @@ class ReferenceEngine:
                     # The sender has paid; what follows is the channel.
                     # Fault decisions key on the per-edge sequence
                     # number ``count - 1``, identical in both engines.
+                    if inj_topo and not injector.topology_live(
+                        v, neighbor, send_round
+                    ):
+                        topo_lost += 1
+                        continue
+                    if inj_part and injector.partitioned(
+                        v, neighbor, send_round
+                    ):
+                        partitioned += 1
+                        continue
                     if injector.link_down(v, neighbor, send_round):
                         dropped += 1
                         continue
@@ -607,6 +661,23 @@ class ReferenceEngine:
                         payload = injector.corrupted_payload(
                             send_round, v, neighbor, count - 1
                         )
+                    if inj_delay:
+                        extra = injector.delay_rounds(
+                            send_round, v, neighbor, count - 1
+                        )
+                        if extra:
+                            # Charged now, handed over later: the
+                            # payload (every copy of it) waits in the
+                            # delay queue for its release round.
+                            delayed += 1
+                            release = delay_queue.setdefault(
+                                send_round + 1 + extra, []
+                            )
+                            entry = (send_round, v, neighbor, payload)
+                            release.append(entry)
+                            if copies == 2:
+                                release.append(entry)
+                            continue
                 inbox = pending[neighbor].setdefault(v, [])
                 inbox.append(payload)
                 if copies == 2:
@@ -621,6 +692,30 @@ class ReferenceEngine:
             messages,
             bits,
             bits_hist,
-            (dropped, duplicated, corrupted) if injector is not None
+            (dropped, duplicated, corrupted, delayed, topo_lost, partitioned)
+            if injector is not None
             else NO_FAULTS,
         )
+
+    def _deliver_delayed(self, round_number: int) -> None:
+        """Release withheld payloads whose delivery round has arrived.
+
+        Entries are ordered by (send round, sender rank, receiver rank)
+        — a pure function of the plan and the canonical vertex order —
+        exactly as the fast engine orders them, so both engines append
+        released payloads to the pending inboxes identically.
+        """
+        queue = self._delay_queue
+        ready = [r for r in queue if r <= round_number]
+        if not ready:
+            return
+        entries: List[Tuple[int, Any, Any, Any]] = []
+        for release in sorted(ready):
+            entries.extend(queue.pop(release))
+        rank = self._rank
+        entries.sort(key=lambda e: (e[0], rank[e[1]], rank[e[2]]))
+        pending = self._pending
+        has_pending_add = self._has_pending.add
+        for _send_round, sender, receiver, payload in entries:
+            pending[receiver].setdefault(sender, []).append(payload)
+            has_pending_add(receiver)

@@ -35,7 +35,11 @@ from typing import Any, Dict, Iterable, List, Optional
 #:   histogram empty.
 #: * 3 — adds ``rejoined`` (crash-recovery events in this round) to
 #:   the fault-counter block.  Older files load with it zero.
-TRACE_SCHEMA_VERSION = 3
+#: * 4 — adds ``delayed`` / ``topo_lost`` / ``partitioned`` (the
+#:   network-adversity layer: withheld, churned-away, and
+#:   partition-crossing transmissions) to the fault-counter block.
+#:   Older files load with them zero.
+TRACE_SCHEMA_VERSION = 4
 
 
 @dataclass
@@ -53,8 +57,12 @@ class RoundTrace:
     traffic delivered into this round; ``crashed`` counts vertices that
     fail-stopped *in* this round, and ``rejoined`` (schema 3) counts
     crashed vertices that came back in this round per the plan's
-    crash-recovery schedule.  All five are zero in fault-free runs and
-    absent from historical JSONL files (read back as zero).
+    crash-recovery schedule.  ``delayed`` / ``topo_lost`` /
+    ``partitioned`` (schema 4) count transmissions the channel
+    withheld past this round, lost to the churned adjacency view, or
+    lost crossing partition blocks.  All of these are zero in
+    fault-free runs and absent from historical JSONL files (read back
+    as zero).
 
     ``message_bits_histogram`` (schema 2) maps message size in bits to
     the number of messages of that size delivered into this round —
@@ -77,6 +85,9 @@ class RoundTrace:
     corrupted: int = 0
     crashed: int = 0
     rejoined: int = 0
+    delayed: int = 0
+    topo_lost: int = 0
+    partitioned: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         data = {
@@ -105,12 +116,16 @@ class RoundTrace:
         # Fault counters appear only when a fault fired, keeping
         # fault-free trace files free of always-zero noise fields.
         if (self.dropped or self.duplicated or self.corrupted
-                or self.crashed or self.rejoined):
+                or self.crashed or self.rejoined or self.delayed
+                or self.topo_lost or self.partitioned):
             data["dropped"] = self.dropped
             data["duplicated"] = self.duplicated
             data["corrupted"] = self.corrupted
             data["crashed"] = self.crashed
             data["rejoined"] = self.rejoined
+            data["delayed"] = self.delayed
+            data["topo_lost"] = self.topo_lost
+            data["partitioned"] = self.partitioned
         return data
 
     @classmethod
@@ -138,6 +153,9 @@ class RoundTrace:
             corrupted=data.get("corrupted", 0),
             crashed=data.get("crashed", 0),
             rejoined=data.get("rejoined", 0),
+            delayed=data.get("delayed", 0),
+            topo_lost=data.get("topo_lost", 0),
+            partitioned=data.get("partitioned", 0),
         )
 
 
@@ -164,6 +182,9 @@ class TraceRecorder:
         corrupted: int = 0,
         crashed: int = 0,
         rejoined: int = 0,
+        delayed: int = 0,
+        topo_lost: int = 0,
+        partitioned: int = 0,
         message_bits_histogram: Optional[Dict[int, int]] = None,
     ) -> None:
         histogram: Dict[int, int] = {}
@@ -186,6 +207,9 @@ class TraceRecorder:
                 corrupted=corrupted,
                 crashed=crashed,
                 rejoined=rejoined,
+                delayed=delayed,
+                topo_lost=topo_lost,
+                partitioned=partitioned,
             )
         )
 
@@ -211,6 +235,9 @@ class TraceRecorder:
             "corrupted": sum(r.corrupted for r in self.rounds),
             "crashed": sum(r.crashed for r in self.rounds),
             "rejoined": sum(r.rejoined for r in self.rounds),
+            "delayed": sum(r.delayed for r in self.rounds),
+            "topo_lost": sum(r.topo_lost for r in self.rounds),
+            "partitioned": sum(r.partitioned for r in self.rounds),
         }
 
     def summary(self) -> Dict[str, int]:

@@ -17,6 +17,7 @@ from .validators import (
     CORRECT,
     DEGRADED,
     FAILED,
+    STALLED,
     Verdict,
     validate_decomposition,
     validate_framework,
@@ -31,6 +32,7 @@ __all__ = [
     "CORRECT",
     "DEGRADED",
     "FAILED",
+    "STALLED",
     "validate_decomposition",
     "validate_framework",
     "validate_independent_set",

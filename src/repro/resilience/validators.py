@@ -18,9 +18,14 @@ execution that produced it — and returns a :class:`Verdict`:
     The object violates a hard invariant (overlapping clusters, an
     edge inside an "independent" set, a crashed run that produced
     nothing) and must not be used.
+``stalled``
+    The execution never terminated — the network adversity (a
+    partition that outlasted the protocol, sustained churn, unbounded
+    delay) kept the algorithm from halting within its round budget.
+    Whatever partial object it left behind is not graded.
 
-Experiment cells in the E11 suite attach one verdict per run, so the
-fault-tolerance tables report *graded outcomes*, not just timings.
+Experiment cells in the E11/E15 suites attach one verdict per run, so
+the fault-tolerance tables report *graded outcomes*, not just timings.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ from ..matching.util import is_matching
 CORRECT = "correct"
 DEGRADED = "degraded"
 FAILED = "failed"
+STALLED = "stalled"
 
 
 @dataclass(frozen=True)
@@ -62,13 +68,18 @@ class Verdict:
     def failed(cls, detail: str = "") -> "Verdict":
         return cls(FAILED, 0.0, detail)
 
+    @classmethod
+    def stalled(cls, detail: str = "") -> "Verdict":
+        return cls(STALLED, 0.0, detail)
+
     @property
     def ok(self) -> bool:
         """Usable result (correct or merely degraded)?"""
-        return self.status != FAILED
+        return self.status not in (FAILED, STALLED)
 
     def label(self) -> str:
-        """Compact table cell: ``correct`` / ``degraded(0.87)`` / ``failed``."""
+        """Compact table cell: ``correct`` / ``degraded(0.87)`` /
+        ``failed`` / ``stalled``."""
         if self.status == DEGRADED:
             return f"degraded({self.ratio:.2f})"
         return self.status

@@ -213,6 +213,31 @@ class SuiteRun:
         """Cells satisfied from the journal rather than computed."""
         return sum(1 for r in self.results if r.replayed)
 
+    def stalled_cells(self) -> int:
+        """Cells whose graded verdict is ``stalled`` (see
+        :mod:`repro.resilience.validators`); 0 for suites that attach
+        no verdicts."""
+        return sum(
+            1
+            for r in self.results
+            if isinstance(r.extra, dict)
+            and isinstance(r.extra.get("verdict"), dict)
+            and r.extra["verdict"].get("status") == "stalled"
+        )
+
+    def footer(self) -> str:
+        """One status line summarizing the cells that need attention.
+
+        A pure function of the merged results (journal replays included
+        carry their verdicts), so serial, sharded, and resumed runs of
+        the same grid render the identical footer.
+        """
+        return (
+            f"{self.name}: {len(self.results)} cell(s), "
+            f"{len(self.quarantined)} quarantined, "
+            f"{self.stalled_cells()} stalled"
+        )
+
     def summary(self) -> Dict[str, object]:
         stats = self.cache_stats()
         return {
@@ -225,6 +250,7 @@ class SuiteRun:
             "quarantined": [q.as_dict() for q in self.quarantined],
             "recovery": self.recovery.as_dict(),
             "replayed": self.replayed_cells(),
+            "stalled": self.stalled_cells(),
         }
 
 

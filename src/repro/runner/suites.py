@@ -414,6 +414,159 @@ def _run_e12(cell: ExperimentCell):
 
 
 # ----------------------------------------------------------------------
+# E15 — temporal adversity: churn, partitions, and message delay
+# ----------------------------------------------------------------------
+
+_E15_GRAPH = {"n": 48, "seed": 41}
+_E15_ALGORITHMS = ("maxis", "matching", "framework")
+#: Adversity modes: fault-free baseline, topology churn (scheduled
+#: edge arrivals / departures / up-windows), a partition window that
+#: splits the network in half and heals, and keyed-hash message delay.
+_E15_ADVERSITY = ("static", "churn", "partition", "delay")
+_E15_EPSILON = 0.9
+_E15_PHI = 0.05
+_E15_DELAY = 0.2
+_E15_MAX_DELAY = 3
+_E15_PARTITION_WINDOW = (2, 6)
+
+
+def _e15_cells() -> List[ExperimentCell]:
+    cells = []
+    # Algorithm-major with the cheap algorithm first, so `--limit 4`
+    # (the CI smoke slice) covers every adversity mode on maxis alone.
+    for algorithm in _E15_ALGORITHMS:
+        for adversity in _E15_ADVERSITY:
+            cells.append(ExperimentCell(
+                suite="E15",
+                index=len(cells),
+                label=f"E15[{algorithm},{adversity}]",
+                params={
+                    "generator": "delaunay",
+                    "generator_params": dict(_E15_GRAPH),
+                    "algorithm": algorithm,
+                    "adversity": adversity,
+                    "fault_seed": 1500 + len(cells),
+                    "epsilon": _E15_EPSILON,
+                    "phi": _E15_PHI,
+                    "seed": 5,
+                },
+            ))
+    return cells
+
+
+def _e15_plan(params, g):
+    from ..congest import EdgeWindow, FaultPlan, PartitionWindow
+    from ..graph import edge_key
+
+    adversity = params["adversity"]
+    seed = params["fault_seed"]
+    if adversity == "static":
+        return FaultPlan(seed=seed)
+    if adversity == "churn":
+        # Deterministic strided slices over the canonical edge list:
+        # every 7th edge arrives late, another stride departs early,
+        # and a third stride exists only inside an up-window.  The
+        # strides are disjoint residues, so no edge gets two schedules.
+        edges = sorted(edge_key(u, v) for u, v in g.edges())
+        return FaultPlan(
+            seed=seed,
+            edge_arrivals=tuple((u, v, 4) for u, v in edges[::7]),
+            edge_departures=tuple((u, v, 9) for u, v in edges[3::7]),
+            edge_up_windows=tuple(
+                EdgeWindow(u, v, 0, 5) for u, v in edges[5::11]
+            ),
+        )
+    if adversity == "partition":
+        # Split the canonical vertex order in half for a round window,
+        # then heal: the algorithm must survive total isolation of the
+        # halves and still converge afterwards.
+        order = sorted(g.vertices())
+        half = len(order) // 2
+        start, end = _E15_PARTITION_WINDOW
+        return FaultPlan(
+            seed=seed,
+            partitions=(
+                PartitionWindow(
+                    (tuple(order[:half]), tuple(order[half:])), start, end
+                ),
+            ),
+        )
+    return FaultPlan(seed=seed, delay=_E15_DELAY, max_delay=_E15_MAX_DELAY)
+
+
+def _run_e15(cell: ExperimentCell):
+    from ..congest import use_faults
+    from ..resilience import (
+        Verdict,
+        validate_framework,
+        validate_independent_set,
+        validate_matching,
+    )
+
+    p = cell.params
+    g = cached_graph(p["generator"], p["generator_params"])
+    plan = _e15_plan(p, g)
+    metrics = None
+    # Network adversity is *expected* to degrade, stall, or break the
+    # unhardened algorithms; every outcome is graded, not propagated.
+    try:
+        with use_faults(plan):
+            if p["algorithm"] == "maxis":
+                from ..independent_set.greedy import luby_mis
+
+                mis, result = luby_mis(g, seed=p["seed"])
+                metrics = result.metrics
+                if not result.halted:
+                    verdict = Verdict.stalled(
+                        f"not halted after {metrics.rounds} rounds"
+                    )
+                else:
+                    verdict = validate_independent_set(g, mis)
+            elif p["algorithm"] == "matching":
+                from ..matching.distributed import (
+                    distributed_maximal_matching,
+                )
+
+                matching, result = distributed_maximal_matching(
+                    g, seed=p["seed"]
+                )
+                metrics = result.metrics
+                if not result.halted:
+                    verdict = Verdict.stalled(
+                        f"not halted after {metrics.rounds} rounds"
+                    )
+                else:
+                    verdict = validate_matching(g, matching)
+            else:
+                from ..core.framework import run_framework
+
+                result = run_framework(
+                    g, p["epsilon"], solver=_degree_solver,
+                    phi=p["phi"], seed=p["seed"],
+                )
+                metrics = result.metrics
+                verdict = validate_framework(result)
+    except Exception as exc:  # noqa: BLE001 — graded, not propagated
+        verdict = Verdict.failed(f"{type(exc).__name__}: {exc}")
+    faults = metrics.fault_summary() if metrics is not None else {}
+    lost = (
+        faults.get("messages_dropped", 0)
+        + faults.get("messages_lost_topology", 0)
+        + faults.get("messages_partitioned", 0)
+    )
+    row = (
+        p["algorithm"], p["adversity"], g.n,
+        metrics.rounds if metrics is not None else 0,
+        metrics.total_messages if metrics is not None else 0,
+        lost,
+        faults.get("messages_delayed", 0),
+        verdict.label(),
+    )
+    extra = {"verdict": verdict.to_dict()}
+    return [row], metrics.to_dict() if metrics is not None else None, extra
+
+
+# ----------------------------------------------------------------------
 # CHAOS — hidden suite driving the executor's recovery machinery
 # ----------------------------------------------------------------------
 
@@ -510,6 +663,16 @@ SUITES: Dict[str, SuiteSpec] = {
         description="Graded algorithm outcomes under vertex churn.",
         build_cells=_e12_cells,
         cell_fn=_run_e12,
+    ),
+    "E15": SuiteSpec(
+        name="E15",
+        title=("E15: temporal adversity (delaunay n=48, churn / "
+               "partition / delay schedules, graded verdicts)"),
+        columns=("algorithm", "adversity", "n", "rounds", "messages",
+                 "lost", "delayed", "verdict"),
+        description="Graded outcomes under dynamic-network adversity.",
+        build_cells=_e15_cells,
+        cell_fn=_run_e15,
     ),
     "CHAOS": SuiteSpec(
         name="CHAOS",

@@ -122,21 +122,31 @@ class TestFaultsCommand:
         assert "crashes=1 rejoins=1" in out
         assert "verdict:" in out
 
-    def test_rejoin_without_crash_is_a_clean_error(self):
-        with pytest.raises(SystemExit) as excinfo:
-            main(["faults", "--n", "30", "--rejoin", "3:6"])
-        assert "invalid fault plan" in str(excinfo.value)
+    def test_rejoin_without_crash_is_a_clean_error(self, capsys):
+        # Structurally invalid plans are operator errors: exit 2 with
+        # a one-line message on stderr, never a traceback.
+        assert main(["faults", "--n", "30", "--rejoin", "3:6"]) == 2
+        assert "invalid fault plan" in capsys.readouterr().err
+
+    def test_conflicting_churn_schedule_is_a_clean_error(self, capsys):
+        code = main([
+            "faults", "--n", "30",
+            "--edge-arrive", "0-1:4", "--edge-arrive", "0-1:6",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "invalid fault plan" in err
+        assert "conflicting churn schedule" in err
 
     def test_bad_schedule_spec_is_a_clean_error(self):
         with pytest.raises(SystemExit) as excinfo:
             main(["faults", "--n", "30", "--crash", "nonsense"])
         assert "--crash" in str(excinfo.value)
 
-    def test_bad_checkpoint_interval_is_a_clean_error(self):
-        with pytest.raises(SystemExit) as excinfo:
-            main(["faults", "--n", "30", "--crash", "3:2",
-                  "--checkpoint-interval", "0"])
-        assert "invalid fault plan" in str(excinfo.value)
+    def test_bad_checkpoint_interval_is_a_clean_error(self, capsys):
+        assert main(["faults", "--n", "30", "--crash", "3:2",
+                     "--checkpoint-interval", "0"]) == 2
+        assert "invalid fault plan" in capsys.readouterr().err
 
 
 class TestBenchJournal:

@@ -15,8 +15,10 @@ import pytest
 from repro.congest import (
     CongestSimulator,
     CorruptedPayload,
+    EdgeWindow,
     FaultPlan,
     LinkFailure,
+    PartitionWindow,
     TraceRecorder,
     VertexAlgorithm,
     active_fault_plan,
@@ -135,12 +137,48 @@ def _random_plan(rng):
         for v, r in rng.sample(crashes, k=rng.randrange(len(crashes) + 1))
     )
     interval = rng.randrange(1, 6) if rejoins or rng.random() < 0.3 else None
+    # Churn: distinct edges so no edge draws two arrivals (or two
+    # departures), and any departure lands strictly after the arrival.
+    churn_edges = rng.sample(
+        [(u, v) for u in range(8) for v in range(u + 1, 9)],
+        k=rng.randrange(5),
+    )
+    arrivals, departures = [], []
+    for u, v in churn_edges:
+        arrive = rng.randrange(10) if rng.random() < 0.7 else None
+        if arrive is not None:
+            arrivals.append((u, v, arrive))
+        if rng.random() < 0.5:
+            departures.append(
+                (u, v, (0 if arrive is None else arrive) + 1 + rng.randrange(10))
+            )
+    up_windows = tuple(
+        EdgeWindow(
+            rng.randrange(30), rng.randrange(30), start, start + rng.randrange(8)
+        )
+        for start in (rng.randrange(15) for _ in range(rng.randrange(3)))
+    )
+    partitions = tuple(
+        PartitionWindow(
+            (tuple(rng.sample(range(30), k=rng.randrange(1, 6))),),
+            start,
+            start + rng.randrange(10),
+        )
+        for start in (rng.randrange(15) for _ in range(rng.randrange(3)))
+    )
+    delay = round(rng.uniform(0.0, 0.5), 3) if rng.random() < 0.6 else 0.0
     return FaultPlan(
         seed=rng.randrange(10_000),
         link_failures=link_failures,
         crashes=crashes,
         rejoins=rejoins,
         checkpoint_interval=interval,
+        edge_arrivals=tuple(arrivals),
+        edge_departures=tuple(departures),
+        edge_up_windows=up_windows,
+        partitions=partitions,
+        delay=delay,
+        max_delay=rng.randrange(1, 5),
         **rates,
     )
 
@@ -181,6 +219,14 @@ def test_random_plans_roundtrip_through_json():
             assert copy.classify(r, u, v, s) == original.classify(r, u, v, s)
             assert copy.corrupted_payload(r, u, v, s) == (
                 original.corrupted_payload(r, u, v, s)
+            )
+            # Network-adversity decisions must replay identically too:
+            # topology view, partition membership, and delay draws are
+            # all part of the compiled-injector contract.
+            assert copy.topology_live(u, v, r) == original.topology_live(u, v, r)
+            assert copy.partitioned(u, v, r) == original.partitioned(u, v, r)
+            assert copy.delay_rounds(r, u, v, s) == (
+                original.delay_rounds(r, u, v, s)
             )
         for v in {v for v, _ in plan.crashes}:
             assert copy.crash_round(v) == original.crash_round(v)

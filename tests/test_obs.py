@@ -301,7 +301,7 @@ class TestTraceSchema:
                            congestion_histogram={1: 2},
                            message_bits_histogram={32: 2})
         data = trace.to_dict()
-        assert data["schema"] == TRACE_SCHEMA_VERSION == 3
+        assert data["schema"] == TRACE_SCHEMA_VERSION == 4
         assert data["message_bits_histogram"] == {"32": 2}
         assert RoundTrace.from_dict(data) == trace
 

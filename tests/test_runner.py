@@ -156,9 +156,27 @@ def test_cli_bench_smoke(tmp_path, capsys):
     table_path = os.path.join(out_dir, "E10.txt")
     with open(table_path) as handle:
         written = handle.read()
-    # Byte-identity of the persisted table against an in-process run.
+    # Byte-identity of the persisted table (footer included) against
+    # an in-process run.
     serial = run_suite("E10", limit=2, use_cache=False)
-    assert written.strip() == serial.render_table().strip()
+    expected = serial.render_table() + "\n" + serial.footer()
+    assert written.strip() == expected.strip()
+    # The status footer also reaches stdout beneath the table.
+    assert serial.footer() in captured.out
+
+
+def test_footer_counts_quarantined_and_stalled():
+    run = run_suite("E15", jobs=1, use_cache=False, limit=4)
+    assert run.footer() == (
+        f"E15: {len(run.results)} cell(s), 0 quarantined, 0 stalled"
+    )
+    assert run.summary()["stalled"] == 0
+    # Flip one cell's graded verdict to stalled: every surface that
+    # reports the count (method, footer, --stats-json summary) follows.
+    run.results[0].extra["verdict"]["status"] = "stalled"
+    assert run.stalled_cells() == 1
+    assert run.footer().endswith("1 stalled")
+    assert run.summary()["stalled"] == 1
 
 
 def test_cli_bench_no_cache(tmp_path, capsys):

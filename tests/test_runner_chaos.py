@@ -155,6 +155,62 @@ def test_run_suite_rejects_negative_retries():
 # ----------------------------------------------------------------------
 
 @pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
+def test_sigkill_mid_e15_resumes_byte_identically(tmp_path):
+    """SIGKILL a journaled E15 (temporal adversity) run the moment the
+    first cell is durable, then resume: every journaled cell replays
+    byte-identically into the same table an uninterrupted run makes."""
+    baseline = run_suite("E15", jobs=1, use_cache=False, limit=4)
+    baseline_rows = {r.index: r.rows for r in baseline.results}
+
+    journal = tmp_path / "e15-wal.jsonl"
+    env = dict(os.environ)
+    env.pop("REPRO_CHAOS_DIR", None)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "bench",
+            "--suite", "E15", "--limit", "4", "--jobs", "1",
+            "--no-cache", "--journal", str(journal),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+    try:
+        # Wait for the header plus at least one durable cell record,
+        # then kill without any chance to flush or clean up.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            try:
+                with open(journal) as handle:
+                    if sum(1 for _ in handle) >= 2:
+                        break
+            except FileNotFoundError:
+                pass
+            if proc.poll() is not None:
+                break  # finished before we could kill: still resumable
+            time.sleep(0.01)
+        proc.send_signal(signal.SIGKILL)
+    finally:
+        proc.wait()
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    resumed = run_suite(
+        "E15", jobs=1, use_cache=False, limit=4,
+        journal=str(journal), resume=True,
+    )
+    assert resumed.replayed_cells() >= 1
+    assert not resumed.quarantined
+    assert {r.index: r.rows for r in resumed.results} == baseline_rows
+    assert resumed.render_table() == baseline.render_table()
+    assert resumed.footer() == baseline.footer()
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
 def test_sigint_aborts_promptly_without_waiting_for_hung_workers(tmp_path):
     """Ctrl-C must not block on a worker sleeping for an hour."""
     script = (
