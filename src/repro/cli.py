@@ -103,6 +103,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write a structured per-round trace of every "
                              "CONGEST simulation to PATH as JSONL")
+    parser.add_argument("--trace-detail", action="store_true",
+                        help="with --trace, also record per-message "
+                             "provenance events (trace schema v5) for "
+                             "`repro trace explain`")
 
 
 def _print_metrics(metrics) -> None:
@@ -295,6 +299,39 @@ def cmd_bench(args) -> int:
             "--journal names one file and cannot span multiple suites; "
             "restrict the run with --suite NAME"
         )
+    if args.trace_detail and not args.trace:
+        log.error("--trace-detail requires --trace PATH")
+        return 2
+    if args.timeline and not args.telemetry:
+        log.error("--timeline requires --telemetry PATH")
+        return 2
+    # Fail before the sweep, not after: a multi-minute run whose
+    # deliverable cannot be written should not execute at all.
+    for label, path in (
+        ("trace", args.trace), ("telemetry", args.telemetry),
+    ):
+        if path:
+            try:
+                open(path, "w").close()
+            except OSError as exc:
+                log.error("invalid %s path: %s", label, exc)
+                return 2
+
+    from .runner.progress import PROGRESS_SCHEMA_VERSION, ProgressLog
+
+    plog = None
+    if args.progress:
+        try:
+            plog = ProgressLog(args.progress)
+        except OSError as exc:
+            log.error("invalid progress path: %s", exc)
+            return 2
+        plog.emit(
+            "bench_started",
+            schema=PROGRESS_SCHEMA_VERSION,
+            suites=list(names),
+            jobs=args.jobs,
+        )
 
     runs = []
     total_start = time.perf_counter()
@@ -312,6 +349,9 @@ def cmd_bench(args) -> int:
             retries=args.retries,
             journal=args.journal,
             resume=args.resume,
+            trace_detail=args.trace_detail,
+            timeline=args.timeline,
+            progress=plog,
         )
         runs.append(run)
         rendered = run.render_table() + "\n" + run.footer()
@@ -350,6 +390,9 @@ def cmd_bench(args) -> int:
             with open(os.path.join(args.out, f"{name}.txt"), "w") as handle:
                 handle.write(rendered + "\n")
     total_wall = time.perf_counter() - total_start
+    if plog is not None:
+        plog.emit("bench_finished", wall_seconds=round(total_wall, 3))
+        plog.close()
 
     if args.trace:
         lines = [line for run in runs for line in run.trace_lines()]
@@ -601,13 +644,146 @@ def cmd_obs_diff(args) -> int:
         return 2
     diff = diff_snapshots(old, new, budget=args.budget,
                           min_seconds=args.min_seconds)
-    print(diff.render())
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(diff.render())
     if not diff.ok:
         log.warning(
             "perf budget exceeded: %d metric(s) regressed past %.2fx",
             len(diff.regressions), args.budget,
         )
         return 1
+    return 0
+
+
+def cmd_obs_export(args) -> int:
+    """Export a snapshot's span timeline as a Chrome/Perfetto trace."""
+    from .obs import (
+        load_snapshot,
+        timeline_from_snapshot,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    try:
+        snapshot = load_snapshot(args.snapshot)
+    except (OSError, ValueError) as exc:
+        log.error("cannot load snapshot %s: %s", args.snapshot, exc)
+        return 2
+    timeline = timeline_from_snapshot(snapshot)
+    if not timeline:
+        log.error(
+            "snapshot %s carries no timeline events; re-record with "
+            "`repro bench --telemetry PATH --timeline`", args.snapshot,
+        )
+        return 2
+    out = args.out
+    if out is None:
+        base = args.snapshot
+        if base.endswith(".json"):
+            base = base[:-len(".json")]
+        out = base + ".trace.json"
+    try:
+        data = write_chrome_trace(timeline, out)
+    except OSError as exc:
+        log.error("invalid output path: %s", exc)
+        return 2
+    for problem in validate_chrome_trace(data):
+        log.warning("trace-event issue: %s", problem)
+    log.info(
+        "chrome trace: %d event(s) -> %s "
+        "(load in chrome://tracing or ui.perfetto.dev)",
+        len(data["traceEvents"]), out,
+    )
+    print(out)
+    return 0
+
+
+def cmd_trace_diff(args) -> int:
+    """Locate the first divergence between two round-trace files."""
+    from .obs import diff_traces, load_trace_jsonl
+    from .obs.trace import DEFAULT_IGNORE
+
+    try:
+        records_a = load_trace_jsonl(args.a)
+        records_b = load_trace_jsonl(args.b)
+    except (OSError, ValueError) as exc:
+        log.error("cannot load trace: %s", exc)
+        return 2
+    ignore = tuple(args.ignore) if args.ignore else DEFAULT_IGNORE
+    divergence = diff_traces(records_a, records_b, ignore=ignore)
+    if args.json:
+        payload = {
+            "kind": "repro-trace-diff",
+            "a": args.a,
+            "b": args.b,
+            "identical": divergence is None,
+            "divergence": (
+                divergence.to_dict() if divergence is not None else None
+            ),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif divergence is None:
+        print(f"traces identical: {args.a} == {args.b}")
+    else:
+        print(divergence.render())
+    return 0 if divergence is None else 1
+
+
+def cmd_trace_explain(args) -> int:
+    """Per-vertex causal provenance from a schema-5 detail trace."""
+    from .obs import explain_vertex, load_trace_jsonl
+
+    try:
+        records = load_trace_jsonl(args.trace_file)
+    except (OSError, ValueError) as exc:
+        log.error("cannot load trace: %s", exc)
+        return 2
+    try:
+        report = explain_vertex(
+            records, args.vertex, args.round,
+            sim=args.sim, depth=args.depth,
+        )
+    except ValueError as exc:
+        log.error("cannot explain: %s", exc)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.found else 1
+
+
+def cmd_trace_tail(args) -> int:
+    """Follow (or replay) a runner heartbeat written by --progress."""
+    from .runner import (
+        follow_progress,
+        iter_progress,
+        render_progress_event,
+    )
+
+    t0: Optional[float] = None
+    try:
+        if args.follow:
+            events = follow_progress(
+                args.progress_file, idle_timeout=args.idle_timeout
+            )
+        else:
+            events = iter_progress(args.progress_file)
+        for record in events:
+            if args.json:
+                print(json.dumps(record, sort_keys=True), flush=True)
+            else:
+                t = record.get("t")
+                if t0 is None and isinstance(t, (int, float)):
+                    t0 = t
+                print(render_progress_event(record, t0), flush=True)
+    except OSError as exc:
+        log.error("cannot read progress file: %s", exc)
+        return 2
+    except KeyboardInterrupt:
+        return 0
     return 0
 
 
@@ -710,11 +886,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write merged per-round JSONL traces of all "
                             "cells to PATH (bypasses the cell-result "
                             "cache tier)")
+    bench.add_argument("--trace-detail", action="store_true",
+                       help="with --trace, also record per-message "
+                            "provenance events (trace schema v5) for "
+                            "`repro trace explain`")
     bench.add_argument("--telemetry", metavar="PATH", default=None,
                        help="run cells with telemetry enabled and write "
                             "a schema-versioned perf snapshot to PATH "
                             "(see `repro obs diff`; bypasses the "
                             "cell-result cache tier)")
+    bench.add_argument("--timeline", action="store_true",
+                       help="with --telemetry, capture span begin/end "
+                            "events so the snapshot can be exported as "
+                            "a Chrome/Perfetto trace "
+                            "(`repro obs export`)")
+    bench.add_argument("--progress", metavar="PATH", default=None,
+                       help="append flushed JSONL heartbeat events "
+                            "(cell started/finished/retried/stalled) "
+                            "to PATH; follow live with "
+                            "`repro trace tail PATH --follow`")
     bench.add_argument("--faults", action="store_true",
                        help="include the E11 fault-tolerance suite "
                             "(shorthand for --suite E11)")
@@ -834,7 +1024,90 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--min-seconds", type=float, default=0.005,
                       help="ignore regressions smaller than this many "
                            "absolute seconds (default: 0.005)")
+    diff.add_argument("--json", action="store_true",
+                      help="machine-readable report on stdout "
+                           "(regressed paths, ratios, budget)")
     diff.set_defaults(handler=cmd_obs_diff)
+    export = obs_sub.add_parser(
+        "export",
+        help="export a snapshot's span timeline for Chrome/Perfetto",
+    )
+    export.add_argument("snapshot", help="snapshot JSON file written by "
+                                         "`repro bench --telemetry PATH "
+                                         "--timeline`")
+    export.add_argument("--format", default="chrome", choices=["chrome"],
+                        help="output format (chrome trace-event JSON, "
+                             "loadable in chrome://tracing and "
+                             "ui.perfetto.dev)")
+    export.add_argument("--out", metavar="PATH", default=None,
+                        help="output file (default: snapshot path with "
+                             ".trace.json suffix)")
+    export.set_defaults(handler=cmd_obs_export)
+
+    trace = sub.add_parser(
+        "trace",
+        help="diff, explain, and follow structured round traces",
+        description=(
+            "Work with the per-round JSONL traces written by --trace "
+            "(and the heartbeat files written by bench --progress): "
+            "locate the first divergence between two runs, explain one "
+            "vertex's message provenance, or tail a live run."
+        ),
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    tdiff = trace_sub.add_parser(
+        "diff",
+        help="first divergence between two trace files",
+    )
+    tdiff.add_argument("a", help="baseline trace JSONL file")
+    tdiff.add_argument("b", help="candidate trace JSONL file")
+    tdiff.add_argument("--json", action="store_true",
+                       help="machine-readable report on stdout")
+    tdiff.add_argument("--ignore", action="append", default=None,
+                       metavar="FIELD",
+                       help="ignore a record field (repeatable; "
+                            "default: sim, schema)")
+    tdiff.set_defaults(handler=cmd_trace_diff)
+    texplain = trace_sub.add_parser(
+        "explain",
+        help="per-vertex message provenance for one round",
+    )
+    texplain.add_argument("trace_file", metavar="TRACE",
+                          help="trace JSONL recorded with --trace-detail")
+    texplain.add_argument("--vertex", required=True,
+                          help="vertex to explain (as it appears in "
+                               "events, e.g. 7)")
+    texplain.add_argument("--round", type=int, required=True,
+                          help="executed round number")
+    texplain.add_argument("--sim", default=None, metavar="NAME",
+                          help="simulation stream to inspect (label or "
+                               "unique substring; default: the only "
+                               "stream)")
+    texplain.add_argument("--depth", type=int, default=0, metavar="N",
+                          help="also chase N levels of upstream senders "
+                               "through earlier rounds")
+    texplain.add_argument("--json", action="store_true",
+                          help="machine-readable report on stdout")
+    texplain.set_defaults(handler=cmd_trace_explain)
+    ttail = trace_sub.add_parser(
+        "tail",
+        help="render (or follow) a bench --progress heartbeat file",
+    )
+    ttail.add_argument("progress_file", metavar="PROGRESS",
+                       help="heartbeat JSONL written by bench --progress")
+    ttail.add_argument("--follow", action="store_true",
+                       help="keep reading as the run appends "
+                            "(tail -f semantics; stops at "
+                            "bench_finished)")
+    ttail.add_argument("--idle-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="with --follow, stop after this long with "
+                            "no new events (default: follow until "
+                            "interrupted)")
+    ttail.add_argument("--json", action="store_true",
+                       help="raw JSONL passthrough instead of rendered "
+                            "lines")
+    ttail.set_defaults(handler=cmd_trace_tail)
     return parser
 
 
@@ -853,8 +1126,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             # trace cannot be written should not execute at all.
             open(args.trace, "w").close()
         except OSError as exc:
-            parser.error(f"cannot write trace file: {exc}")
-        with TraceSession() as session:
+            log.error("invalid trace path: %s", exc)
+            return 2
+        detail = getattr(args, "trace_detail", False)
+        with TraceSession(detail=detail) as session:
             code = args.handler(args)
         session.write_jsonl(args.trace)
         recorded = sum(len(rec.rounds) for rec in session.recorders)

@@ -56,7 +56,7 @@ from .message import (
     message_bits,
 )
 from .metrics import CongestMetrics
-from .trace import RoundTrace, TraceRecorder
+from .trace import RoundTrace, TraceRecorder, detail_event_sort_key
 from ..obs import registry as _telemetry
 
 #: Sentinel for "no traffic in flight": (per-edge counts, messages,
@@ -164,6 +164,15 @@ class FastEngine:
         # The per-size message histogram is only worth building when
         # something will consume it (a trace recorder or telemetry).
         self._want_bits_hist = trace is not None or self._registry is not None
+        # Per-message provenance events (trace schema 5): opt-in via
+        # TraceRecorder(detail=True); off by default so the hot path —
+        # and the emitted JSONL — stay exactly the v4 shape.
+        self._want_detail = trace is not None and getattr(
+            trace, "detail", False
+        )
+        # Detail events buffered alongside _inflight: collected at the
+        # end of round r, attributed to the round they deliver into.
+        self._inflight_events: List[Dict[str, Any]] = []
         # Traffic collected at the end of the previous round, awaiting
         # delivery (and metric attribution) at the next executed round.
         self._inflight: Tuple[Dict, int, int, Dict, Tuple[int, ...]] = (
@@ -330,6 +339,15 @@ class FastEngine:
             )
             per_edge, messages, bits, bits_hist, fcounts = self._inflight
             self._inflight = _NO_TRAFFIC
+            if self._want_detail:
+                # Snapshot here, not at trace.record_round below: by
+                # then _collect has already refilled the buffer with
+                # the *next* round's events.
+                detail_events = self._inflight_events
+                self._inflight_events = []
+                detail_events.sort(key=detail_event_sort_key)
+            else:
+                detail_events = None
             if self.faults is None:
                 record_round(per_edge, messages, bits)
             else:
@@ -429,6 +447,7 @@ class FastEngine:
                     topo_lost=fcounts[4],
                     partitioned=fcounts[5],
                     message_bits_histogram=bits_hist,
+                    events=detail_events,
                 )
             if (
                 on_checkpoint is not None
@@ -585,13 +604,16 @@ class FastEngine:
                 "fcounts": tuple(fcounts),
             },
             # Withheld payloads still in flight, flattened in release
-            # order (entries are already vertex-keyed in both engines).
+            # order (entries are already vertex-keyed in both engines;
+            # detail-mode entries carry a trailing sequence number).
             "delayed": [
-                (release, send_round, sender, receiver, payload)
+                (release,) + tuple(entry)
                 for release in sorted(self._delay_queue)
-                for send_round, sender, receiver, payload
-                in self._delay_queue[release]
+                for entry in self._delay_queue[release]
             ],
+            # Detail events buffered for the next executed round
+            # (empty unless the trace recorder asked for detail).
+            "inflight_events": [dict(e) for e in self._inflight_events],
             "crashed": {verts[i] for i in self._crashed_ids},
             "crash_rounds": (
                 None
@@ -687,12 +709,16 @@ class FastEngine:
                 pad_fault_counts(inflight["fcounts"]),
             )
             self._delay_queue = {}
-            for release, send_round, sender, receiver, payload in state.get(
-                "delayed", ()
-            ):
-                self._delay_queue.setdefault(release, []).append(
-                    (send_round, sender, receiver, payload)
+            for entry in state.get("delayed", ()):
+                # entry = (release, send_round, sender, receiver,
+                # payload[, seq]); older checkpoints lack the trailing
+                # detail-mode sequence number.
+                self._delay_queue.setdefault(entry[0], []).append(
+                    tuple(entry[1:])
                 )
+            self._inflight_events = [
+                dict(e) for e in state.get("inflight_events", ())
+            ]
             self._crashed_ids = {index[v] for v in state["crashed"]}
             crash_rounds = state["crash_rounds"]
             if crash_rounds is None:
@@ -825,14 +851,26 @@ class FastEngine:
         ready = [r for r in queue if r <= round_number]
         if not ready:
             return
-        entries: List[Tuple[int, Any, Any, Any]] = []
+        entries: List[Tuple] = []
         for release in sorted(ready):
             entries.extend(queue.pop(release))
         index = self._index
         entries.sort(key=lambda e: (e[0], index[e[1]], index[e[2]]))
         pending = self._pending
         pending_ids_add = self._pending_ids.add
-        for _send_round, sender, receiver, payload in entries:
+        want_detail = self._want_detail
+        for entry in entries:
+            # Detail-mode entries carry a fifth element: the original
+            # per-edge sequence number (see _collect).
+            send_round, sender, receiver, payload = entry[:4]
+            if want_detail:
+                event = {
+                    "s": repr(sender), "r": repr(receiver),
+                    "o": "release", "sr": send_round,
+                }
+                if len(entry) > 4:
+                    event["q"] = entry[4]
+                self._inflight_events.append(event)
             j = index[receiver]
             box = pending[j]
             if box is None:
@@ -889,6 +927,9 @@ class FastEngine:
         send_round = self._round
         dropped = duplicated = corrupted = 0
         delayed = topo_lost = partitioned = 0
+        want_detail = self._want_detail
+        if want_detail:
+            events_append = self._inflight_events.append
         if injector is not None:
             inj_topo = injector.has_topology
             inj_part = injector.has_partitions
@@ -962,6 +1003,7 @@ class FastEngine:
                     # the fault channel below drops the transmission.
                     bits_hist[size] = bits_hist.get(size, 0) + 1
                 copies = 1
+                outcome = "deliver"
                 if injector is not None:
                     # The sender has paid; what follows is the channel.
                     # Fault decisions key on the per-edge sequence
@@ -970,26 +1012,48 @@ class FastEngine:
                         v, neighbor, send_round
                     ):
                         topo_lost += 1
+                        if want_detail:
+                            events_append({
+                                "s": repr(v), "r": repr(neighbor),
+                                "q": count - 1, "b": size, "o": "topo_lost",
+                            })
                         continue
                     if inj_part and injector.partitioned(
                         v, neighbor, send_round
                     ):
                         partitioned += 1
+                        if want_detail:
+                            events_append({
+                                "s": repr(v), "r": repr(neighbor),
+                                "q": count - 1, "b": size, "o": "partitioned",
+                            })
                         continue
                     if injector.link_down(v, neighbor, send_round):
                         dropped += 1
+                        if want_detail:
+                            events_append({
+                                "s": repr(v), "r": repr(neighbor),
+                                "q": count - 1, "b": size, "o": "drop",
+                            })
                         continue
                     action = injector.classify(
                         send_round, v, neighbor, count - 1
                     )
                     if action == DROP:
                         dropped += 1
+                        if want_detail:
+                            events_append({
+                                "s": repr(v), "r": repr(neighbor),
+                                "q": count - 1, "b": size, "o": "drop",
+                            })
                         continue
                     if action == DUPLICATE:
                         duplicated += 1
                         copies = 2
+                        outcome = "duplicate"
                     elif action == CORRUPT:
                         corrupted += 1
+                        outcome = "corrupt"
                         payload = injector.corrupted_payload(
                             send_round, v, neighbor, count - 1
                         )
@@ -1005,11 +1069,29 @@ class FastEngine:
                             release = delay_queue.setdefault(
                                 send_round + 1 + extra, []
                             )
-                            entry = (send_round, v, neighbor, payload)
+                            if want_detail:
+                                # The per-edge sequence number rides
+                                # along so the release event can be
+                                # joined back to this transmission.
+                                entry = (
+                                    send_round, v, neighbor, payload,
+                                    count - 1,
+                                )
+                                events_append({
+                                    "s": repr(v), "r": repr(neighbor),
+                                    "q": count - 1, "b": size, "o": "delay",
+                                })
+                            else:
+                                entry = (send_round, v, neighbor, payload)
                             release.append(entry)
                             if copies == 2:
                                 release.append(entry)
                             continue
+                if want_detail:
+                    events_append({
+                        "s": repr(v), "r": repr(neighbor),
+                        "q": count - 1, "b": size, "o": outcome,
+                    })
                 box = pending[j]
                 if box is None:
                     pending[j] = {v: [payload] * copies}

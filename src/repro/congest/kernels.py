@@ -76,6 +76,10 @@ def maybe_build_kernel(engine, resume: bool = False) -> Optional[RoundKernel]:
         reason = "below-threshold"
     elif any(type(a) is not cls for a in algorithms):
         reason = "mixed-population"
+    elif getattr(engine, "_want_detail", False):
+        # Per-message provenance tracing needs the scalar channel;
+        # batched plans never materialize individual transmissions.
+        reason = "trace-detail"
     else:
         injector = engine.faults
         if injector is not None:

@@ -41,7 +41,7 @@ from .faults import (
 )
 from .message import MessageBudget, message_bits
 from .metrics import CongestMetrics
-from .trace import RoundTrace, TraceRecorder
+from .trace import RoundTrace, TraceRecorder, detail_event_sort_key
 from ..obs import registry as _telemetry
 
 
@@ -98,6 +98,12 @@ class ReferenceEngine:
             _telemetry.current_registry() if _telemetry.enabled() else None
         )
         self._want_bits_hist = trace is not None or self._registry is not None
+        # Per-message provenance events (trace schema 5), opt-in via
+        # TraceRecorder(detail=True); mirrors the fast engine.
+        self._want_detail = trace is not None and getattr(
+            trace, "detail", False
+        )
+        self._inflight_events: List[Dict[str, Any]] = []
         # Traffic awaiting delivery at the next executed round.
         self._inflight: Tuple[Dict, int, int, Dict, Tuple[int, ...]] = (
             _NO_TRAFFIC
@@ -225,6 +231,15 @@ class ReferenceEngine:
             )
             per_edge, messages, bits, bits_hist, fcounts = self._inflight
             self._inflight = _NO_TRAFFIC
+            if self._want_detail:
+                # Snapshot before _collect below refills the buffer
+                # with the next round's events (mirrors the fast
+                # engine exactly).
+                detail_events = self._inflight_events
+                self._inflight_events = []
+                detail_events.sort(key=detail_event_sort_key)
+            else:
+                detail_events = None
             if self.faults is None:
                 self.metrics.record_round(per_edge, messages, bits)
             else:
@@ -300,6 +315,7 @@ class ReferenceEngine:
                     topo_lost=fcounts[4],
                     partitioned=fcounts[5],
                     message_bits_histogram=bits_hist,
+                    events=detail_events,
                 )
             if (
                 on_checkpoint is not None
@@ -425,13 +441,16 @@ class ReferenceEngine:
                 "fcounts": tuple(fcounts),
             },
             # Withheld payloads still in flight, flattened in release
-            # order (entries are already vertex-keyed in both engines).
+            # order (entries are already vertex-keyed in both engines;
+            # detail-mode entries carry a trailing sequence number).
             "delayed": [
-                (release, send_round, sender, receiver, payload)
+                (release,) + tuple(entry)
                 for release in sorted(self._delay_queue)
-                for send_round, sender, receiver, payload
-                in self._delay_queue[release]
+                for entry in self._delay_queue[release]
             ],
+            # Detail events buffered for the next executed round
+            # (empty unless the trace recorder asked for detail).
+            "inflight_events": [dict(e) for e in self._inflight_events],
             "crashed": set(self._crashed),
             "crash_rounds": (
                 None
@@ -504,12 +523,16 @@ class ReferenceEngine:
                 pad_fault_counts(inflight["fcounts"]),
             )
             self._delay_queue = {}
-            for release, send_round, sender, receiver, payload in state.get(
-                "delayed", ()
-            ):
-                self._delay_queue.setdefault(release, []).append(
-                    (send_round, sender, receiver, payload)
+            for entry in state.get("delayed", ()):
+                # entry = (release, send_round, sender, receiver,
+                # payload[, seq]); older checkpoints lack the trailing
+                # detail-mode sequence number.
+                self._delay_queue.setdefault(entry[0], []).append(
+                    tuple(entry[1:])
                 )
+            self._inflight_events = [
+                dict(e) for e in state.get("inflight_events", ())
+            ]
             self._crashed = set(state["crashed"])
             crash_rounds = state["crash_rounds"]
             self._crash_rounds = (
@@ -597,6 +620,9 @@ class ReferenceEngine:
         send_round = self._round
         dropped = duplicated = corrupted = 0
         delayed = topo_lost = partitioned = 0
+        want_detail = self._want_detail
+        if want_detail:
+            events_append = self._inflight_events.append
         if injector is not None:
             inj_topo = injector.has_topology
             inj_part = injector.has_partitions
@@ -630,6 +656,7 @@ class ReferenceEngine:
                     # fault channel), matching the fast engine.
                     bits_hist[size] = bits_hist.get(size, 0) + 1
                 copies = 1
+                outcome = "deliver"
                 if injector is not None:
                     # The sender has paid; what follows is the channel.
                     # Fault decisions key on the per-edge sequence
@@ -638,26 +665,48 @@ class ReferenceEngine:
                         v, neighbor, send_round
                     ):
                         topo_lost += 1
+                        if want_detail:
+                            events_append({
+                                "s": repr(v), "r": repr(neighbor),
+                                "q": count - 1, "b": size, "o": "topo_lost",
+                            })
                         continue
                     if inj_part and injector.partitioned(
                         v, neighbor, send_round
                     ):
                         partitioned += 1
+                        if want_detail:
+                            events_append({
+                                "s": repr(v), "r": repr(neighbor),
+                                "q": count - 1, "b": size, "o": "partitioned",
+                            })
                         continue
                     if injector.link_down(v, neighbor, send_round):
                         dropped += 1
+                        if want_detail:
+                            events_append({
+                                "s": repr(v), "r": repr(neighbor),
+                                "q": count - 1, "b": size, "o": "drop",
+                            })
                         continue
                     action = injector.classify(
                         send_round, v, neighbor, count - 1
                     )
                     if action == DROP:
                         dropped += 1
+                        if want_detail:
+                            events_append({
+                                "s": repr(v), "r": repr(neighbor),
+                                "q": count - 1, "b": size, "o": "drop",
+                            })
                         continue
                     if action == DUPLICATE:
                         duplicated += 1
                         copies = 2
+                        outcome = "duplicate"
                     elif action == CORRUPT:
                         corrupted += 1
+                        outcome = "corrupt"
                         payload = injector.corrupted_payload(
                             send_round, v, neighbor, count - 1
                         )
@@ -673,11 +722,29 @@ class ReferenceEngine:
                             release = delay_queue.setdefault(
                                 send_round + 1 + extra, []
                             )
-                            entry = (send_round, v, neighbor, payload)
+                            if want_detail:
+                                # The per-edge sequence number rides
+                                # along so the release event can be
+                                # joined back to this transmission.
+                                entry = (
+                                    send_round, v, neighbor, payload,
+                                    count - 1,
+                                )
+                                events_append({
+                                    "s": repr(v), "r": repr(neighbor),
+                                    "q": count - 1, "b": size, "o": "delay",
+                                })
+                            else:
+                                entry = (send_round, v, neighbor, payload)
                             release.append(entry)
                             if copies == 2:
                                 release.append(entry)
                             continue
+                if want_detail:
+                    events_append({
+                        "s": repr(v), "r": repr(neighbor),
+                        "q": count - 1, "b": size, "o": outcome,
+                    })
                 inbox = pending[neighbor].setdefault(v, [])
                 inbox.append(payload)
                 if copies == 2:
@@ -709,13 +776,25 @@ class ReferenceEngine:
         ready = [r for r in queue if r <= round_number]
         if not ready:
             return
-        entries: List[Tuple[int, Any, Any, Any]] = []
+        entries: List[Tuple] = []
         for release in sorted(ready):
             entries.extend(queue.pop(release))
         rank = self._rank
         entries.sort(key=lambda e: (e[0], rank[e[1]], rank[e[2]]))
         pending = self._pending
         has_pending_add = self._has_pending.add
-        for _send_round, sender, receiver, payload in entries:
+        want_detail = self._want_detail
+        for entry in entries:
+            # Detail-mode entries carry a fifth element: the original
+            # per-edge sequence number (see _collect).
+            send_round, sender, receiver, payload = entry[:4]
+            if want_detail:
+                event = {
+                    "s": repr(sender), "r": repr(receiver),
+                    "o": "release", "sr": send_round,
+                }
+                if len(entry) > 4:
+                    event["q"] = entry[4]
+                self._inflight_events.append(event)
             pending[receiver].setdefault(sender, []).append(payload)
             has_pending_add(receiver)

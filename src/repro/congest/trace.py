@@ -39,7 +39,56 @@ from typing import Any, Dict, Iterable, List, Optional
 #:   network-adversity layer: withheld, churned-away, and
 #:   partition-crossing transmissions) to the fault-counter block.
 #:   Older files load with them zero.
-TRACE_SCHEMA_VERSION = 4
+#: * 5 — adds ``events`` (opt-in per-message provenance: sender,
+#:   receiver, per-pair sequence number, payload bits, and channel
+#:   outcome).  Recording is off by default; records without events
+#:   keep stamping version 4 so detail-off trace files stay
+#:   byte-identical to the v4 layout.  Older files load with the
+#:   event list empty.
+TRACE_SCHEMA_VERSION = 5
+
+#: Stamp used for records that carry no detail events — the highest
+#: schema whose field set they actually use.  Keeping the stamp at the
+#: legacy value preserves byte-identity of detail-off trace files with
+#: pre-v5 writers (pinned by tests).
+BASE_SCHEMA_VERSION = 4
+
+#: Channel outcomes a detail event may carry, in the order the channel
+#: decides them.  ``deliver`` is a normal same-round delivery;
+#: ``release`` is a previously delayed transmission finally delivered
+#: (its ``sr`` key holds the original send round); the rest mirror the
+#: aggregate fault counters on :class:`RoundTrace`.
+EVENT_OUTCOMES = (
+    "deliver",
+    "release",
+    "drop",
+    "duplicate",
+    "corrupt",
+    "delay",
+    "topo_lost",
+    "partitioned",
+)
+
+
+def detail_event_sort_key(event: Dict[str, Any]):
+    """Canonical ordering for a round's detail events.
+
+    Both engines buffer events in their own internal iteration order
+    (the fast engine drains only the active set, the reference engine
+    scans every vertex); sorting by this key before recording makes the
+    emitted stream a pure function of the simulated execution, so
+    detail traces stay bit-identical across engines.  Releases sort
+    after same-pair fresh sends because they were transmitted in an
+    earlier round.
+    """
+    seq = event.get("q")
+    return (
+        1 if event.get("o") == "release" else 0,
+        event.get("s", ""),
+        event.get("r", ""),
+        seq if isinstance(seq, int) else -1,
+        event.get("sr", -1),
+    )
 
 
 @dataclass
@@ -68,6 +117,17 @@ class RoundTrace:
     the number of messages of that size delivered into this round —
     the per-round view of the E12 message-size claim.  Version-1 files
     load with it empty.
+
+    ``events`` (schema 5, opt-in) lists per-message provenance for the
+    traffic attributed to this round: dicts with keys ``s`` (sender
+    label), ``r`` (receiver label), ``q`` (per-(sender, receiver)
+    sequence number within the send round), ``b`` (payload bits), and
+    ``o`` (channel outcome, one of :data:`EVENT_OUTCOMES`); ``release``
+    events additionally carry ``sr``, the round the payload was
+    originally sent from before the delay queue withheld it.  Events
+    are sorted by (sender, receiver, sequence) so both engines emit the
+    same stream.  When empty the field is omitted and the record stamps
+    :data:`BASE_SCHEMA_VERSION`.
     """
 
     round: int
@@ -88,10 +148,13 @@ class RoundTrace:
     delayed: int = 0
     topo_lost: int = 0
     partitioned: int = 0
+    events: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         data = {
-            "schema": TRACE_SCHEMA_VERSION,
+            "schema": (
+                TRACE_SCHEMA_VERSION if self.events else BASE_SCHEMA_VERSION
+            ),
             "round": self.round,
             "messages": self.messages,
             "bits": self.bits,
@@ -126,6 +189,8 @@ class RoundTrace:
             data["delayed"] = self.delayed
             data["topo_lost"] = self.topo_lost
             data["partitioned"] = self.partitioned
+        if self.events:
+            data["events"] = [dict(e) for e in self.events]
         return data
 
     @classmethod
@@ -156,14 +221,22 @@ class RoundTrace:
             delayed=data.get("delayed", 0),
             topo_lost=data.get("topo_lost", 0),
             partitioned=data.get("partitioned", 0),
+            events=[dict(e) for e in data.get("events", [])],
         )
 
 
 class TraceRecorder:
-    """Collects the :class:`RoundTrace` series of one simulation."""
+    """Collects the :class:`RoundTrace` series of one simulation.
 
-    def __init__(self, label: str = "") -> None:
+    ``detail=True`` asks the engine to also record per-message
+    provenance events (schema 5).  The flag is advisory: the recorder
+    stores whatever events the engine hands it either way, but engines
+    only pay the per-message bookkeeping cost when it is set.
+    """
+
+    def __init__(self, label: str = "", detail: bool = False) -> None:
         self.label = label
+        self.detail = detail
         self.rounds: List[RoundTrace] = []
 
     # -- recording (called by the engines) ------------------------------
@@ -186,6 +259,7 @@ class TraceRecorder:
         topo_lost: int = 0,
         partitioned: int = 0,
         message_bits_histogram: Optional[Dict[int, int]] = None,
+        events: Optional[List[Dict[str, Any]]] = None,
     ) -> None:
         histogram: Dict[int, int] = {}
         for count in per_edge_counts.values():
@@ -210,6 +284,7 @@ class TraceRecorder:
                 delayed=delayed,
                 topo_lost=topo_lost,
                 partitioned=partitioned,
+                events=list(events or []),
             )
         )
 
@@ -308,9 +383,13 @@ class TraceSession:
         with TraceSession() as session:
             run_framework(...)
         session.write_jsonl("trace.jsonl")
+
+    ``detail=True`` propagates to every recorder the session creates,
+    turning on per-message provenance events (trace schema 5).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, detail: bool = False) -> None:
+        self.detail = detail
         self.recorders: List[TraceRecorder] = []
 
     def __enter__(self) -> "TraceSession":
@@ -321,7 +400,9 @@ class TraceSession:
         _SESSIONS.remove(self)
 
     def new_recorder(self, label: str = "") -> TraceRecorder:
-        rec = TraceRecorder(label or f"sim{len(self.recorders)}")
+        rec = TraceRecorder(
+            label or f"sim{len(self.recorders)}", detail=self.detail
+        )
         self.recorders.append(rec)
         return rec
 

@@ -51,6 +51,20 @@ from .baseline import (
     load_snapshot,
     write_snapshot,
 )
+from .trace import (
+    Divergence,
+    VertexRoundReport,
+    diff_traces,
+    explain_vertex,
+    load_trace_jsonl,
+    split_streams,
+)
+from .timeline import (
+    chrome_trace,
+    timeline_from_snapshot,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 
 __all__ = [
     "DEFAULT_BOUNDS",
@@ -77,4 +91,14 @@ __all__ = [
     "diff_snapshots",
     "load_snapshot",
     "write_snapshot",
+    "Divergence",
+    "VertexRoundReport",
+    "diff_traces",
+    "explain_vertex",
+    "load_trace_jsonl",
+    "split_streams",
+    "chrome_trace",
+    "timeline_from_snapshot",
+    "validate_chrome_trace",
+    "write_chrome_trace",
 ]

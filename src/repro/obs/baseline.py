@@ -94,6 +94,21 @@ class BaselineDiff:
     def ok(self) -> bool:
         return not self.regressions
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable form (``repro obs diff --json``): the full
+        regression/improvement entries with ratios, plus the budget and
+        verdict, so CI can annotate instead of grepping text."""
+        return {
+            "kind": "repro-obs-diff",
+            "ok": self.ok,
+            "budget": self.budget,
+            "regressions": [dict(e) for e in self.regressions],
+            "improvements": [dict(e) for e in self.improvements],
+            "unchanged": self.unchanged,
+            "missing": list(self.missing),
+            "added": list(self.added),
+        }
+
     def render(self) -> str:
         lines: List[str] = []
         for item in self.regressions:

@@ -20,6 +20,8 @@ are of course timing-dependent; :meth:`TelemetryRegistry
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -73,6 +75,18 @@ class _Span:
         stack = self._registry._span_stack
         stack.append(self._name)
         self._path = "/".join(stack)
+        timeline = self._registry.timeline
+        if timeline is not None:
+            # Epoch nanoseconds (not perf_counter) so begin/end streams
+            # from different worker processes share one clock and line
+            # up on a single Perfetto timeline.
+            timeline.append({
+                "ph": "B",
+                "name": self._path,
+                "ts_ns": time.time_ns(),
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+            })
         self._wall0 = time.perf_counter_ns()
         self._cpu0 = time.process_time_ns()
         return self
@@ -81,6 +95,15 @@ class _Span:
         wall_ns = time.perf_counter_ns() - self._wall0
         cpu_ns = time.process_time_ns() - self._cpu0
         registry = self._registry
+        timeline = registry.timeline
+        if timeline is not None:
+            timeline.append({
+                "ph": "E",
+                "name": self._path,
+                "ts_ns": time.time_ns(),
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+            })
         registry._span_stack.pop()
         stats = registry.spans.get(self._path)
         if stats is None:
@@ -107,6 +130,17 @@ class TelemetryRegistry:
         self.spans: Dict[str, SpanStats] = {}
         self.sinks: List[Any] = []
         self._span_stack: List[str] = []
+        # Optional timeline mode: when enabled, every span additionally
+        # appends raw begin/end events here (epoch-ns timestamps with
+        # pid/tid), which repro.obs.timeline converts into a
+        # Chrome/Perfetto trace-event file.  None = off (default); the
+        # span hot path then pays one attribute load per enter/exit.
+        self.timeline: Optional[List[Dict[str, Any]]] = None
+
+    def enable_timeline(self) -> None:
+        """Start capturing span begin/end events for timeline export."""
+        if self.timeline is None:
+            self.timeline = []
 
     # -- recording -----------------------------------------------------
     def count(self, name: str, value: float = 1) -> None:
@@ -139,7 +173,7 @@ class TelemetryRegistry:
     # -- cross-process merging -----------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data form that survives a process boundary."""
-        return {
+        data = {
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "histograms": {
@@ -150,6 +184,9 @@ class TelemetryRegistry:
                 path: stats.to_dict() for path, stats in self.spans.items()
             },
         }
+        if self.timeline is not None:
+            data["timeline"] = [dict(e) for e in self.timeline]
+        return data
 
     def merge_dict(self, data: Dict[str, Any]) -> None:
         """Fold a :meth:`to_dict` payload into this registry.
@@ -177,6 +214,14 @@ class TelemetryRegistry:
             existing_stats.count += stats.get("count", 0)
             existing_stats.wall_ns += stats.get("wall_ns", 0)
             existing_stats.cpu_ns += stats.get("cpu_ns", 0)
+        # Worker timelines concatenate; events carry their own pid/tid
+        # and absolute timestamps, so order within the merged list is
+        # irrelevant (the exporter sorts by timestamp).
+        incoming_timeline = data.get("timeline")
+        if incoming_timeline:
+            if self.timeline is None:
+                self.timeline = []
+            self.timeline.extend(dict(e) for e in incoming_timeline)
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TelemetryRegistry":
@@ -198,6 +243,8 @@ class TelemetryRegistry:
         off, serial vs sharded — produce equal comparable dicts.
         """
         data = self.to_dict()
+        # Timeline events are raw timings — never comparable.
+        data.pop("timeline", None)
         data["spans"] = {
             path: stats["count"] for path, stats in data["spans"].items()
         }
@@ -279,16 +326,21 @@ def span(name: str):
 
 
 @contextmanager
-def telemetry_scope(record: bool = True) -> Iterator[TelemetryRegistry]:
+def telemetry_scope(
+    record: bool = True, timeline: bool = False
+) -> Iterator[TelemetryRegistry]:
     """Collect telemetry into a fresh registry for the enclosed block.
 
     Used by the runner to give each experiment cell its own registry
     (identical behavior inline and in a worker process), and by tests
     for isolation.  The previous enable state and registry are restored
-    on exit, so scopes nest freely.
+    on exit, so scopes nest freely.  ``timeline=True`` additionally
+    captures span begin/end events for Chrome/Perfetto export.
     """
     global _enabled
     registry = TelemetryRegistry()
+    if timeline:
+        registry.enable_timeline()
     _stack.append(registry)
     previous = _enabled
     _enabled = record

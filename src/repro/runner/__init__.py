@@ -19,12 +19,21 @@ from .journal import (
     default_journal_path,
     run_fingerprint,
 )
+from .progress import (
+    PROGRESS_SCHEMA_VERSION,
+    ProgressLog,
+    follow_progress,
+    iter_progress,
+    render_progress_event,
+)
 from .suites import SUITES, execute_cell, suite_names
 
 __all__ = [
     "CellResult",
     "ExperimentCell",
     "JOURNAL_SCHEMA_VERSION",
+    "PROGRESS_SCHEMA_VERSION",
+    "ProgressLog",
     "QuarantinedCell",
     "RecoveryStats",
     "SuiteJournal",
@@ -32,6 +41,9 @@ __all__ = [
     "SUITES",
     "default_journal_path",
     "execute_cell",
+    "follow_progress",
+    "iter_progress",
+    "render_progress_event",
     "run_fingerprint",
     "run_suite",
     "suite_names",

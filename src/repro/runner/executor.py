@@ -56,6 +56,7 @@ from ..congest import CongestMetrics
 from ..obs import TelemetryRegistry
 from .cells import CellResult
 from .journal import SuiteJournal, default_journal_path, run_fingerprint
+from .progress import PROGRESS_SCHEMA_VERSION, ProgressLog
 from .suites import SUITES, execute_cell
 
 #: Worker-process-global cache, installed by the pool initializer so the
@@ -81,10 +82,11 @@ def _worker_init(cache_root: Optional[str], use_cache: bool,
 
 
 def _worker_run_cell(args) -> CellResult:
-    suite_name, index, trace, telemetry = args
+    suite_name, index, trace, telemetry, trace_detail, timeline = args
     with activate(_WORKER_CACHE):
         return execute_cell(
-            suite_name, index, trace=trace, telemetry=telemetry
+            suite_name, index, trace=trace, telemetry=telemetry,
+            trace_detail=trace_detail, timeline=timeline,
         )
 
 
@@ -105,6 +107,15 @@ def _backoff_seconds(suite: str, index: int, attempt: int) -> float:
     base = min(_BACKOFF_BASE * 2 ** (attempt - 1), _BACKOFF_CAP)
     jitter = random.Random(f"{suite}:{index}:{attempt}").uniform(0.5, 1.0)
     return base * jitter
+
+
+def _result_stalled(result: CellResult) -> bool:
+    """Did this cell's graded verdict say the algorithm stalled?"""
+    return (
+        isinstance(result.extra, dict)
+        and isinstance(result.extra.get("verdict"), dict)
+        and result.extra["verdict"].get("status") == "stalled"
+    )
 
 
 @dataclass
@@ -268,6 +279,9 @@ def run_suite(
     retries: int = 0,
     journal: Optional[str] = None,
     resume: bool = False,
+    trace_detail: bool = False,
+    timeline: bool = False,
+    progress: Optional[object] = None,
 ) -> SuiteRun:
     """Execute every cell of suite ``name`` and merge deterministically.
 
@@ -297,11 +311,26 @@ def run_suite(
     the same grid-ordered table, byte-identical to an uninterrupted
     run; quarantined cells are never journaled, so a resume retries
     them.
+
+    ``trace_detail`` upgrades tracing to per-message event provenance
+    (trace schema v5); ``timeline`` upgrades telemetry to capture span
+    begin/end events for Chrome/Perfetto export.  Either implies its
+    base flag.  ``progress`` names a heartbeat JSONL file (or passes an
+    open :class:`~repro.runner.progress.ProgressLog`, so one file can
+    span several suites): the executor emits flushed lifecycle events
+    — cell started/finished/retried/stalled/quarantined — that
+    ``repro trace tail`` follows live.
     """
     if name not in SUITES:
         raise KeyError(f"unknown suite {name!r} (known: {sorted(SUITES)})")
     if retries < 0:
         raise ValueError("retries must be >= 0")
+    trace = trace or trace_detail
+    telemetry = telemetry or timeline
+    own_progress = isinstance(progress, (str, os.PathLike))
+    plog: Optional[ProgressLog] = (
+        ProgressLog(progress) if own_progress else progress  # type: ignore[arg-type]
+    )
     cells = SUITES[name].cells()
     if limit is not None:
         cells = cells[:max(0, limit)]
@@ -318,7 +347,10 @@ def run_suite(
     if journal is not None:
         wal = SuiteJournal.open(
             journal,
-            run_fingerprint(name, limit, trace, telemetry),
+            run_fingerprint(
+                name, limit, trace, telemetry,
+                trace_detail=trace_detail, timeline=timeline,
+            ),
             resume=resume,
         )
         # Journaled cells outside the current grid (e.g. a larger
@@ -327,6 +359,16 @@ def run_suite(
             i: r for i, r in wal.completed.items() if i in labels
         }
     pending = [i for i in indices if i not in replayed]
+    if plog is not None:
+        plog.emit(
+            "suite_started",
+            schema=PROGRESS_SCHEMA_VERSION,
+            suite=name,
+            cells=len(indices),
+            pending=len(pending),
+            replayed=len(replayed),
+            jobs=jobs,
+        )
 
     start = time.perf_counter()
     try:
@@ -340,27 +382,55 @@ def run_suite(
                 for i in pending:
                     attempt = 1
                     while True:
+                        if plog is not None:
+                            plog.emit(
+                                "cell_started", suite=name, index=i,
+                                label=labels[i], attempt=attempt,
+                            )
                         try:
                             result = execute_cell(
-                                name, i, trace=trace, telemetry=telemetry
+                                name, i, trace=trace, telemetry=telemetry,
+                                trace_detail=trace_detail, timeline=timeline,
                             )
                             result.attempts = attempt
                             results.append(result)
                             if wal is not None:
                                 wal.record(result)
+                            if plog is not None:
+                                plog.emit(
+                                    "cell_finished", suite=name, index=i,
+                                    label=labels[i], attempt=attempt,
+                                    elapsed=round(result.elapsed, 4),
+                                    stalled=_result_stalled(result),
+                                )
                             break
                         except Exception as exc:
+                            reason = f"{type(exc).__name__}: {exc}"
                             if attempt >= max_attempts:
                                 quarantined.append(QuarantinedCell(
                                     suite=name,
                                     index=i,
                                     label=labels[i],
                                     attempts=attempt,
-                                    reason=f"{type(exc).__name__}: {exc}",
+                                    reason=reason,
                                 ))
+                                if plog is not None:
+                                    plog.emit(
+                                        "cell_quarantined", suite=name,
+                                        index=i, label=labels[i],
+                                        attempts=attempt, reason=reason,
+                                    )
                                 break
                             recovery.retries += 1
-                            time.sleep(_backoff_seconds(name, i, attempt))
+                            backoff = _backoff_seconds(name, i, attempt)
+                            if plog is not None:
+                                plog.emit(
+                                    "cell_retried", suite=name, index=i,
+                                    label=labels[i], attempt=attempt,
+                                    reason=reason,
+                                    backoff=round(backoff, 3),
+                                )
+                            time.sleep(backoff)
                             attempt += 1
             effective_jobs = 1
         else:
@@ -381,6 +451,9 @@ def run_suite(
                 quarantined=quarantined,
                 recovery=recovery,
                 wal=wal,
+                trace_detail=trace_detail,
+                timeline=timeline,
+                plog=plog,
             )
     finally:
         if wal is not None:
@@ -390,7 +463,7 @@ def run_suite(
     results.extend(replayed.values())
     results.sort(key=lambda r: r.index)
     quarantined.sort(key=lambda q: q.index)
-    return SuiteRun(
+    run = SuiteRun(
         name=name,
         jobs=effective_jobs,
         use_cache=use_cache,
@@ -401,6 +474,18 @@ def run_suite(
         journal_path=journal,
         journal_corrupt_lines=wal.corrupt_lines if wal is not None else 0,
     )
+    if plog is not None:
+        plog.emit(
+            "suite_finished",
+            suite=name,
+            cells=len(results),
+            quarantined=len(quarantined),
+            stalled=run.stalled_cells(),
+            wall_seconds=round(wall, 3),
+        )
+        if own_progress:
+            plog.close()
+    return run
 
 
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
@@ -438,6 +523,9 @@ def _run_parallel(
     quarantined: List[QuarantinedCell],
     recovery: RecoveryStats,
     wal: Optional[SuiteJournal] = None,
+    trace_detail: bool = False,
+    timeline: bool = False,
+    plog: Optional[ProgressLog] = None,
 ) -> List[CellResult]:
     """The submit-driven scheduling loop with recovery; see module doc.
 
@@ -467,13 +555,21 @@ def _run_parallel(
                 attempts=attempt,
                 reason=reason,
             ))
+            if plog is not None:
+                plog.emit(
+                    "cell_quarantined", suite=name, index=index,
+                    label=labels[index], attempts=attempt, reason=reason,
+                )
         else:
             recovery.retries += 1
-            heappush(
-                delayed,
-                (now + _backoff_seconds(name, index, attempt),
-                 index, attempt + 1),
-            )
+            backoff = _backoff_seconds(name, index, attempt)
+            if plog is not None:
+                plog.emit(
+                    "cell_retried", suite=name, index=index,
+                    label=labels[index], attempt=attempt, reason=reason,
+                    backoff=round(backoff, 3),
+                )
+            heappush(delayed, (now + backoff, index, attempt + 1))
 
     results: List[CellResult] = []
     ready: List[Tuple[int, int]] = [(i, 1) for i in indices]  # (index, attempt)
@@ -490,12 +586,18 @@ def _run_parallel(
             while ready and len(in_flight) < jobs:
                 index, attempt = ready.pop()
                 future = pool.submit(
-                    _worker_run_cell, (name, index, trace, telemetry)
+                    _worker_run_cell,
+                    (name, index, trace, telemetry, trace_detail, timeline),
                 )
                 deadline = (
                     now + cell_timeout if cell_timeout is not None else None
                 )
                 in_flight[future] = (index, attempt, deadline)
+                if plog is not None:
+                    plog.emit(
+                        "cell_started", suite=name, index=index,
+                        label=labels[index], attempt=attempt,
+                    )
             if not in_flight:
                 # Everything is backing off; sleep to the next release.
                 time.sleep(max(0.0, min(delayed[0][0] - now, _BACKOFF_CAP)))
@@ -517,6 +619,13 @@ def _run_parallel(
                     results.append(result)
                     if wal is not None:
                         wal.record(result)
+                    if plog is not None:
+                        plog.emit(
+                            "cell_finished", suite=name, index=index,
+                            label=labels[index], attempt=attempt,
+                            elapsed=round(result.elapsed, 4),
+                            stalled=_result_stalled(result),
+                        )
                 except BrokenProcessPool:
                     pool_broken = True
                     charge_attempt(
@@ -540,6 +649,12 @@ def _run_parallel(
                 recovery.timeouts += len(overdue)
                 for future in overdue:
                     index, attempt, _ = in_flight.pop(future)
+                    if plog is not None:
+                        plog.emit(
+                            "cell_stalled", suite=name, index=index,
+                            label=labels[index], attempt=attempt,
+                            timeout=cell_timeout,
+                        )
                     charge_attempt(
                         index, attempt,
                         f"timed out after {cell_timeout:.1f}s", now,
@@ -555,11 +670,20 @@ def _run_parallel(
                         results.append(result)
                         if wal is not None:
                             wal.record(result)
+                        if plog is not None:
+                            plog.emit(
+                                "cell_finished", suite=name, index=index,
+                                label=labels[index], attempt=attempt,
+                                elapsed=round(result.elapsed, 4),
+                                stalled=_result_stalled(result),
+                            )
                     else:
                         ready.append((index, attempt))
                 in_flight.clear()
                 _terminate_pool(pool)
                 pool = make_pool()
+                if plog is not None:
+                    plog.emit("pool_rebuilt", suite=name)
     finally:
         # Normal exit leaves nothing queued, so this is a clean close.
         # On KeyboardInterrupt (or any escaping error) it cancels all

@@ -67,19 +67,25 @@ def run_fingerprint(
     trace: bool,
     telemetry: bool,
     salt: Optional[str] = None,
+    trace_detail: bool = False,
+    timeline: bool = False,
 ) -> Dict[str, Any]:
     """Everything that must match for journaled cells to be reusable.
 
-    ``limit`` shapes the grid; ``trace``/``telemetry`` change what a
-    cell result carries; the salt hashes the source tree, so *any* code
-    edit invalidates the journal the same way it invalidates the
-    artifact cache.
+    ``limit`` shapes the grid; ``trace``/``telemetry``/``trace_detail``
+    /``timeline`` change what a cell result carries (a detail-mode
+    trace or a timeline-mode telemetry payload must never replay into
+    a plain run, and vice versa); the salt hashes the source tree, so
+    *any* code edit invalidates the journal the same way it
+    invalidates the artifact cache.
     """
     return {
         "suite": suite,
         "limit": limit,
         "trace": bool(trace),
         "telemetry": bool(telemetry),
+        "trace_detail": bool(trace_detail),
+        "timeline": bool(timeline),
         "salt": simulation_salt() if salt is None else salt,
     }
 

@@ -1,0 +1,220 @@
+"""Live runner heartbeat: flushed JSONL progress events.
+
+A multi-minute ``repro bench`` sweep is a black box from the outside:
+the table prints only at the end, and the only mid-run signal is CPU
+load.  ``--progress out.jsonl`` turns the run into an observable
+stream — the executor appends one JSON object per lifecycle event
+(cell started / finished / retried / stalled / quarantined, pool
+rebuilds, suite boundaries) and flushes after every line, so a second
+terminal can follow along live with ``repro trace tail out.jsonl
+--follow``.
+
+The stream is *heartbeat*, not ledger: it exists to answer "is the run
+alive, and what is it chewing on?"  Lines are flushed but not fsynced
+(durability is the journal's job, see :mod:`repro.runner.journal`),
+and the reader skips unparseable lines — the final line of a live file
+is routinely half-written.
+
+Event vocabulary (each object carries ``t`` — epoch seconds — and
+``event``; everything else is event-specific):
+
+* ``bench_started`` / ``bench_finished`` — one ``repro bench``
+  invocation, bracketing all its suites (``suites``, ``jobs``).
+* ``suite_started`` — ``suite``, ``cells``, ``pending``, ``replayed``
+  (journal resume satisfied that many), ``jobs``.
+* ``cell_started`` — ``suite``, ``index``, ``label``, ``attempt``.
+* ``cell_finished`` — adds ``elapsed`` seconds and ``stalled`` (the
+  graded verdict said the algorithm stalled — the run itself is fine).
+* ``cell_retried`` — a failed attempt going back in the queue:
+  ``reason``, ``backoff`` seconds.
+* ``cell_stalled`` — an attempt exceeded ``--cell-timeout`` and its
+  worker is being killed (followed by ``cell_retried`` or
+  ``cell_quarantined``).
+* ``cell_quarantined`` — attempts exhausted: ``attempts``, ``reason``.
+* ``pool_rebuilt`` — the process pool was torn down and rebuilt.
+
+Schema changes bump :data:`PROGRESS_SCHEMA_VERSION`, stamped on the
+``bench_started``/``suite_started`` events.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Iterator, Optional, TextIO, Union
+
+PROGRESS_SCHEMA_VERSION = 1
+
+#: How long ``follow_progress`` sleeps between polls of a quiet file.
+_FOLLOW_POLL_SECONDS = 0.2
+
+
+class ProgressLog:
+    """Append-only flushed JSONL sink for runner lifecycle events.
+
+    One instance spans one ``repro bench`` invocation (possibly several
+    suites), so a single file tells the whole story in order.  Safe to
+    construct on a fresh or existing path; events append.  The writer
+    is the coordinating process only — worker processes never touch the
+    file, so no cross-process locking is needed.
+    """
+
+    def __init__(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        self.path = str(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._handle: Optional[TextIO] = open(self.path, "a")
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append one event line and flush it immediately."""
+        if self._handle is None:
+            return
+        record: Dict[str, Any] = {"t": round(time.time(), 3), "event": event}
+        record.update(fields)
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ProgressLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def iter_progress(path: str) -> Iterator[Dict[str, Any]]:
+    """Parse an existing progress file, skipping unparseable lines.
+
+    A live file's last line may be mid-write; a reader that crashed on
+    it would be useless as a tail, so bad lines are silently dropped.
+    """
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
+
+def follow_progress(
+    path: str,
+    poll_seconds: float = _FOLLOW_POLL_SECONDS,
+    idle_timeout: Optional[float] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Yield events as they are appended (``tail -f`` semantics).
+
+    Returns after a ``bench_finished`` event, or once ``idle_timeout``
+    seconds pass with no new complete line (None = follow until the
+    caller stops iterating, e.g. on Ctrl-C).  Partial trailing lines
+    are buffered until their newline arrives.
+    """
+    last_data = time.monotonic()
+    buffer = ""
+    with open(path) as handle:
+        while True:
+            chunk = handle.read()
+            if chunk:
+                last_data = time.monotonic()
+                buffer += chunk
+                while "\n" in buffer:
+                    line, buffer = buffer.split("\n", 1)
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if not isinstance(record, dict):
+                        continue
+                    yield record
+                    if record.get("event") == "bench_finished":
+                        return
+            else:
+                if (
+                    idle_timeout is not None
+                    and time.monotonic() - last_data >= idle_timeout
+                ):
+                    return
+                time.sleep(poll_seconds)
+
+
+def render_progress_event(
+    record: Dict[str, Any], t0: Optional[float] = None
+) -> str:
+    """One human-readable line per event for ``repro trace tail``.
+
+    ``t0`` (epoch seconds, typically the first event's ``t``) turns
+    absolute timestamps into a run-relative clock.
+    """
+    t = record.get("t")
+    if isinstance(t, (int, float)) and t0 is not None:
+        clock = f"[{t - t0:8.2f}s]"
+    else:
+        clock = "[        ]"
+    event = record.get("event", "?")
+    suite = record.get("suite", "")
+    label = record.get("label", "")
+    index = record.get("index")
+    where = f"{suite}[{index}] {label}".strip() if index is not None else suite
+    if event == "bench_started":
+        suites = record.get("suites", [])
+        return f"{clock} bench started: {', '.join(suites)}"
+    if event == "bench_finished":
+        return f"{clock} bench finished"
+    if event == "suite_started":
+        return (
+            f"{clock} {suite}: {record.get('pending', '?')} cell(s) to run"
+            f" ({record.get('replayed', 0)} replayed,"
+            f" jobs={record.get('jobs', 1)})"
+        )
+    if event == "suite_finished":
+        return (
+            f"{clock} {suite}: done —"
+            f" {record.get('cells', '?')} cell(s),"
+            f" {record.get('quarantined', 0)} quarantined,"
+            f" {record.get('stalled', 0)} stalled"
+            f" in {record.get('wall_seconds', 0.0):.2f}s"
+        )
+    if event == "cell_started":
+        return f"{clock} {where}: started (attempt {record.get('attempt', 1)})"
+    if event == "cell_finished":
+        flag = " [stalled verdict]" if record.get("stalled") else ""
+        return (
+            f"{clock} {where}: finished in"
+            f" {record.get('elapsed', 0.0):.3f}s{flag}"
+        )
+    if event == "cell_retried":
+        return (
+            f"{clock} {where}: attempt {record.get('attempt', '?')} failed"
+            f" ({record.get('reason', '')}) — retrying in"
+            f" {record.get('backoff', 0.0):.2f}s"
+        )
+    if event == "cell_stalled":
+        return (
+            f"{clock} {where}: stalled past"
+            f" {record.get('timeout', 0.0):.1f}s — killing worker"
+        )
+    if event == "cell_quarantined":
+        return (
+            f"{clock} {where}: quarantined after"
+            f" {record.get('attempts', '?')} attempt(s)"
+            f" ({record.get('reason', '')})"
+        )
+    if event == "pool_rebuilt":
+        return f"{clock} {suite}: worker pool rebuilt"
+    extras = {
+        k: v for k, v in record.items() if k not in ("t", "event")
+    }
+    return f"{clock} {event} {json.dumps(extras, sort_keys=True)}"

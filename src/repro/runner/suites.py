@@ -696,6 +696,8 @@ def execute_cell(
     index: int,
     trace: bool = False,
     telemetry: bool = False,
+    trace_detail: bool = False,
+    timeline: bool = False,
 ) -> CellResult:
     """Run one cell in the current process and package its result.
 
@@ -706,7 +708,14 @@ def execute_cell(
     With ``telemetry`` the cell runs inside its own telemetry scope —
     identically inline and in a worker process — and the registry
     payload rides back on :attr:`CellResult.telemetry`.
+
+    ``trace_detail`` implies ``trace`` and records per-message event
+    provenance (trace schema v5, see :mod:`repro.congest.trace`);
+    ``timeline`` implies ``telemetry`` and additionally captures span
+    begin/end events for Chrome/Perfetto export.
     """
+    trace = trace or trace_detail
+    telemetry = telemetry or timeline
     spec = SUITES[suite_name]
     cells = spec.cells()
     cell = cells[index]
@@ -718,7 +727,7 @@ def execute_cell(
     telemetry_data = None
 
     def run_traced():
-        with TraceSession() as session:
+        with TraceSession(detail=trace_detail) as session:
             out = spec.cell_fn(cell)
         for i, recorder in enumerate(session.recorders):
             recorder.label = f"{cell.label}/sim{i}"
@@ -732,7 +741,7 @@ def execute_cell(
         # run, so it bypasses the cell-result tier (intermediate
         # artifacts still apply).  The per-cell span makes each cell a
         # distinct path in the merged span tree.
-        with telemetry_scope() as registry:
+        with telemetry_scope(timeline=timeline) as registry:
             with registry.span(f"cell:{cell.label}"):
                 if trace:
                     rows, metrics, extra = run_traced()

@@ -14,7 +14,11 @@ import pytest
 
 from repro.congest import CongestSimulator, TraceRecorder, VertexAlgorithm, use_engine
 from repro.congest.metrics import CongestMetrics
-from repro.congest.trace import TRACE_SCHEMA_VERSION, RoundTrace
+from repro.congest.trace import (
+    BASE_SCHEMA_VERSION,
+    TRACE_SCHEMA_VERSION,
+    RoundTrace,
+)
 from repro.generators import gnp_random_graph
 from repro.obs import (
     DEFAULT_BOUNDS,
@@ -241,6 +245,45 @@ class TestSinks:
         assert "cell timings" in report and "E10 (suite wall)" in report
 
 
+class TestSinksEdgeCases:
+    """Empty registries and hostile metric names must not wedge the
+    sinks — CI scrapes them unconditionally."""
+
+    def test_iter_events_empty_registry(self):
+        assert list(iter_events(TelemetryRegistry().to_dict())) == []
+        assert list(iter_events({})) == []
+
+    def test_prometheus_text_empty_registry(self):
+        assert prometheus_text(TelemetryRegistry().to_dict()) == ""
+        assert prometheus_text({}) == ""
+
+    def test_render_report_empty_registry(self):
+        report = render_report(TelemetryRegistry().to_dict())
+        assert report == "telemetry: empty registry\n"
+
+    def test_prometheus_sanitizes_slash_and_dot(self):
+        registry = TelemetryRegistry()
+        registry.count("congest.collect/fast", 3)
+        with registry.span("suite/cell.label"):
+            pass
+        text = prometheus_text(registry.to_dict())
+        assert "repro_congest_collect_fast_total 3" in text
+        # Span paths land in label values, where "/" and "." are legal.
+        assert 'repro_span_count_total{span="suite/cell.label"} 1' in text
+        # No unsanitized metric name escapes.
+        for line in text.splitlines():
+            metric = line.split("{")[0].split(" ")[0]
+            if metric.startswith("#"):
+                metric = line.split(" ")[-2]
+            assert "/" not in metric and "." not in metric
+
+    def test_prometheus_name_cannot_start_with_digit(self):
+        registry = TelemetryRegistry()
+        registry.gauge("1weird", 7)
+        text = prometheus_text(registry.to_dict())
+        assert "repro__1weird 7" in text
+
+
 # ----------------------------------------------------------------------
 # CongestMetrics: per-edge congestion distribution (satellite)
 # ----------------------------------------------------------------------
@@ -301,8 +344,21 @@ class TestTraceSchema:
                            congestion_histogram={1: 2},
                            message_bits_histogram={32: 2})
         data = trace.to_dict()
-        assert data["schema"] == TRACE_SCHEMA_VERSION == 4
+        # Detail events are off, so the record stamps the base (v4)
+        # schema; the reader itself understands up to v5.
+        assert TRACE_SCHEMA_VERSION == 5
+        assert data["schema"] == BASE_SCHEMA_VERSION == 4
         assert data["message_bits_histogram"] == {"32": 2}
+        assert RoundTrace.from_dict(data) == trace
+
+    def test_schema_v5_stamped_only_with_events(self):
+        trace = RoundTrace(round=1, messages=1, bits=8, stepped=1, idle=0,
+                           halted=0, skipped_before=0, max_congestion=1,
+                           congestion_histogram={1: 1},
+                           events=[{"s": "0", "r": "1", "q": 0, "b": 8,
+                                    "o": "deliver"}])
+        data = trace.to_dict()
+        assert data["schema"] == TRACE_SCHEMA_VERSION == 5
         assert RoundTrace.from_dict(data) == trace
 
     def test_empty_histogram_omitted(self):
@@ -324,9 +380,10 @@ class TestTraceSchema:
             first = json.loads(handle.readline())
         assert "schema" not in first
         assert "message_bits_histogram" not in first
-        # Re-serialising upgrades every record to the current schema.
+        # Re-serialising upgrades every record to the base schema (v5
+        # is only stamped when detail events are present).
         upgraded = recorder.rounds[0].to_dict()
-        assert upgraded["schema"] == TRACE_SCHEMA_VERSION
+        assert upgraded["schema"] == BASE_SCHEMA_VERSION
 
     def test_recorder_records_message_bits(self):
         recorder = TraceRecorder("sim")
