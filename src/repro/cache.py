@@ -33,13 +33,13 @@ import hashlib
 import json
 import os
 import pickle
-import tempfile
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
-from .errors import GraphError
+from . import storage
+from .errors import GraphError, StorageError
 from .graph import Graph
 from .obs import registry as _telemetry
 
@@ -236,10 +236,12 @@ class ArtifactCache:
 
     The memory tier holds serialized bytes, not live objects, so hits
     always rehydrate a fresh object — a caller mutating its copy cannot
-    poison later hits.  Disk writes are atomic (`os.replace` of a
-    temporary file) so a crashed or concurrent writer can never leave a
-    half-written entry visible; a corrupted entry is detected on load,
-    deleted, recomputed, and rewritten.
+    poison later hits.  Disk I/O goes through :mod:`repro.storage`:
+    writes are atomic (`os.replace` of a fsynced temporary file) so a
+    crashed or concurrent writer can never leave a half-written entry
+    visible, and entries are checksum-framed so a corrupted entry is
+    detected on load, deleted, recomputed, and rewritten (see
+    docs/durability.md).
     """
 
     def __init__(
@@ -284,12 +286,12 @@ class ArtifactCache:
             self._memory.popitem(last=False)
 
     def _disk_get(self, kind: str, key: str) -> Optional[bytes]:
+        """Raw on-disk bytes for an entry: framed, or legacy unframed."""
         if not self.persist:
             return None
         path = self._path(kind, key)
         try:
-            with open(path, "rb") as handle:
-                return handle.read()
+            return storage.read_bytes(path)
         except FileNotFoundError:
             return None
         except OSError:
@@ -302,15 +304,12 @@ class ArtifactCache:
         directory = os.path.dirname(path)
         try:
             os.makedirs(directory, exist_ok=True)
-            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(blob)
-                os.replace(tmp_path, path)
-            finally:
-                with contextlib.suppress(OSError):
-                    os.unlink(tmp_path)
-        except OSError:
+            # Entries are framed with a blake2b checksum so a torn
+            # write or bit-flip is detected on load instead of being
+            # unpickled (docs/durability.md); pre-framing entries are
+            # still accepted by the reader.
+            storage.atomic_write_bytes(path, storage.frame_bytes(blob))
+        except (OSError, StorageError):
             # A read-only or full disk degrades to memory-only caching.
             pass
 
@@ -345,6 +344,10 @@ class ArtifactCache:
             from_disk = blob is not None
         if blob is not None:
             try:
+                # Disk entries carry the storage frame (legacy entries
+                # pass through); the memory tier holds bare payloads.
+                if from_disk:
+                    blob = storage.unframe_bytes(blob)
                 value = deserialize(blob)
             except Exception as exc:
                 self.stats.corrupt += 1

@@ -1,0 +1,500 @@
+"""Crash-consistency torture harness: ``repro chaos``.
+
+The determinism contract says a resumed or cache-hit run is
+bit-identical to a clean one.  This module attacks that contract with
+the host-storage faults :mod:`repro.storage` can inject — kill-points,
+torn writes, dropped fsyncs, bit-flips on read, transient ENOSPC, slow
+I/O — around real ``repro bench`` subprocess runs, and checks the one
+invariant that matters:
+
+    *Every injected fault is either recovered bit-identically
+    (resume / recompute) or fails loudly with a typed, counted error —
+    never silently wrong.*
+
+Each trial picks a fault class (cycling through
+:data:`TRIAL_KINDS`), compiles a :class:`~repro.storage.DiskFaultPlan`
+whose every decision is a pure function of the sweep seed and trial
+index, and runs three phases:
+
+1. **baseline** (once per sweep) — a clean journaled run whose table
+   is the ground truth;
+2. **faulted** — the same run with the plan injected through the
+   ``REPRO_DISK_FAULTS`` environment mirror (so the subprocess and any
+   workers inherit it);
+3. **recovery** — only if the faulted phase died: ``--resume`` from
+   its journal, or a fresh run when the journal itself was refused
+   (exit 2, the loud path).
+
+The trial's final table must match the baseline byte-for-byte (modulo
+the explicitly-loud ``N corrupt journal line(s) skipped`` footer
+suffix, which *is* the counting the invariant demands).  Anything else
+is a silent divergence — the failure mode this harness exists to keep
+extinct.  ``cache`` trials exercise the other durable surface: a
+populated artifact cache re-read under bit-flips must detect every
+corrupt entry (checksummed framing) and recompute to the identical
+table.
+
+The report (``--stats-json``) counts injected faults (read from each
+subprocess's ``REPRO_DISK_FAULTS_STATS`` dump), recoveries, loud
+failures, kills, and silent divergences.  CI runs a seeded smoke; the
+50+-trial acceptance sweep is the same harness with ``--trials 50``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import storage
+from .errors import ReproError
+from .storage import KILL_EXIT_CODE, DiskFaultPlan
+
+__all__ = [
+    "TRIAL_KINDS",
+    "TrialResult",
+    "ChaosReport",
+    "plan_for_trial",
+    "run_torture",
+]
+
+#: Fault classes, cycled by trial index.  ``mixed`` layers several
+#: fault kinds; ``cache`` targets the artifact cache read path instead
+#: of the journal write path.
+TRIAL_KINDS = (
+    "kill",
+    "torn",
+    "fsync",
+    "bitflip",
+    "enospc",
+    "slow",
+    "mixed",
+    "cache",
+)
+
+#: Footer suffix that reports (rather than hides) journal corruption;
+#: stripped before byte comparison because it is the loud accounting
+#: the invariant requires, not a divergence.
+_CORRUPT_FOOTER_RE = re.compile(
+    r", \d+ corrupt journal line\(s\) skipped"
+)
+
+_PHASE_TIMEOUT_SECONDS = 600.0
+
+
+def _derive(seed: int, trial: int, what: str, mod: int) -> int:
+    """Deterministic small integer from the sweep coordinates."""
+    token = f"{seed}|{trial}|{what}"
+    digest = blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % mod
+
+
+def plan_for_trial(seed: int, index: int) -> Tuple[str, DiskFaultPlan]:
+    """The (kind, plan) for one trial — pure function of (seed, index)."""
+    kind = TRIAL_KINDS[index % len(TRIAL_KINDS)]
+    trial_seed = seed * 100_003 + index
+    if kind == "kill":
+        # Small op budget per bench run (journal header + one record
+        # per cell + the --out table), so kill early.
+        plan = DiskFaultPlan(
+            seed=trial_seed, kill_at=1 + _derive(seed, index, "kill", 5)
+        )
+    elif kind == "torn":
+        plan = DiskFaultPlan(seed=trial_seed, torn_write=0.45)
+    elif kind == "fsync":
+        plan = DiskFaultPlan(seed=trial_seed, drop_fsync=0.45)
+    elif kind == "bitflip":
+        plan = DiskFaultPlan(seed=trial_seed, bit_flip=0.6)
+    elif kind == "enospc":
+        plan = DiskFaultPlan(seed=trial_seed, enospc=0.3)
+    elif kind == "slow":
+        plan = DiskFaultPlan(seed=trial_seed, slow=0.5, slow_seconds=0.002)
+    elif kind == "mixed":
+        plan = DiskFaultPlan(
+            seed=trial_seed,
+            torn_write=0.2,
+            drop_fsync=0.2,
+            bit_flip=0.25,
+            enospc=0.1,
+        )
+    else:  # cache
+        plan = DiskFaultPlan(seed=trial_seed, bit_flip=0.6)
+    return kind, plan
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one torture trial."""
+
+    index: int
+    kind: str
+    plan: Dict[str, Any]
+    #: (phase name, exit code) in execution order.
+    phases: List[Tuple[str, int]] = field(default_factory=list)
+    #: Faults the subprocesses actually injected (from the stats dump).
+    injected: int = 0
+    #: recovered | clean | silent-divergence | harness-error
+    outcome: str = "harness-error"
+    #: True when some phase failed loudly (nonzero exit) on the way.
+    loud: bool = False
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "plan": self.plan,
+            "phases": [list(p) for p in self.phases],
+            "injected": self.injected,
+            "outcome": self.outcome,
+            "loud": self.loud,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Aggregated sweep outcome; ``ok`` is the acceptance invariant."""
+
+    suite: str
+    limit: int
+    seed: int
+    trials: List[TrialResult] = field(default_factory=list)
+
+    @property
+    def injected(self) -> int:
+        return sum(t.injected for t in self.trials)
+
+    @property
+    def recovered(self) -> int:
+        return sum(1 for t in self.trials if t.outcome == "recovered")
+
+    @property
+    def clean(self) -> int:
+        return sum(1 for t in self.trials if t.outcome == "clean")
+
+    @property
+    def loud_failures(self) -> int:
+        return sum(1 for t in self.trials if t.loud)
+
+    @property
+    def kills(self) -> int:
+        return sum(
+            1
+            for t in self.trials
+            for _phase, code in t.phases
+            if code == KILL_EXIT_CODE
+        )
+
+    @property
+    def silent_divergences(self) -> int:
+        return sum(
+            1 for t in self.trials if t.outcome == "silent-divergence"
+        )
+
+    @property
+    def harness_errors(self) -> int:
+        return sum(1 for t in self.trials if t.outcome == "harness-error")
+
+    @property
+    def ok(self) -> bool:
+        return self.silent_divergences == 0 and self.harness_errors == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "suite": self.suite,
+            "limit": self.limit,
+            "seed": self.seed,
+            "trials": [t.to_dict() for t in self.trials],
+            "counts": {
+                "trials": len(self.trials),
+                "injected": self.injected,
+                "recovered": self.recovered,
+                "clean": self.clean,
+                "loud_failures": self.loud_failures,
+                "kills": self.kills,
+                "silent_divergences": self.silent_divergences,
+                "harness_errors": self.harness_errors,
+            },
+            "ok": self.ok,
+        }
+
+    def save(self, path: str) -> None:
+        storage.atomic_write_text(
+            path,
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            verify=True,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"chaos {self.suite}(limit={self.limit}) seed={self.seed}: "
+            f"{len(self.trials)} trial(s), {self.injected} fault(s) "
+            f"injected, {self.recovered} recovered, {self.clean} clean, "
+            f"{self.loud_failures} loud, {self.kills} kill(s), "
+            f"{self.silent_divergences} SILENT divergence(s)"
+        )
+
+
+class _Bench:
+    """Runs ``repro bench`` subprocesses for one sweep."""
+
+    def __init__(self, suite: str, limit: int, workdir: str) -> None:
+        self.suite = suite
+        self.limit = limit
+        self.workdir = workdir
+        src_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src_root
+        )
+        # A sweep must not inherit an outer fault plan or chaos-suite
+        # misbehavior knobs from the caller's environment.
+        for key in (storage.ENV_PLAN, storage.ENV_STATS, "REPRO_CHAOS_DIR"):
+            env.pop(key, None)
+        self._env = env
+
+    def run(
+        self,
+        out_dir: str,
+        journal: str,
+        plan: Optional[DiskFaultPlan] = None,
+        stats_path: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        resume: bool = False,
+    ) -> subprocess.CompletedProcess:
+        cmd = [
+            sys.executable, "-m", "repro.cli", "bench",
+            "--suite", self.suite,
+            "--limit", str(self.limit),
+            "--jobs", "1",
+            "--journal", journal,
+            "--out", out_dir,
+        ]
+        if cache_dir:
+            cmd += ["--cache-dir", cache_dir]
+        else:
+            cmd.append("--no-cache")
+        if resume:
+            cmd.append("--resume")
+        env = dict(self._env)
+        if plan is not None:
+            env[storage.ENV_PLAN] = plan.to_json()
+            if stats_path:
+                env[storage.ENV_STATS] = stats_path
+        os.makedirs(out_dir, exist_ok=True)
+        return subprocess.run(
+            cmd,
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=_PHASE_TIMEOUT_SECONDS,
+        )
+
+    def table_path(self, out_dir: str) -> str:
+        return os.path.join(out_dir, f"{self.suite}.txt")
+
+
+def _normalize_table(text: str) -> str:
+    """Strip the loud corrupt-journal footer suffix before comparison."""
+    return _CORRUPT_FOOTER_RE.sub("", text)
+
+
+def _read_injected(stats_path: str) -> int:
+    try:
+        with open(stats_path) as handle:
+            return int(json.load(handle).get("injected", 0))
+    except (OSError, ValueError):
+        return 0
+
+
+def run_torture(
+    suite: str = "E10",
+    limit: int = 2,
+    trials: int = 8,
+    seed: int = 0,
+    workdir: Optional[str] = None,
+    progress=None,
+) -> ChaosReport:
+    """Run the kill-point / disk-fault schedule sweep.
+
+    ``progress`` is an optional callable receiving one human-readable
+    line per completed trial (the CLI passes ``print``).  The caller
+    owns ``workdir`` when given; otherwise a temporary directory is
+    created and removed with the sweep.
+    """
+    own_workdir = workdir is None
+    workdir = workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    os.makedirs(workdir, exist_ok=True)
+    report = ChaosReport(suite=suite, limit=limit, seed=seed)
+    bench = _Bench(suite, limit, workdir)
+    try:
+        baseline_dir = os.path.join(workdir, "baseline")
+        base = bench.run(
+            baseline_dir, os.path.join(workdir, "baseline.jsonl")
+        )
+        if base.returncode != 0:
+            raise ReproError(
+                f"chaos baseline run failed with exit {base.returncode}: "
+                f"{base.stderr.strip().splitlines()[-1:] or 'no stderr'}"
+            )
+        with open(bench.table_path(baseline_dir)) as handle:
+            baseline_table = handle.read()
+
+        for index in range(trials):
+            result = _run_trial(bench, workdir, seed, index, baseline_table)
+            report.trials.append(result)
+            if progress is not None:
+                progress(
+                    f"trial {index:3d} [{result.kind:7s}] "
+                    f"{result.outcome}"
+                    + (" (loud)" if result.loud else "")
+                    + (f" — {result.detail}" if result.detail else "")
+                )
+    finally:
+        if own_workdir:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return report
+
+
+def _run_trial(
+    bench: _Bench,
+    workdir: str,
+    seed: int,
+    index: int,
+    baseline_table: str,
+) -> TrialResult:
+    kind, plan = plan_for_trial(seed, index)
+    trial_dir = os.path.join(workdir, f"trial-{index:04d}")
+    os.makedirs(trial_dir, exist_ok=True)
+    journal = os.path.join(trial_dir, "wal.jsonl")
+    stats_path = os.path.join(trial_dir, "storage-stats.json")
+    result = TrialResult(index=index, kind=kind, plan=plan.to_dict())
+    try:
+        if kind in ("cache", "bitflip"):
+            # Read faults need a read-heavy path to bite: populate the
+            # artifact cache cleanly, then re-read it under the plan.
+            final_dir = _cache_trial(
+                bench, trial_dir, journal, plan, stats_path, result
+            )
+        else:
+            final_dir = _journal_trial(
+                bench, trial_dir, journal, plan, stats_path, result
+            )
+        result.injected = _read_injected(stats_path)
+        if final_dir is None:
+            # Recovery itself failed loudly: a real invariant breach
+            # (recompute-from-nothing must always work).
+            result.outcome = "harness-error"
+            return result
+        with open(bench.table_path(final_dir)) as handle:
+            final_table = handle.read()
+        if _normalize_table(final_table) == _normalize_table(
+            baseline_table
+        ):
+            result.outcome = (
+                "recovered" if (result.injected or result.loud) else "clean"
+            )
+        else:
+            result.outcome = "silent-divergence"
+            result.detail = "final table differs from clean baseline"
+        return result
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        result.detail = f"{type(exc).__name__}: {exc}"
+        result.outcome = "harness-error"
+        return result
+
+
+def _journal_trial(
+    bench: _Bench,
+    trial_dir: str,
+    journal: str,
+    plan: DiskFaultPlan,
+    stats_path: str,
+    result: TrialResult,
+) -> Optional[str]:
+    """Faulted journaled run, then resume/recompute.  Returns the out
+    dir holding the final table, or None when recovery failed."""
+    faulted_dir = os.path.join(trial_dir, "faulted")
+    proc = bench.run(faulted_dir, journal, plan=plan, stats_path=stats_path)
+    result.phases.append(("faulted", proc.returncode))
+    if proc.returncode == 0:
+        return faulted_dir
+    result.loud = True
+    recovery_dir = os.path.join(trial_dir, "recovery")
+    proc = bench.run(recovery_dir, journal, resume=True)
+    result.phases.append(("resume", proc.returncode))
+    if proc.returncode == 0:
+        return recovery_dir
+    if proc.returncode == 2:
+        # The journal was refused (corrupt header — the loud typed
+        # path).  Recovery of last resort: recompute from nothing.
+        try:
+            os.unlink(journal)
+        except OSError:
+            pass
+        proc = bench.run(recovery_dir, journal)
+        result.phases.append(("fresh", proc.returncode))
+        if proc.returncode == 0:
+            return recovery_dir
+    result.detail = (
+        "recovery failed: " + (proc.stderr.strip().splitlines() or ["?"])[-1]
+    )
+    return None
+
+
+def _cache_trial(
+    bench: _Bench,
+    trial_dir: str,
+    journal: str,
+    plan: DiskFaultPlan,
+    stats_path: str,
+    result: TrialResult,
+) -> Optional[str]:
+    """Populate the artifact cache cleanly, then re-read it under
+    bit-flips: every corrupt entry must be detected and recomputed."""
+    cache_dir = os.path.join(trial_dir, "cache")
+    populate_dir = os.path.join(trial_dir, "populate")
+    proc = bench.run(
+        populate_dir,
+        os.path.join(trial_dir, "populate.jsonl"),
+        cache_dir=cache_dir,
+    )
+    result.phases.append(("populate", proc.returncode))
+    if proc.returncode != 0:
+        result.detail = "cache populate run failed"
+        return None
+    reread_dir = os.path.join(trial_dir, "reread")
+    proc = bench.run(
+        reread_dir,
+        journal,
+        plan=plan,
+        stats_path=stats_path,
+        cache_dir=cache_dir,
+    )
+    result.phases.append(("reread", proc.returncode))
+    if proc.returncode == 0:
+        return reread_dir
+    # Bit-flips can also land on the journal replay path; recover the
+    # same way a journal trial does.
+    result.loud = True
+    recovery_dir = os.path.join(trial_dir, "recovery")
+    proc = bench.run(recovery_dir, journal, resume=True)
+    result.phases.append(("resume", proc.returncode))
+    if proc.returncode == 0:
+        return recovery_dir
+    result.detail = (
+        "recovery failed: " + (proc.stderr.strip().splitlines() or ["?"])[-1]
+    )
+    return None

@@ -316,6 +316,13 @@ def cmd_bench(args) -> int:
             except OSError as exc:
                 log.error("invalid %s path: %s", label, exc)
                 return 2
+    if args.journal:
+        # Probe without truncating: the journal may hold a resumable run.
+        try:
+            open(args.journal, "a").close()
+        except OSError as exc:
+            log.error("invalid journal path: %s", exc)
+            return 2
 
     from .runner.progress import PROGRESS_SCHEMA_VERSION, ProgressLog
 
@@ -333,26 +340,34 @@ def cmd_bench(args) -> int:
             jobs=args.jobs,
         )
 
+    from .errors import JournalError, StorageError
+
     runs = []
     total_start = time.perf_counter()
     for name in names:
-        run = run_suite(
-            name,
-            jobs=args.jobs,
-            use_cache=args.cache,
-            cache_root=args.cache_dir,
-            mp_start=args.mp_start,
-            limit=args.limit,
-            trace=args.trace is not None,
-            telemetry=args.telemetry is not None,
-            cell_timeout=args.cell_timeout,
-            retries=args.retries,
-            journal=args.journal,
-            resume=args.resume,
-            trace_detail=args.trace_detail,
-            timeline=args.timeline,
-            progress=plog,
-        )
+        try:
+            run = run_suite(
+                name,
+                jobs=args.jobs,
+                use_cache=args.cache,
+                cache_root=args.cache_dir,
+                mp_start=args.mp_start,
+                limit=args.limit,
+                trace=args.trace is not None,
+                telemetry=args.telemetry is not None,
+                cell_timeout=args.cell_timeout,
+                retries=args.retries,
+                journal=args.journal,
+                resume=args.resume,
+                trace_detail=args.trace_detail,
+                timeline=args.timeline,
+                progress=plog,
+            )
+        except JournalError as exc:
+            # A journal that cannot prove its identity must not be
+            # silently replayed or clobbered: operator decision needed.
+            log.error("cannot resume: %s", exc)
+            return 2
         runs.append(run)
         rendered = run.render_table() + "\n" + run.footer()
         print("\n" + rendered)
@@ -386,18 +401,36 @@ def cmd_bench(args) -> int:
             stats["corrupt"], "" if args.cache else " (cache disabled)",
         )
         if args.out:
+            from . import storage
+
             os.makedirs(args.out, exist_ok=True)
-            with open(os.path.join(args.out, f"{name}.txt"), "w") as handle:
-                handle.write(rendered + "\n")
+            try:
+                storage.atomic_write_text(
+                    os.path.join(args.out, f"{name}.txt"),
+                    rendered + "\n",
+                    verify=True,
+                )
+            except StorageError as exc:
+                log.error("cannot write --out table: %s", exc)
+                return 2
     total_wall = time.perf_counter() - total_start
     if plog is not None:
         plog.emit("bench_finished", wall_seconds=round(total_wall, 3))
         plog.close()
 
     if args.trace:
+        from . import storage
+
         lines = [line for run in runs for line in run.trace_lines()]
-        with open(args.trace, "w") as handle:
-            handle.write("\n".join(lines) + ("\n" if lines else ""))
+        try:
+            storage.atomic_write_text(
+                args.trace,
+                "\n".join(lines) + ("\n" if lines else ""),
+                verify=True,
+            )
+        except StorageError as exc:
+            log.error("cannot write trace: %s", exc)
+            return 2
         log.info("trace: %d round records -> %s", len(lines), args.trace)
     if args.telemetry:
         from .obs import TelemetryRegistry, build_snapshot, write_snapshot
@@ -432,11 +465,85 @@ def cmd_bench(args) -> int:
             "jobs": args.jobs,
             "cache_enabled": args.cache,
         }
-        with open(args.stats_json, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        from . import storage
+
+        try:
+            storage.atomic_write_text(
+                args.stats_json,
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                verify=True,
+            )
+        except StorageError as exc:
+            log.error("cannot write stats: %s", exc)
+            return 2
         log.info("stats -> %s", args.stats_json)
     return 1 if any(run.quarantined for run in runs) else 0
+
+
+def _faults_resume(args, g) -> int:
+    """Finish a ``repro faults`` run from a saved checkpoint.
+
+    The checkpoint's own fault plan, configuration, and graph
+    fingerprint are authoritative; any mismatch (or a corrupt file)
+    surfaces as a clean one-line error with exit code 2.
+    """
+    from .congest.checkpoint import SimulationCheckpoint, resume_simulation
+    from .errors import CheckpointError
+    from .resilience import (
+        Verdict,
+        validate_independent_set,
+        validate_matching,
+    )
+
+    if args.algorithm == "framework":
+        log.error(
+            "--resume-from supports --algorithm maxis or matching only"
+        )
+        return 2
+    try:
+        checkpoint = SimulationCheckpoint.load(args.resume_from)
+    except CheckpointError as exc:
+        log.error("corrupt checkpoint: %s", exc)
+        return 2
+    if args.algorithm == "maxis":
+        from .independent_set.greedy import LubyMIS, luby_mis_max_phases
+
+        max_phases = luby_mis_max_phases(g.n)
+        factory = lambda v: LubyMIS(max_phases)  # noqa: E731
+        max_rounds = 2 * max_phases + 4
+    else:
+        from .matching.distributed import (
+            ProposalMatching,
+            matching_max_phases,
+        )
+
+        max_phases = matching_max_phases(g.n)
+        factory = lambda v: ProposalMatching(max_phases)  # noqa: E731
+        max_rounds = 3 * max_phases + 6
+    try:
+        sim = resume_simulation(g, factory, checkpoint)
+        result = sim.run(max_rounds=max_rounds)
+    except CheckpointError as exc:
+        log.error("cannot resume from checkpoint: %s", exc)
+        return 2
+    if args.algorithm == "maxis":
+        mis = {v for v, in_mis in result.outputs.items() if in_mis}
+        verdict = validate_independent_set(g, mis)
+    else:
+        from .matching.distributed import matching_from_outputs
+
+        verdict = validate_matching(g, matching_from_outputs(result.outputs))
+    if not result.halted:
+        verdict = Verdict.stalled(
+            f"not halted after {result.metrics.rounds} rounds"
+        )
+    print(f"resumed: {args.resume_from} from round {checkpoint.round}")
+    _print_metrics(result.metrics)
+    if result.metrics.faulted:
+        print("faults:", result.metrics.fault_summary())
+    print(f"verdict: {verdict.label()}"
+          + (f" ({verdict.detail})" if verdict.detail else ""))
+    return 0 if verdict.ok else 1
 
 
 def cmd_faults(args) -> int:
@@ -545,6 +652,32 @@ def cmd_faults(args) -> int:
         log.error("invalid fault plan: %s", exc)
         return 2
     g = _build_graph(args)
+    if args.resume_from:
+        return _faults_resume(args, g)
+    checkpoint_kwargs = {}
+    saved_checkpoints = []
+    if args.save_checkpoint:
+        if args.algorithm == "framework":
+            log.error(
+                "--save-checkpoint supports --algorithm maxis or "
+                "matching only"
+            )
+            return 2
+
+        def _persist(checkpoint) -> None:
+            from .errors import CheckpointError
+
+            try:
+                checkpoint.save(args.save_checkpoint)
+            except CheckpointError as exc:
+                log.error("cannot save checkpoint: %s", exc)
+                raise SystemExit(2)
+            saved_checkpoints.append(checkpoint.round)
+
+        checkpoint_kwargs = {
+            "checkpoint_every": args.checkpoint_every,
+            "on_checkpoint": _persist,
+        }
     metrics = None
     halted = True
     try:
@@ -552,7 +685,9 @@ def cmd_faults(args) -> int:
             if args.algorithm == "maxis":
                 from .independent_set.greedy import luby_mis
 
-                mis, result = luby_mis(g, seed=args.seed)
+                mis, result = luby_mis(
+                    g, seed=args.seed, **checkpoint_kwargs
+                )
                 metrics = result.metrics
                 halted = result.halted
                 verdict = validate_independent_set(g, mis)
@@ -562,7 +697,7 @@ def cmd_faults(args) -> int:
                 )
 
                 matching, result = distributed_maximal_matching(
-                    g, seed=args.seed
+                    g, seed=args.seed, **checkpoint_kwargs
                 )
                 metrics = result.metrics
                 halted = result.halted
@@ -596,6 +731,18 @@ def cmd_faults(args) -> int:
           f"+{len(plan.edge_up_windows)}w "
           f"partitions={len(plan.partitions)} delay={plan.delay} "
           f"seed={plan.seed}")
+    if args.save_checkpoint:
+        if saved_checkpoints:
+            print(
+                f"checkpoints: {len(saved_checkpoints)} saved to "
+                f"{args.save_checkpoint} (last at round "
+                f"{saved_checkpoints[-1]})"
+            )
+        else:
+            log.warning(
+                "no checkpoint captured: the run finished before round "
+                "%d; lower --checkpoint-every", args.checkpoint_every,
+            )
     if metrics is not None:
         _print_metrics(metrics)
         if metrics.faulted:
@@ -603,6 +750,36 @@ def cmd_faults(args) -> int:
     print(f"verdict: {verdict.label()}"
           + (f" ({verdict.detail})" if verdict.detail else ""))
     return 0 if verdict.ok else 1
+
+
+def cmd_chaos(args) -> int:
+    """Torture the storage layer around real bench runs."""
+    from .chaos import run_torture
+    from .errors import ReproError
+
+    try:
+        report = run_torture(
+            suite=args.suite,
+            limit=args.limit,
+            trials=args.trials,
+            seed=args.chaos_seed,
+            workdir=args.keep,
+            progress=print,
+        )
+    except ReproError as exc:
+        log.error("%s", exc)
+        return 2
+    print(report.summary())
+    if args.stats_json:
+        report.save(args.stats_json)
+        log.info("chaos report -> %s", args.stats_json)
+    if not report.ok:
+        log.error(
+            "invariant violated: %d silent divergence(s), "
+            "%d harness error(s)",
+            report.silent_divergences, report.harness_errors,
+        )
+    return 0 if report.ok else 1
 
 
 def cmd_obs_report(args) -> int:
@@ -764,13 +941,14 @@ def cmd_trace_tail(args) -> int:
     )
 
     t0: Optional[float] = None
+    read_stats: dict = {}
     try:
         if args.follow:
             events = follow_progress(
                 args.progress_file, idle_timeout=args.idle_timeout
             )
         else:
-            events = iter_progress(args.progress_file)
+            events = iter_progress(args.progress_file, stats=read_stats)
         for record in events:
             if args.json:
                 print(json.dumps(record, sort_keys=True), flush=True)
@@ -784,6 +962,13 @@ def cmd_trace_tail(args) -> int:
         return 2
     except KeyboardInterrupt:
         return 0
+    if read_stats.get("skipped"):
+        # A live writer's final line is routinely torn; say so instead
+        # of silently rendering a shorter story than the file holds.
+        log.warning(
+            "%d truncated or corrupt line(s) skipped",
+            read_stats["skipped"],
+        )
     return 0
 
 
@@ -993,7 +1178,53 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--max-delay", type=int, default=1,
                         help="upper bound on extra delivery rounds "
                              "for delayed messages (default: 1)")
+    faults.add_argument("--save-checkpoint", default=None, metavar="PATH",
+                        help="persist a durable simulation checkpoint "
+                             "to PATH every --checkpoint-every rounds "
+                             "(maxis/matching only; atomic, "
+                             "checksummed — see docs/durability.md)")
+    faults.add_argument("--checkpoint-every", type=int, default=8,
+                        metavar="ROUNDS",
+                        help="checkpoint capture interval for "
+                             "--save-checkpoint (default: 8)")
+    faults.add_argument("--resume-from", default=None, metavar="PATH",
+                        help="finish an interrupted run from a saved "
+                             "checkpoint instead of starting one; the "
+                             "checkpoint's own fault plan and graph "
+                             "fingerprint are authoritative, and a "
+                             "corrupt or mismatched file exits 2")
     faults.set_defaults(handler=cmd_faults)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="torture the storage layer with kill-points and disk faults",
+        description=(
+            "Run a seeded sweep of crash-consistency trials: real "
+            "`repro bench` subprocesses under deterministic disk "
+            "faults (torn writes, dropped fsyncs, bit-flips, ENOSPC, "
+            "kill-points), each recovered by resume or recompute and "
+            "compared byte-for-byte against a clean baseline.  Exits "
+            "nonzero on any silent divergence (docs/durability.md)."
+        ),
+    )
+    chaos.add_argument("--suite", default="E10", metavar="NAME",
+                       help="suite to torture (default: E10)")
+    chaos.add_argument("--limit", type=int, default=2, metavar="K",
+                       help="cells per bench run (default: 2)")
+    chaos.add_argument("--trials", type=int, default=8, metavar="N",
+                       help="fault-schedule trials to run (default: 8; "
+                            "the acceptance sweep uses 50+)")
+    chaos.add_argument("--seed", type=int, default=0, dest="chaos_seed",
+                       help="sweep seed; every fault decision is a "
+                            "pure function of it (default: 0)")
+    chaos.add_argument("--keep", default=None, metavar="DIR",
+                       help="run inside DIR and keep all artifacts "
+                            "(default: a temp dir, removed afterwards)")
+    chaos.add_argument("--stats-json", default=None, metavar="PATH",
+                       help="write the full chaos report (per-trial "
+                            "outcomes + injected/recovered/loud "
+                            "counts) as JSON")
+    chaos.set_defaults(handler=cmd_chaos)
 
     obs = sub.add_parser(
         "obs",

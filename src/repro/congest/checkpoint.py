@@ -42,7 +42,8 @@ from dataclasses import dataclass
 from hashlib import blake2b
 from typing import Any, Dict, List, Optional
 
-from ..errors import CheckpointError
+from .. import storage
+from ..errors import CheckpointError, StorageError
 from ..graph import Graph, canonical_vertex_order
 
 #: Version stamped on every serialized checkpoint.  History:
@@ -59,6 +60,21 @@ CHECKPOINT_SCHEMA_VERSION = 1
 #: cache's choice so checkpoints stay readable across the same range of
 #: interpreter versions.
 PICKLE_PROTOCOL = 4
+
+
+def _envelope_checksum(data: Dict[str, Any]) -> str:
+    """blake2b digest of the envelope's canonical JSON, sans checksum.
+
+    Verified by :meth:`SimulationCheckpoint.from_dict` *before* the
+    state blob is base64-decoded or unpickled, so a truncated or
+    bit-flipped checkpoint raises :class:`CheckpointError` instead of
+    feeding garbage to pickle.  Envelopes written before checksums
+    existed simply lack the field and stay loadable.
+    """
+    body = {k: v for k, v in data.items() if k != "checksum"}
+    return blake2b(
+        storage.canonical_json(body).encode("utf-8"), digest_size=16
+    ).hexdigest()
 
 
 def graph_fingerprint(graph: Graph) -> str:
@@ -111,8 +127,12 @@ class SimulationCheckpoint:
 
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe form (the state blob is base64-encoded)."""
-        return {
+        """JSON-safe form (the state blob is base64-encoded).
+
+        The envelope carries a whole-payload ``checksum`` so torn
+        writes and bit-flips are caught at load time, never unpickled.
+        """
+        data = {
             "schema": self.schema,
             "round": self.round,
             "n": self.n,
@@ -126,6 +146,8 @@ class SimulationCheckpoint:
             "trace_rounds": self.trace_rounds,
             "state": base64.b64encode(self.state).decode("ascii"),
         }
+        data["checksum"] = _envelope_checksum(data)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SimulationCheckpoint":
@@ -140,6 +162,21 @@ class SimulationCheckpoint:
             raise CheckpointError(
                 f"checkpoint payload is {type(data).__name__}, not an object"
             )
+        expected = data.get("checksum")
+        if expected is not None:
+            try:
+                actual = _envelope_checksum(data)
+            except (TypeError, ValueError) as exc:
+                raise CheckpointError(
+                    f"checkpoint envelope is not canonicalizable: {exc}"
+                ) from exc
+            if actual != expected:
+                raise CheckpointError(
+                    "checkpoint failed checksum verification "
+                    f"(expected {expected!r}, got {actual!r}) — torn "
+                    "write or bit-flip; refusing to unpickle its state"
+                )
+            data = {k: v for k, v in data.items() if k != "checksum"}
         schema = data.get("schema")
         if not isinstance(schema, int) or schema < 1:
             raise CheckpointError(
@@ -183,28 +220,24 @@ class SimulationCheckpoint:
         payload = json.dumps(self.to_dict(), sort_keys=True)
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
-        tmp_path = f"{path}.tmp.{os.getpid()}"
         try:
-            with open(tmp_path, "w") as handle:
-                handle.write(payload)
-                handle.write("\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, path)
-        finally:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
+            storage.atomic_write_text(path, payload + "\n")
+        except StorageError as exc:
+            raise CheckpointError(
+                f"cannot save checkpoint {path!r}: {exc}"
+            ) from exc
 
     @classmethod
     def load(cls, path: str) -> "SimulationCheckpoint":
         """Read a checkpoint file, wrapping every failure mode loudly."""
         try:
-            with open(path) as handle:
-                data = json.load(handle)
+            text = storage.read_text(path)
         except OSError as exc:
             raise CheckpointError(
                 f"cannot read checkpoint {path!r}: {exc}"
             ) from exc
+        try:
+            data = json.loads(text)
         except json.JSONDecodeError as exc:
             raise CheckpointError(
                 f"checkpoint {path!r} is not valid JSON: {exc}"

@@ -342,9 +342,15 @@ class TraceRecorder:
         return "\n".join(json.dumps(d, sort_keys=True) for d in self.to_dicts())
 
     def write_jsonl(self, path: str) -> None:
-        with open(path, "w") as handle:
-            for d in self.to_dicts():
-                handle.write(json.dumps(d, sort_keys=True) + "\n")
+        # Atomic write through repro.storage; the record bytes
+        # themselves are unchanged (trace byte-identity is pinned, so
+        # no per-record checksums here).
+        from .. import storage
+
+        lines = "".join(
+            json.dumps(d, sort_keys=True) + "\n" for d in self.to_dicts()
+        )
+        storage.atomic_write_text(path, lines, verify=True)
 
     @classmethod
     def from_jsonl(cls, lines: Iterable[str], label: str = "") -> "TraceRecorder":
@@ -410,11 +416,19 @@ class TraceSession:
         return sum(rec.total_rounds() for rec in self.recorders)
 
     def write_jsonl(self, path: str) -> None:
-        """One line per (simulation, round) record, in creation order."""
-        with open(path, "w") as handle:
-            for rec in self.recorders:
-                for d in rec.to_dicts():
-                    handle.write(json.dumps(d, sort_keys=True) + "\n")
+        """One line per (simulation, round) record, in creation order.
+
+        Written atomically through :mod:`repro.storage`; record bytes
+        are unchanged (trace byte-identity is pinned).
+        """
+        from .. import storage
+
+        lines = "".join(
+            json.dumps(d, sort_keys=True) + "\n"
+            for rec in self.recorders
+            for d in rec.to_dicts()
+        )
+        storage.atomic_write_text(path, lines, verify=True)
 
 
 def active_session() -> Optional[TraceSession]:

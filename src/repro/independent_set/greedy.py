@@ -271,17 +271,36 @@ class LubyKernel(KernelBase):
         return saw
 
 
-def luby_mis(
-    graph: Graph, seed: SeedLike = None, max_phases: Optional[int] = None
-) -> Tuple[Set, SimulationResult]:
-    """Run Luby's MIS on the CONGEST simulator; returns (MIS, result)."""
+def luby_mis_max_phases(n: int) -> int:
+    """The pinned phase budget for an ``n``-vertex Luby MIS run."""
     import math
 
+    return 8 * max(1, math.ceil(math.log2(n + 2)))
+
+
+def luby_mis(
+    graph: Graph,
+    seed: SeedLike = None,
+    max_phases: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
+    on_checkpoint=None,
+) -> Tuple[Set, SimulationResult]:
+    """Run Luby's MIS on the CONGEST simulator; returns (MIS, result).
+
+    ``checkpoint_every``/``on_checkpoint`` pass straight through to
+    :meth:`~repro.congest.network.CongestSimulator.run`, so long runs
+    can persist :class:`~repro.congest.checkpoint.SimulationCheckpoint`
+    snapshots (``repro faults --save-checkpoint``).
+    """
     if max_phases is None:
-        max_phases = 8 * max(1, math.ceil(math.log2(graph.n + 2)))
+        max_phases = luby_mis_max_phases(graph.n)
     simulator = CongestSimulator(
         graph, lambda v: LubyMIS(max_phases), seed=seed
     )
-    result = simulator.run(max_rounds=2 * max_phases + 4)
+    result = simulator.run(
+        max_rounds=2 * max_phases + 4,
+        checkpoint_every=checkpoint_every,
+        on_checkpoint=on_checkpoint,
+    )
     mis = {v for v, in_mis in result.outputs.items() if in_mis}
     return mis, result

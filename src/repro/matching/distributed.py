@@ -410,27 +410,46 @@ class ProposalMatchingKernel(KernelBase):
             self._halt(i, verts[m])
 
 
+def matching_max_phases(n: int) -> int:
+    """The pinned phase budget for an ``n``-vertex proposal matching run."""
+    return 8 * max(1, math.ceil(math.log2(n + 2)))
+
+
 def distributed_maximal_matching(
     graph: Graph,
     seed: SeedLike = None,
     max_phases: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
+    on_checkpoint=None,
 ) -> Tuple[Matching, SimulationResult]:
     """Run the proposal protocol on the CONGEST simulator.
 
     Returns the matching (mutual mate claims only, so even a faulted
     run can never yield an invalid matching) and the simulation record.
+    ``checkpoint_every``/``on_checkpoint`` pass straight through to
+    :meth:`~repro.congest.network.CongestSimulator.run` for durable
+    mid-run snapshots (``repro faults --save-checkpoint``).
     """
     if max_phases is None:
-        max_phases = 8 * max(1, math.ceil(math.log2(graph.n + 2)))
+        max_phases = matching_max_phases(graph.n)
     simulator = CongestSimulator(
         graph, lambda v: ProposalMatching(max_phases), seed=seed
     )
-    result = simulator.run(max_rounds=3 * max_phases + 6)
+    result = simulator.run(
+        max_rounds=3 * max_phases + 6,
+        checkpoint_every=checkpoint_every,
+        on_checkpoint=on_checkpoint,
+    )
+    return matching_from_outputs(result.outputs), result
+
+
+def matching_from_outputs(outputs) -> Matching:
+    """Mutual mate claims -> matching (shared with the resume path)."""
     matching: Matching = set()
-    for v, mate in result.outputs.items():
-        if mate is not None and result.outputs.get(mate) == v:
+    for v, mate in outputs.items():
+        if mate is not None and outputs.get(mate) == v:
             matching.add(edge_key(v, mate))
-    return matching, result
+    return matching
 
 
 def distributed_mcm_planar(

@@ -57,9 +57,12 @@ def build_snapshot(
 
 
 def write_snapshot(path: str, snapshot: Dict[str, Any]) -> None:
-    with open(path, "w") as handle:
-        json.dump(snapshot, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    # Atomic replace via repro.storage: a crash mid-write must not
+    # destroy the previous snapshot at the same path.
+    from .. import storage
+
+    text = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    storage.atomic_write_text(path, text, verify=True)
 
 
 def load_snapshot(path: str) -> Dict[str, Any]:

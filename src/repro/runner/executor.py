@@ -241,13 +241,23 @@ class SuiteRun:
 
         A pure function of the merged results (journal replays included
         carry their verdicts), so serial, sharded, and resumed runs of
-        the same grid render the identical footer.
+        the same grid render the identical footer.  Journal corruption
+        is appended only when present: a clean run's footer is
+        byte-identical whether or not it was journaled, and every
+        skipped line is loud in the output rather than buried in a
+        counter.
         """
-        return (
+        line = (
             f"{self.name}: {len(self.results)} cell(s), "
             f"{len(self.quarantined)} quarantined, "
             f"{self.stalled_cells()} stalled"
         )
+        if self.journal_corrupt_lines:
+            line += (
+                f", {self.journal_corrupt_lines} corrupt journal "
+                "line(s) skipped"
+            )
+        return line
 
     def summary(self) -> Dict[str, object]:
         stats = self.cache_stats()
@@ -262,6 +272,7 @@ class SuiteRun:
             "recovery": self.recovery.as_dict(),
             "replayed": self.replayed_cells(),
             "stalled": self.stalled_cells(),
+            "journal_corrupt_lines": self.journal_corrupt_lines,
         }
 
 

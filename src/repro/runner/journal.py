@@ -23,14 +23,23 @@ File layout (one JSON object per line):
   behavior — so a fingerprint mismatch discards the journal and starts
   fresh rather than merging stale results.
 * following lines — ``{"kind": "cell", "index": i, "payload": ...}``
-  with the pickled ``CellResult`` base64-encoded.
+  with the pickled ``CellResult`` base64-encoded.  Every record
+  (header included) carries a ``"cs"`` blake2b checksum sealed by
+  :func:`repro.storage.seal_record`.
 
 Corruption is expected, not exceptional: the final line of a killed
-run is routinely truncated.  Replay therefore skips any line that
-fails to parse (JSON, base64, or pickle) and counts it in
-:attr:`SuiteJournal.corrupt_lines`; a corrupt cell is simply
-recomputed.  Recompute-don't-crash is the whole contract — no journal
-state, however mangled, may abort a resume.
+run is routinely truncated.  Records are sealed with a blake2b
+checksum (the ``"cs"`` field, via :mod:`repro.storage`; pre-checksum
+journals still replay), and replay skips any line that fails to parse
+*or verify* — counting it in :attr:`SuiteJournal.corrupt_lines`, which
+``repro bench`` surfaces in its footer and ``--stats-json``.  A
+corrupt cell is simply recomputed.  The one loud exception is the
+header: a journal whose *identity* is unreadable (unparseable or
+checksum-failing first line) cannot prove which run it belongs to, so
+an explicit ``--resume`` against it raises
+:class:`repro.errors.JournalError` instead of guessing (exit code 2 at
+the CLI).  A parseable header that merely mismatches the current run
+fingerprint still starts fresh, as before.
 """
 
 from __future__ import annotations
@@ -41,7 +50,9 @@ import os
 import pickle
 from typing import Any, Dict, Optional
 
+from .. import storage
 from ..cache import PICKLE_PROTOCOL, default_cache_root, simulation_salt
+from ..errors import JournalError
 from ..obs import registry as _telemetry
 from .cells import CellResult
 
@@ -106,18 +117,19 @@ class SuiteJournal:
         completed: Dict[int, CellResult],
         corrupt_lines: int,
         fresh: bool,
-        handle,
+        appender: storage.DurableAppender,
     ) -> None:
         self.path = path
         self.fingerprint = fingerprint
         #: Cells replayed from the journal, keyed by grid index.
         self.completed = completed
-        #: Unparseable lines skipped during replay (torn writes, bit
-        #: rot); each corresponds to one recomputed cell at most.
+        #: Unparseable or checksum-failing lines skipped during replay
+        #: (torn writes, bit rot); each corresponds to one recomputed
+        #: cell at most.
         self.corrupt_lines = corrupt_lines
         #: True when no prior journal matched and a new one was begun.
         self.fresh = fresh
-        self._handle = handle
+        self._appender = appender
 
     # -- lifecycle -------------------------------------------------------
     @classmethod
@@ -130,33 +142,41 @@ class SuiteJournal:
         """Open (and possibly replay) the journal at ``path``.
 
         With ``resume`` true, an existing journal whose header matches
-        ``fingerprint`` is replayed into :attr:`completed`; a missing,
-        mismatched, or mangled journal is replaced by a fresh one.
-        With ``resume`` false any existing journal is discarded — the
-        caller wants a clean write-ahead log for a new run.
+        ``fingerprint`` is replayed into :attr:`completed`; a missing
+        or fingerprint-mismatched journal is replaced by a fresh one,
+        while a journal whose header is unreadable (unparseable JSON or
+        a failed checksum) raises :class:`JournalError` — resuming from
+        a journal that cannot prove its identity risks silently
+        replaying the wrong run.  With ``resume`` false any existing
+        journal is discarded — the caller wants a clean write-ahead log
+        for a new run.
         """
         completed: Dict[int, CellResult] = {}
         corrupt = 0
         reusable = False
         if resume and os.path.exists(path):
-            completed, corrupt, reusable = cls._replay(path, fingerprint)
+            completed, corrupt, reusable, header_bad = cls._replay(
+                path, fingerprint
+            )
+            if header_bad:
+                raise JournalError(
+                    f"journal {path!r} has an unreadable or corrupt "
+                    "header; delete it (or drop --resume) to start fresh"
+                )
 
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         if reusable:
-            handle = open(path, "a")
+            appender = storage.DurableAppender(path, "a")
         else:
             # Fresh start: truncate via a new file so a stale or
             # mismatched journal can never mix with the new run.
-            handle = open(path, "w")
-            header = {
+            appender = storage.DurableAppender(path, "w")
+            appender.append_record({
                 "kind": "header",
                 "schema": JOURNAL_SCHEMA_VERSION,
                 "fingerprint": fingerprint,
-            }
-            handle.write(json.dumps(header, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+            })
             completed = {}
         if completed:
             _telemetry.count("runner.journal_replayed", len(completed))
@@ -166,38 +186,47 @@ class SuiteJournal:
             completed=completed,
             corrupt_lines=corrupt,
             fresh=not reusable,
-            handle=handle,
+            appender=appender,
         )
 
     @staticmethod
     def _replay(path: str, fingerprint: Dict[str, Any]):
-        """Parse an existing journal; never raises on bad content."""
+        """Parse an existing journal; bad cells skip, a bad header flags.
+
+        Returns ``(completed, corrupt, reusable, header_bad)``.
+        ``header_bad`` is only true when the first line exists but
+        cannot be authenticated (parse or checksum failure) — the one
+        corruption replay cannot recover from on its own.
+        """
         completed: Dict[int, CellResult] = {}
         corrupt = 0
         header_ok = False
         try:
-            with open(path) as handle:
-                lines = handle.read().splitlines()
+            lines = storage.read_text(path).splitlines()
         except OSError:
-            return completed, corrupt, False
+            return completed, corrupt, False, False
         for lineno, line in enumerate(lines):
             if not line.strip():
                 continue
+            if lineno == 0:
+                try:
+                    record = storage.check_record(json.loads(line))
+                    if record["kind"] != "header":
+                        raise ValueError("first record is not a header")
+                except Exception:
+                    return {}, corrupt, False, True
+                if (
+                    record.get("schema") != JOURNAL_SCHEMA_VERSION
+                    or record.get("fingerprint") != fingerprint
+                ):
+                    # Different run shape or code version: nothing
+                    # in this journal is safe to merge.
+                    return {}, corrupt, False, False
+                header_ok = True
+                continue
             try:
-                record = json.loads(line)
-                kind = record["kind"]
-                if lineno == 0:
-                    if (
-                        kind != "header"
-                        or record["schema"] != JOURNAL_SCHEMA_VERSION
-                        or record["fingerprint"] != fingerprint
-                    ):
-                        # Different run shape or code version: nothing
-                        # in this journal is safe to merge.
-                        return {}, corrupt, False
-                    header_ok = True
-                    continue
-                if kind != "cell":
+                record = storage.check_record(json.loads(line))
+                if record["kind"] != "cell":
                     corrupt += 1
                     continue
                 index = int(record["index"])
@@ -213,26 +242,21 @@ class SuiteJournal:
             except Exception:
                 corrupt += 1
         if not header_ok:
-            return {}, corrupt, False
-        return completed, corrupt, True
+            return {}, corrupt, False, False
+        return completed, corrupt, True, False
 
     def record(self, result: CellResult) -> None:
-        """Durably append one completed cell (flush + fsync)."""
+        """Durably append one completed cell (sealed, flushed, fsynced)."""
         blob = pickle.dumps(result, protocol=PICKLE_PROTOCOL)
-        line = json.dumps({
+        self._appender.append_record({
             "kind": "cell",
             "index": result.index,
             "payload": base64.b64encode(blob).decode("ascii"),
-        }, sort_keys=True)
-        self._handle.write(line + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        })
         _telemetry.count("runner.journal_recorded")
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        self._appender.close()
 
     def __enter__(self) -> "SuiteJournal":
         return self

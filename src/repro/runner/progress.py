@@ -10,10 +10,15 @@ terminal can follow along live with ``repro trace tail out.jsonl
 --follow``.
 
 The stream is *heartbeat*, not ledger: it exists to answer "is the run
-alive, and what is it chewing on?"  Lines are flushed but not fsynced
-(durability is the journal's job, see :mod:`repro.runner.journal`),
-and the reader skips unparseable lines — the final line of a live file
-is routinely half-written.
+alive, and what is it chewing on?"  Lines are nonetheless durable —
+each event is sealed with a blake2b checksum and fsynced through
+:class:`repro.storage.DurableAppender`, so the heartbeat survives
+SIGKILL with at most the event in flight lost — and the reader skips
+(and counts) unparseable or checksum-failing lines, because the final
+line of a live file is routinely half-written.  If the disk gives out
+mid-run the heartbeat degrades loudly (one warning) rather than
+killing the sweep: durability of *results* is the journal's job
+(:mod:`repro.runner.journal`).
 
 Event vocabulary (each object carries ``t`` — epoch seconds — and
 ``event``; everything else is event-specific):
@@ -42,7 +47,11 @@ from __future__ import annotations
 import json
 import os
 import time
-from typing import Any, Dict, Iterator, Optional, TextIO, Union
+import warnings
+from typing import Any, Dict, Iterator, Optional, Union
+
+from .. import storage
+from ..errors import StorageError
 
 PROGRESS_SCHEMA_VERSION = 1
 
@@ -65,21 +74,32 @@ class ProgressLog:
         parent = os.path.dirname(self.path)
         if parent:
             os.makedirs(parent, exist_ok=True)
-        self._handle: Optional[TextIO] = open(self.path, "a")
+        self._appender: Optional[storage.DurableAppender] = (
+            storage.DurableAppender(self.path, "a")
+        )
 
     def emit(self, event: str, **fields: Any) -> None:
-        """Append one event line and flush it immediately."""
-        if self._handle is None:
+        """Durably append one sealed event line (flush + fsync)."""
+        if self._appender is None:
             return
         record: Dict[str, Any] = {"t": round(time.time(), 3), "event": event}
         record.update(fields)
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
+        try:
+            self._appender.append_record(record)
+        except StorageError as exc:
+            # The heartbeat must never kill the run it is narrating:
+            # warn once and go dark.
+            warnings.warn(
+                f"progress log {self.path!r} failed, disabling: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.close()
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._appender is not None:
+            self._appender.close()
+            self._appender = None
 
     def __enter__(self) -> "ProgressLog":
         return self
@@ -88,11 +108,16 @@ class ProgressLog:
         self.close()
 
 
-def iter_progress(path: str) -> Iterator[Dict[str, Any]]:
-    """Parse an existing progress file, skipping unparseable lines.
+def iter_progress(
+    path: str, stats: Optional[Dict[str, int]] = None
+) -> Iterator[Dict[str, Any]]:
+    """Parse an existing progress file, skipping (and counting) bad lines.
 
     A live file's last line may be mid-write; a reader that crashed on
-    it would be useless as a tail, so bad lines are silently dropped.
+    it would be useless as a tail, so unparseable or checksum-failing
+    lines are dropped — and tallied in ``stats["skipped"]`` when the
+    caller passes a dict, so ``repro trace tail`` can report how many
+    records it could not trust.
     """
     with open(path) as handle:
         for line in handle:
@@ -101,10 +126,14 @@ def iter_progress(path: str) -> Iterator[Dict[str, Any]]:
                 continue
             try:
                 record = json.loads(line)
-            except ValueError:
+                if not isinstance(record, dict):
+                    raise ValueError("progress record is not an object")
+                record = storage.check_record(record)
+            except (ValueError, StorageError):
+                if stats is not None:
+                    stats["skipped"] = stats.get("skipped", 0) + 1
                 continue
-            if isinstance(record, dict):
-                yield record
+            yield record
 
 
 def follow_progress(
@@ -134,9 +163,10 @@ def follow_progress(
                         continue
                     try:
                         record = json.loads(line)
-                    except ValueError:
-                        continue
-                    if not isinstance(record, dict):
+                        if not isinstance(record, dict):
+                            raise ValueError("not an object")
+                        record = storage.check_record(record)
+                    except (ValueError, StorageError):
                         continue
                     yield record
                     if record.get("event") == "bench_finished":
@@ -215,6 +245,6 @@ def render_progress_event(
     if event == "pool_rebuilt":
         return f"{clock} {suite}: worker pool rebuilt"
     extras = {
-        k: v for k, v in record.items() if k not in ("t", "event")
+        k: v for k, v in record.items() if k not in ("t", "event", "cs")
     }
     return f"{clock} {event} {json.dumps(extras, sort_keys=True)}"

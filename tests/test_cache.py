@@ -10,6 +10,7 @@ scoping the runner relies on.
 
 import os
 import pickle
+import shutil
 
 import pytest
 
@@ -27,6 +28,9 @@ from repro.cache import (
 )
 from repro.decomposition import expander_decomposition
 from repro.generators import delaunay_planar_graph
+
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "data")
 
 
 @pytest.fixture
@@ -122,6 +126,48 @@ def test_corrupted_entry_recomputes_not_crashes(tmp_path):
     # The rewritten entry is healthy again.
     cached_graph("cycle", {"n": 9}, cache=cache)
     assert cache.stats.disk_hits == 1
+
+
+def test_prepr10_unframed_entry_still_loads(tmp_path):
+    """Disk entries written before checksum framing existed are raw
+    pickles; they must stay disk hits forever (the committed fixture is
+    one such entry), and rehydrate bit-identically to a recompute."""
+    cache = ArtifactCache(root=str(tmp_path / "cache"), memory_items=0)
+    key = cache.key("graph", "cycle", {"n": 9})
+    path = cache._path("graph", key)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    shutil.copy(os.path.join(FIXTURES, "cache_entry_prepr10.bin"), path)
+    with open(path, "rb") as handle:
+        assert handle.read(4) != b"RSF1"  # genuinely unframed
+
+    g = cached_graph("cycle", {"n": 9}, cache=cache)
+    assert cache.stats.disk_hits == 1 and cache.stats.misses == 0
+    fresh = cached_graph(
+        "cycle", {"n": 9}, cache=ArtifactCache(root=str(tmp_path / "c2"))
+    )
+    assert pickle.dumps(g, protocol=4) == pickle.dumps(fresh, protocol=4)
+
+
+def test_new_entries_are_framed_and_flips_are_detected(tmp_path):
+    """Freshly written entries carry the storage frame, so a flipped
+    bit anywhere in the payload is caught by checksum — evicted and
+    recomputed, never silently unpickled."""
+    root = str(tmp_path / "cache")
+    cache = ArtifactCache(root=root, memory_items=0)
+    cached_graph("cycle", {"n": 9}, cache=cache)
+    key = cache.key("graph", "cycle", {"n": 9})
+    path = cache._path("graph", key)
+    with open(path, "rb") as handle:
+        blob = bytearray(handle.read())
+    assert blob[:4] == b"RSF1"
+    blob[-1] ^= 0x01
+    with open(path, "wb") as handle:
+        handle.write(bytes(blob))
+
+    with pytest.warns(RuntimeWarning, match="evicting corrupt cache entry"):
+        g = cached_graph("cycle", {"n": 9}, cache=cache)
+    assert g.n == 9
+    assert cache.stats.corrupt == 1 and cache.stats.evictions == 1
 
 
 def test_memory_lru_evicts_oldest(tmp_path):

@@ -28,6 +28,7 @@ from repro.congest import (
 )
 from repro.errors import CheckpointError
 from repro.graph import Graph
+from repro.storage import DiskFaultPlan, use_disk_faults
 
 from tests._checkpoint_fixture import FixtureFlood, FixtureWalker
 
@@ -341,6 +342,71 @@ def test_resume_ignores_ambient_fault_plan():
         )
         result = sim.run(300)
     assert _fingerprint(result, recorder) == baseline
+
+
+# ----------------------------------------------------------------------
+# Corrupted envelopes refuse loudly (never unpickle garbage)
+# ----------------------------------------------------------------------
+
+
+def _saved_checkpoint(tmp_path):
+    graph = _graph()
+    checkpoint = _capture_first(graph, FixtureFlood, FaultPlan(), "fast")
+    path = str(tmp_path / "ck.json")
+    checkpoint.save(path)
+    return path
+
+
+def test_truncated_checkpoint_refuses_loudly(tmp_path):
+    path = _saved_checkpoint(tmp_path)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(data[: len(data) // 2])
+    with pytest.raises(CheckpointError, match="not valid JSON"):
+        SimulationCheckpoint.load(path)
+
+
+def test_bit_flipped_state_blob_refuses_before_unpickling(tmp_path):
+    """A single corrupted character inside the base64 state blob fails
+    the envelope checksum — caught *before* base64 decode or pickle
+    ever see the blob, which is the whole point of the checksum."""
+    path = _saved_checkpoint(tmp_path)
+    with open(path) as handle:
+        data = json.loads(handle.read())
+    state = data["state"]
+    pos = len(state) // 2
+    data["state"] = (
+        state[:pos] + ("A" if state[pos] != "A" else "B") + state[pos + 1:]
+    )
+    with open(path, "w") as handle:
+        handle.write(json.dumps(data, sort_keys=True))
+    with pytest.raises(CheckpointError, match="refusing to unpickle"):
+        SimulationCheckpoint.load(path)
+
+
+def test_tampered_metadata_refuses_loudly(tmp_path):
+    path = _saved_checkpoint(tmp_path)
+    with open(path) as handle:
+        data = json.loads(handle.read())
+    data["round"] += 1  # checksum now stale
+    with open(path, "w") as handle:
+        handle.write(json.dumps(data, sort_keys=True))
+    with pytest.raises(CheckpointError, match="checksum"):
+        SimulationCheckpoint.load(path)
+
+
+def test_torn_checkpoint_save_is_caught_at_load(tmp_path):
+    """End to end through the storage layer: a save whose write tears
+    mid-file leaves a checkpoint that refuses to load — never one that
+    silently resumes from half a state blob."""
+    graph = _graph()
+    checkpoint = _capture_first(graph, FixtureFlood, FaultPlan(), "fast")
+    path = str(tmp_path / "ck.json")
+    with use_disk_faults(DiskFaultPlan(seed=0, torn_write=1.0)):
+        checkpoint.save(path)
+    with pytest.raises(CheckpointError):
+        SimulationCheckpoint.load(path)
 
 
 # ----------------------------------------------------------------------

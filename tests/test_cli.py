@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import main
@@ -168,6 +170,75 @@ class TestBenchJournal:
             main(["bench", "--suite", "E10", "--suite", "CHAOS",
                   "--journal", str(tmp_path / "wal.jsonl")])
         assert "one file" in str(excinfo.value)
+
+    def test_corrupt_journal_header_resume_exits_2(self, capsys, tmp_path):
+        journal = tmp_path / "wal.jsonl"
+        journal.write_text("{corrupt header\n")
+        code = main(["bench", "--suite", "CHAOS", "--limit", "2",
+                     "--no-cache", "--cache-dir", str(tmp_path),
+                     "--journal", str(journal), "--resume"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot resume" in err and "Traceback" not in err
+
+    def test_corrupt_journal_cell_is_loud_in_footer_and_stats(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        journal = str(tmp_path / "wal.jsonl")
+        stats = str(tmp_path / "stats.json")
+        args = ["bench", "--suite", "CHAOS", "--limit", "2", "--no-cache",
+                "--cache-dir", str(tmp_path), "--journal", journal]
+        assert main(args) == 0
+        capsys.readouterr()
+        # Tear the final cell record, as a kill mid-append would.
+        with open(journal) as handle:
+            lines = handle.read().splitlines()
+        with open(journal, "w") as handle:
+            handle.write("\n".join(lines[:-1]) + "\n" + lines[-1][:20] + "\n")
+
+        assert main(args + ["--resume", "--stats-json", stats]) == 0
+        out = capsys.readouterr().out
+        assert "1 corrupt journal line(s) skipped" in out
+        with open(stats) as handle:
+            payload = json.load(handle)
+        assert payload["suites"][0]["journal_corrupt_lines"] == 1
+
+
+class TestFaultsCheckpointCLI:
+    ARGS = ["faults", "--family", "delaunay", "--n", "40",
+            "--algorithm", "maxis", "--seed", "3"]
+
+    def test_save_then_resume_round_trips(self, capsys, tmp_path):
+        ck = str(tmp_path / "ck.json")
+        assert main(self.ARGS + ["--save-checkpoint", ck,
+                                 "--checkpoint-every", "4"]) == 0
+        first = capsys.readouterr()
+        assert "checkpoints: 1 saved" in first.out
+        assert os.path.exists(ck)
+
+        assert main(self.ARGS + ["--resume-from", ck]) == 0
+        second = capsys.readouterr()
+        assert "resumed:" in second.out and "verdict:" in second.out
+
+    def test_corrupt_checkpoint_resume_exits_2(self, capsys, tmp_path):
+        ck = tmp_path / "ck.json"
+        assert main(self.ARGS + ["--save-checkpoint", str(ck),
+                                 "--checkpoint-every", "4"]) == 0
+        capsys.readouterr()
+        data = ck.read_bytes()
+        ck.write_bytes(data[: len(data) // 2])
+        assert main(self.ARGS + ["--resume-from", str(ck)]) == 2
+        err = capsys.readouterr().err
+        assert "corrupt checkpoint" in err and "Traceback" not in err
+
+    def test_missing_checkpoint_resume_exits_2(self, capsys, tmp_path):
+        code = main(self.ARGS + ["--resume-from",
+                                 str(tmp_path / "absent.json")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "checkpoint" in err and "Traceback" not in err
 
 
 class TestObsErrorPaths:

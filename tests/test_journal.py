@@ -2,19 +2,25 @@
 
 The contract (see :mod:`repro.runner.journal`): a suite run killed
 mid-flight leaves a write-ahead journal whose replay plus the remaining
-cells produces exactly the table the uninterrupted run would have —
-and no corruption of the journal, however severe, aborts a resume
-(mangled records are recomputed, mismatched journals are discarded).
+cells produces exactly the table the uninterrupted run would have.
+Mangled *records* never abort a resume (they are counted and
+recomputed; mismatched journals are discarded) — but a mangled
+*header* refuses an explicit resume loudly, because a journal that
+cannot prove its identity could silently replay the wrong run.
 """
 
 import base64
 import json
 import os
 import pickle
+import shutil
 import subprocess
 import sys
 import textwrap
 
+import pytest
+
+from repro.errors import JournalError
 from repro.runner import (
     JOURNAL_SCHEMA_VERSION,
     SuiteJournal,
@@ -25,6 +31,8 @@ from repro.runner import (
 
 SUITE = "CHAOS"  # hidden suite; all cells healthy without REPRO_CHAOS_DIR
 LIMIT = 4
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "data")
 
 
 def _fingerprint():
@@ -124,15 +132,67 @@ def test_mismatched_header_discards_journal(tmp_path):
     assert header["fingerprint"]["limit"] == 2
 
 
-def test_headerless_or_missing_journal_starts_fresh(tmp_path):
+def test_missing_journal_starts_fresh(tmp_path):
     journal = str(tmp_path / "chaos.jsonl")
     resumed = _run(journal=journal, resume=True)  # nothing to resume
     assert resumed.replayed_cells() == 0
 
+
+def test_corrupt_header_refuses_resume_loudly(tmp_path):
+    """An unreadable header means the journal cannot prove its identity.
+
+    Resuming from it could silently merge the wrong run, so the
+    explicit ``resume=True`` path raises :class:`JournalError` instead
+    of guessing (exit code 2 at the CLI, pinned in test_cli.py) —
+    unlike a *parseable* header with a mismatched fingerprint, which
+    starts fresh because the caller asked for a different experiment.
+    """
+    journal = str(tmp_path / "chaos.jsonl")
     with open(journal, "w") as handle:
         handle.write("complete garbage\n")
-    resumed = _run(journal=journal, resume=True)
-    assert resumed.replayed_cells() == 0
+    with pytest.raises(JournalError):
+        _run(journal=journal, resume=True)
+
+    # A header whose checksum no longer verifies is just as untrusted.
+    _run(journal=journal, resume=False)
+    with open(journal) as handle:
+        lines = handle.read().splitlines()
+    header = json.loads(lines[0])
+    assert "cs" in header
+    header["fingerprint"]["suite"] = "TAMPERED"  # cs now stale
+    lines[0] = json.dumps(header, sort_keys=True)
+    with open(journal, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with pytest.raises(JournalError):
+        _run(journal=journal, resume=True)
+
+    # Without --resume the same file is simply truncated and rewritten.
+    fresh = _run(journal=journal, resume=False)
+    assert fresh.replayed_cells() == 0
+
+
+def test_prepr10_unsealed_journal_still_replays(tmp_path):
+    """A journal written before records carried ``"cs"`` checksums must
+    keep resuming.  The fixture is a real journaled E10 run with every
+    checksum stripped — the exact on-disk layout that predates the
+    storage layer — so this pins the legacy-read path end to end:
+    header accepted, cells unpickled, nothing counted as corrupt."""
+    fixture = os.path.join(FIXTURES, "journal_prepr10.jsonl")
+    journal = str(tmp_path / "legacy.jsonl")
+    shutil.copy(fixture, journal)
+    # The embedded salt belongs to the code that wrote the fixture, so
+    # resume against the fixture's own fingerprint (a live resume of a
+    # stale-salt journal would correctly start fresh instead).
+    with open(fixture) as handle:
+        header = json.loads(handle.readline())
+    assert "cs" not in header  # genuinely pre-sealing
+    with SuiteJournal.open(journal, header["fingerprint"]) as wal:
+        assert not wal.fresh
+        assert wal.corrupt_lines == 0
+        assert sorted(wal.completed) == [0, 1]
+        for result in wal.completed.values():
+            assert result.replayed
+            assert result.rows  # the payload unpickled into real rows
 
 
 def test_resume_false_discards_prior_journal(tmp_path):
